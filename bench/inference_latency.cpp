@@ -1,0 +1,64 @@
+// Micro-benchmark (google-benchmark) of the online-inference path: the
+// paper claims "less than a second of model inference overhead during the
+// compilation time" and constant-time selection at application runtime.
+// Measures (a) one model inference, (b) a full tuning-table compile sweep,
+// and (c) one runtime table lookup.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace pml;
+
+core::PmlFramework& framework() {
+  static core::PmlFramework fw = core::PmlFramework::train(
+      bench::clusters_except({"Frontera"}), bench::default_train_options());
+  return fw;
+}
+
+void BM_SingleInference(benchmark::State& state) {
+  auto& fw = framework();
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const sim::Topology topo{16, 56};
+  std::uint64_t msg = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fw.select(coll::Collective::kAlltoall, frontera, topo, msg));
+    msg = msg >= (1u << 20) ? 1 : msg << 1;
+  }
+}
+BENCHMARK(BM_SingleInference);
+
+void BM_CompileTuningTable(benchmark::State& state) {
+  auto& fw = framework();
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const std::vector<int> nodes = {1, 2, 4, 8, 16};
+  const std::vector<int> ppns = {28, 56};
+  const auto sizes = sim::power_of_two_sizes(21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fw.compile_for(frontera, nodes, ppns, sizes));
+  }
+}
+BENCHMARK(BM_CompileTuningTable)->Unit(benchmark::kMillisecond);
+
+void BM_RuntimeTableLookup(benchmark::State& state) {
+  auto& fw = framework();
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const std::vector<int> nodes = {1, 2, 4, 8, 16};
+  const std::vector<int> ppns = {28, 56};
+  const auto sizes = sim::power_of_two_sizes(21);
+  const core::TuningTable table =
+      fw.compile_for(frontera, nodes, ppns, sizes);
+  std::uint64_t msg = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.lookup(coll::Collective::kAllgather, 16, 56, msg));
+    msg = msg >= (1u << 20) ? 1 : msg << 1;
+  }
+}
+BENCHMARK(BM_RuntimeTableLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Reproduces Table III: Random Forest classification accuracy under the
+// three train/test protocols of §V-D — random 70/30, cluster-based
+// (unseen clusters), and node-based (train small node counts, test large).
+#include <cstdio>
+#include <set>
+
+#include "bench_util.hpp"
+#include "core/dataset_builder.hpp"
+
+namespace {
+
+using namespace pml;
+
+double fit_and_score(const ml::Dataset& train, const ml::Dataset& test) {
+  ml::RandomForest rf(core::TrainOptions{}.forest);
+  Rng rng(11);
+  rf.fit(train, rng);
+  return ml::evaluate_accuracy(rf, test);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table III: Classification accuracy by split protocol ==\n\n");
+
+  // ~70% of clusters for the cluster-based split (13 of 18), chosen to
+  // leave out a spread of architectures including the evaluation pair.
+  const std::set<std::string> test_clusters = {"Frontera", "MRI", "Bebop",
+                                               "Mayer", "Sierra"};
+
+  TextTable table({"Collective", "Random Test Accuracy",
+                   "Cluster Test Accuracy", "Node Test Accuracy"});
+  for (const auto collective :
+       {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+    const auto records =
+        core::build_records(std::span(sim::builtin_clusters()), collective,
+                            core::BuildOptions{});
+    const auto data = core::to_ml_dataset(records, collective);
+
+    // Random 70/30.
+    Rng split_rng(42);
+    const auto random = ml::random_split(data.size(), 0.7, split_rng);
+    const double acc_random = fit_and_score(data.subset(random.train),
+                                            data.subset(random.test));
+
+    // Cluster-based: train on clusters not in the held-out set.
+    std::vector<std::string> train_names;
+    std::vector<std::string> test_names(test_clusters.begin(),
+                                        test_clusters.end());
+    for (const auto& c : sim::builtin_clusters()) {
+      if (!test_clusters.contains(c.name)) train_names.push_back(c.name);
+    }
+    const auto cluster_train_rows = core::rows_in_clusters(records, train_names);
+    const auto cluster_test_rows = core::rows_in_clusters(records, test_names);
+    const double acc_cluster = fit_and_score(data.subset(cluster_train_rows),
+                                             data.subset(cluster_test_rows));
+
+    // Node-based: train on <= 4 nodes, test on > 4 nodes.
+    const auto node_train_rows = core::rows_with_nodes_at_most(records, 4);
+    const auto node_test_rows = core::rows_with_nodes_above(records, 4);
+    const double acc_node = fit_and_score(data.subset(node_train_rows),
+                                          data.subset(node_test_rows));
+
+    table.add_row({collective == coll::Collective::kAllgather
+                       ? "MPI_Allgather"
+                       : "MPI_Alltoall",
+                   format_double(acc_random * 100.0, 1) + "%",
+                   format_double(acc_cluster * 100.0, 1) + "%",
+                   format_double(acc_node * 100.0, 1) + "%"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "(paper: Allgather 88.8 / 84.4 / 79.8; Alltoall 89.9 / 82.7 / 86.7 — "
+      "random > cluster, node split hardest for allgather)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// End-to-end application impact: run the MiniFE and Gromacs proxy
+// applications under different tuning strategies and report the time
+// breakdown — the experiment a performance engineer would run before
+// adopting the framework (paper §VII-E).
+//
+// Build & run:  ./build/examples/application_speedup
+#include <cstdio>
+
+#include "apps/proxies.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/framework.hpp"
+
+int main() {
+  using namespace pml;
+
+  std::vector<sim::ClusterSpec> training;
+  for (const auto& c : sim::builtin_clusters()) {
+    if (c.name != "MRI") training.push_back(c);
+  }
+  auto framework = core::PmlFramework::train(training);
+  core::MvapichDefaultSelector mvapich;
+  core::RandomSelector random_sel(3);
+
+  const auto& mri = sim::cluster_by_name("MRI");
+  const sim::Topology topo{4, 64};
+  std::printf("Cluster: MRI (unseen), %d nodes x %d PPN = %d processes\n\n",
+              topo.nodes, topo.ppn, topo.world_size());
+
+  const struct {
+    const char* name;
+    core::Selector* selector;
+  } strategies[] = {
+      {"PML-MPI", &framework},
+      {"MVAPICH default", &mvapich},
+      {"Random", &random_sel},
+  };
+
+  for (const bool gromacs : {false, true}) {
+    TextTable table({"strategy", "total", "compute", "allgather", "alltoall"});
+    table.set_title(gromacs ? "Gromacs BenchMEM proxy (100 MD steps)"
+                            : "MiniFE CG proxy (200 iterations)");
+    double base = 0.0;
+    for (const auto& s : strategies) {
+      const apps::ProxyResult r =
+          gromacs ? apps::run_gromacs_proxy(mri, topo, *s.selector)
+                  : apps::run_minife_proxy(mri, topo, *s.selector);
+      if (s.selector == &framework) base = r.total_seconds;
+      table.add_row({s.name, format_time(r.total_seconds),
+                     format_time(r.compute_seconds),
+                     format_time(r.allgather_seconds),
+                     format_time(r.alltoall_seconds)});
+      if (s.selector != &framework) {
+        std::fprintf(stderr, "  %s vs PML: %+.2f%%\n", s.name,
+                     (r.total_seconds / base - 1.0) * 100.0);
+      }
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+  std::printf(
+      "A better collective selection shrinks only the communication rows — "
+      "the compute column is identical across strategies.\n");
+  return 0;
+}

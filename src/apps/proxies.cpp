@@ -1,0 +1,128 @@
+#include "apps/proxies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coll/cost.hpp"
+#include "common/error.hpp"
+
+namespace pml::apps {
+
+namespace {
+
+using coll::Collective;
+
+/// Seconds of local compute for `flops` on one rank of the cluster
+/// (vectorised estimate: 4 double-precision lanes per cycle).
+double compute_seconds(const sim::ClusterSpec& cluster, double flops) {
+  return flops / (cluster.hw.cpu_max_clock_ghz * 4.0e9);
+}
+
+/// Cost of one collective with the selector's chosen algorithm.
+double collective_seconds(const sim::NetworkModel& model,
+                          core::Selector& selector,
+                          const sim::ClusterSpec& cluster, sim::Topology topo,
+                          Collective collective, std::uint64_t msg_bytes) {
+  const coll::Algorithm a =
+      selector.select(collective, cluster, topo, msg_bytes);
+  return coll::analytic_cost(model, a, msg_bytes);
+}
+
+}  // namespace
+
+ProxyResult run_gromacs_proxy(const sim::ClusterSpec& cluster,
+                              sim::Topology topo, core::Selector& selector,
+                              const GromacsConfig& config) {
+  if (config.steps < 1 || config.fft_grid < 8) {
+    throw TuningError("gromacs proxy: invalid configuration");
+  }
+  const sim::NetworkModel model(cluster, topo);
+  const int p = topo.world_size();
+
+  // Short-range nonbonded + PME charge spreading: ~30k flops per atom per
+  // step (neighbour-list interactions), divided across ranks.
+  const double step_flops = 30000.0 * config.atoms / p;
+
+  // PME 3D FFT: complex doubles on an N^3 grid. Per MD step the proxy
+  // performs the two pencil transposes of the forward and inverse FFTs
+  // (blocks of grid_bytes / p^2) and one charge-grid redistribution with a
+  // coarser decomposition (blocks of grid_bytes / (16 p)), matching the
+  // spread of alltoall sizes a PME step really issues.
+  const double grid_points = std::pow(static_cast<double>(config.fft_grid), 3);
+  const auto grid_bytes = static_cast<std::uint64_t>(grid_points * 16.0);
+  const auto fft_block = std::max<std::uint64_t>(
+      1, grid_bytes / (static_cast<std::uint64_t>(p) *
+                       static_cast<std::uint64_t>(p)));
+  const auto spread_block = std::max<std::uint64_t>(
+      1, grid_bytes / (16 * static_cast<std::uint64_t>(p)));
+  constexpr int kTransposesPerStep = 4;  // fwd + inv, two stages each
+
+  // Per-step energy/virial reduction: 64 B per rank gathered everywhere.
+  constexpr std::uint64_t kEnergyBytes = 64;
+
+  ProxyResult result;
+  result.steps = config.steps;
+  const double t_comp = compute_seconds(cluster, step_flops);
+  // The selector is consulted on every invocation (stochastic selectors
+  // re-roll per call, exactly as they would inside the MPI library).
+  for (int step = 0; step < config.steps; ++step) {
+    result.compute_seconds += t_comp;
+    for (int t = 0; t < kTransposesPerStep; ++t) {
+      result.alltoall_seconds += collective_seconds(
+          model, selector, cluster, topo, Collective::kAlltoall, fft_block);
+    }
+    result.alltoall_seconds += collective_seconds(
+        model, selector, cluster, topo, Collective::kAlltoall, spread_block);
+    result.allgather_seconds += collective_seconds(
+        model, selector, cluster, topo, Collective::kAllgather, kEnergyBytes);
+  }
+  result.total_seconds = result.compute_seconds + result.alltoall_seconds +
+                         result.allgather_seconds;
+  return result;
+}
+
+ProxyResult run_minife_proxy(const sim::ClusterSpec& cluster,
+                             sim::Topology topo, core::Selector& selector,
+                             const MiniFeConfig& config) {
+  if (config.cg_iterations < 1 || config.grid < 8) {
+    throw TuningError("minife proxy: invalid configuration");
+  }
+  const sim::NetworkModel model(cluster, topo);
+  const int p = topo.world_size();
+
+  // 27-point stencil SpMV: 2 flops per nonzero, 27 nonzeros per row;
+  // sparse access patterns run far below peak, so derate by ~8x.
+  const double rows = std::pow(static_cast<double>(config.grid), 3);
+  const double spmv_flops = 8.0 * 2.0 * 27.0 * rows / p;
+  // Vector updates (axpy x3) add ~6 flops per row.
+  const double axpy_flops = 8.0 * 6.0 * rows / p;
+
+  // Two dot products per iteration: partial sums (8 B) gathered globally.
+  constexpr std::uint64_t kDotBytes = 8;
+  // Boundary/external-DOF exchange: each rank contributes one subdomain
+  // face of doubles.
+  const double face_rows = std::pow(rows / p, 2.0 / 3.0);
+  const auto boundary_bytes =
+      std::max<std::uint64_t>(8, static_cast<std::uint64_t>(face_rows * 8.0));
+
+  ProxyResult result;
+  result.steps = config.cg_iterations;
+  const double t_comp = compute_seconds(cluster, spmv_flops + axpy_flops);
+  for (int it = 0; it < config.cg_iterations; ++it) {
+    result.compute_seconds += t_comp;
+    for (int d = 0; d < 2; ++d) {
+      result.allgather_seconds += collective_seconds(
+          model, selector, cluster, topo, Collective::kAllgather, kDotBytes);
+    }
+    if ((it + 1) % config.boundary_every == 0) {
+      result.allgather_seconds +=
+          collective_seconds(model, selector, cluster, topo,
+                             Collective::kAllgather, boundary_bytes);
+    }
+  }
+  result.alltoall_seconds = 0.0;
+  result.total_seconds = result.compute_seconds + result.allgather_seconds;
+  return result;
+}
+
+}  // namespace pml::apps

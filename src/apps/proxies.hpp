@@ -1,0 +1,64 @@
+// Communication-skeleton proxy applications (paper §VI-B / Fig. 13).
+//
+// The paper evaluates end-to-end speedup on Gromacs (BenchMEM) and MiniFE.
+// We reproduce both as communication skeletons: the per-step collective
+// mix, message sizing, and compute-to-communication ratio follow the real
+// applications, while the collective costs come from the cluster model and
+// the algorithm choice comes from a pluggable Selector — which is exactly
+// the quantity under test (a better selector shrinks step time).
+//
+//  - gromacs_proxy: molecular dynamics with PME long-range electrostatics.
+//    Each MD step performs the 3D-FFT transposes (MPI_Alltoall with
+//    blocks of grid_bytes / p^2) four times (forward + inverse, two
+//    transpose stages) and gathers per-rank energies (small
+//    MPI_Allgather). Strong scaling loses efficiency past ~224 processes
+//    as the paper observes, because the alltoall term stops shrinking.
+//
+//  - minife_proxy: an unstructured implicit finite-element CG solve.
+//    Each iteration performs a 27-point-stencil SpMV (compute) and two
+//    global dot products realised as tiny MPI_Allgather operations, plus a
+//    boundary-exchange allgather every 10 iterations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/selectors.hpp"
+#include "sim/hardware.hpp"
+#include "sim/network.hpp"
+
+namespace pml::apps {
+
+/// Timing breakdown of one proxy run.
+struct ProxyResult {
+  double total_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double allgather_seconds = 0.0;
+  double alltoall_seconds = 0.0;
+  int steps = 0;
+};
+
+struct GromacsConfig {
+  int steps = 100;
+  int fft_grid = 96;          ///< PME grid points per dimension
+  double atoms = 82000.0;     ///< BenchMEM system size
+};
+
+struct MiniFeConfig {
+  int cg_iterations = 200;
+  int grid = 200;             ///< nx = ny = nz elements
+  int boundary_every = 10;    ///< iterations between boundary allgathers
+};
+
+/// Run the Gromacs/BenchMEM skeleton with `selector` choosing every
+/// collective algorithm. Deterministic; uses the analytic collective costs.
+ProxyResult run_gromacs_proxy(const sim::ClusterSpec& cluster,
+                              sim::Topology topo, core::Selector& selector,
+                              const GromacsConfig& config = {});
+
+/// Run the MiniFE CG skeleton.
+ProxyResult run_minife_proxy(const sim::ClusterSpec& cluster,
+                             sim::Topology topo, core::Selector& selector,
+                             const MiniFeConfig& config = {});
+
+}  // namespace pml::apps

@@ -1,0 +1,52 @@
+// Flat MPI_Allgather algorithms as simulated rank programs.
+//
+// Semantics match MPI_Allgather: every rank contributes `block_bytes` from
+// `send_block`; on completion `recv_buf` (p * block_bytes) holds rank i's
+// contribution at block offset i, on every rank. Payload bytes really move,
+// so tests can assert the result bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "coll/collective.hpp"
+#include "sim/comm.hpp"
+
+namespace pml::coll {
+
+/// Dispatch to one of the four allgather algorithms.
+/// Throws pml::SimError if the algorithm does not support comm.size()
+/// (see algorithm_supports).
+sim::RankTask run_allgather(Algorithm algorithm, sim::Comm comm,
+                            std::span<const std::byte> send_block,
+                            std::span<std::byte> recv_buf);
+
+/// Individual algorithms (exposed for targeted tests).
+sim::RankTask allgather_recursive_doubling(sim::Comm comm,
+                                           std::span<const std::byte> send,
+                                           std::span<std::byte> recv);
+sim::RankTask allgather_ring(sim::Comm comm, std::span<const std::byte> send,
+                             std::span<std::byte> recv);
+sim::RankTask allgather_bruck(sim::Comm comm, std::span<const std::byte> send,
+                              std::span<std::byte> recv);
+sim::RankTask allgather_neighbor_exchange(sim::Comm comm,
+                                          std::span<const std::byte> send,
+                                          std::span<std::byte> recv);
+
+/// Block set owned by `rank` after `step` rounds of the (generalised,
+/// non-power-of-two capable) recursive-doubling schedule. Exposed for tests.
+std::vector<int> rd_owned_blocks(int rank, int step, int world);
+
+/// One step of the neighbor-exchange schedule for a given rank.
+struct NeighborStep {
+  int partner = -1;
+  int send_block = -1;   ///< first block index of the chunk sent
+  int recv_block = -1;   ///< first block index of the chunk received
+  int chunk_blocks = 1;  ///< 1 on step 0, 2 afterwards
+};
+
+/// Full neighbor-exchange schedule, plan[rank][step]. Requires even world
+/// (or world == 1, yielding empty schedules). Exposed for tests.
+std::vector<std::vector<NeighborStep>> neighbor_exchange_plan(int world);
+
+}  // namespace pml::coll

@@ -1,0 +1,194 @@
+#include "coll/allreduce.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pml::coll {
+
+namespace {
+
+using sim::Comm;
+using sim::RankTask;
+
+/// Chunk boundary i of `count` bytes split into `parts` (balanced).
+std::size_t chunk_begin(std::size_t count, int parts, int i) {
+  return count * static_cast<std::size_t>(i) / static_cast<std::size_t>(parts);
+}
+
+void charge_reduction(Comm& comm, std::size_t bytes, std::size_t working_set) {
+  comm.compute(comm.engine().model().reduction_time(bytes, working_set));
+}
+
+}  // namespace
+
+void combine_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
+  if (dst.size() != src.size()) {
+    throw SimError("combine_bytes: operand size mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::byte>(static_cast<unsigned>(dst[i]) +
+                                    static_cast<unsigned>(src[i]));
+  }
+}
+
+sim::RankTask allreduce_recursive_doubling(Comm comm,
+                                           std::span<const std::byte> send,
+                                           std::span<std::byte> recv) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = send.size();
+  if (recv.size() != n) throw SimError("allreduce: buffer size mismatch");
+  if (n > 0) std::memcpy(recv.data(), send.data(), n);
+  comm.copy(n, n);
+  if (p == 1) co_return;
+
+  std::vector<std::byte> incoming(n);
+  for (int k = 0; (1 << k) < p; ++k) {
+    const int partner = rank ^ (1 << k);
+    co_await comm.sendrecv(partner, recv, partner, incoming, /*tag=*/k);
+    combine_bytes(recv, incoming);
+    charge_reduction(comm, n, n);
+  }
+}
+
+sim::RankTask allreduce_rabenseifner(Comm comm,
+                                     std::span<const std::byte> send,
+                                     std::span<std::byte> recv) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = send.size();
+  if (recv.size() != n) throw SimError("allreduce: buffer size mismatch");
+  if (n > 0) std::memcpy(recv.data(), send.data(), n);
+  comm.copy(n, n);
+  if (p == 1) co_return;
+
+  const int m = floor_log2(p);
+
+  // Reduce-scatter by recursive halving: both partners hold the same
+  // segment; the lower-bit rank keeps the lower half, the upper-bit rank
+  // the upper half, and each combines the partner's copy of its kept half.
+  std::size_t seg_begin = 0;
+  std::size_t seg_size = n;
+  std::vector<std::byte> incoming;
+  std::vector<std::size_t> begin_at_step(static_cast<std::size_t>(m));
+  std::vector<std::size_t> size_at_step(static_cast<std::size_t>(m));
+  for (int k = 0; k < m; ++k) {
+    begin_at_step[static_cast<std::size_t>(k)] = seg_begin;
+    size_at_step[static_cast<std::size_t>(k)] = seg_size;
+    const int partner = rank ^ (1 << k);
+    const std::size_t lower = seg_size / 2;
+    const std::size_t upper = seg_size - lower;
+    const bool keep_lower = (rank & (1 << k)) == 0;
+
+    const std::size_t keep_begin = keep_lower ? seg_begin : seg_begin + lower;
+    const std::size_t keep_size = keep_lower ? lower : upper;
+    const std::size_t give_begin = keep_lower ? seg_begin + lower : seg_begin;
+    const std::size_t give_size = keep_lower ? upper : lower;
+
+    incoming.resize(keep_size);
+    co_await comm.sendrecv(
+        partner,
+        std::span<const std::byte>(recv.data() + give_begin, give_size),
+        partner, incoming, /*tag=*/k);
+    combine_bytes(std::span<std::byte>(recv.data() + keep_begin, keep_size),
+                  incoming);
+    charge_reduction(comm, keep_size, n);
+
+    seg_begin = keep_begin;
+    seg_size = keep_size;
+  }
+
+  // Allgather by recursive doubling, unwinding the halving in reverse:
+  // partners exchange their owned (fully reduced) sub-segments, which are
+  // the two halves of the step-k parent segment.
+  for (int k = m - 1; k >= 0; --k) {
+    const int partner = rank ^ (1 << k);
+    const std::size_t parent_begin = begin_at_step[static_cast<std::size_t>(k)];
+    const std::size_t parent_size = size_at_step[static_cast<std::size_t>(k)];
+    const std::size_t lower = parent_size / 2;
+    const bool kept_lower = (rank & (1 << k)) == 0;
+
+    const std::size_t mine_begin = kept_lower ? parent_begin : parent_begin + lower;
+    const std::size_t mine_size = kept_lower ? lower : parent_size - lower;
+    const std::size_t theirs_begin = kept_lower ? parent_begin + lower : parent_begin;
+    const std::size_t theirs_size = kept_lower ? parent_size - lower : lower;
+
+    co_await comm.sendrecv(
+        partner,
+        std::span<const std::byte>(recv.data() + mine_begin, mine_size),
+        partner, std::span<std::byte>(recv.data() + theirs_begin, theirs_size),
+        /*tag=*/100 + k);
+  }
+}
+
+sim::RankTask allreduce_ring(Comm comm, std::span<const std::byte> send,
+                             std::span<std::byte> recv) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = send.size();
+  if (recv.size() != n) throw SimError("allreduce: buffer size mismatch");
+  if (n > 0) std::memcpy(recv.data(), send.data(), n);
+  comm.copy(n, n);
+  if (p == 1) co_return;
+
+  const int right = (rank + 1) % p;
+  const int left = (rank - 1 + p) % p;
+  auto chunk = [&](int i) {
+    const int idx = ((i % p) + p) % p;
+    const std::size_t b = chunk_begin(n, p, idx);
+    const std::size_t e = chunk_begin(n, p, idx + 1);
+    return std::pair<std::size_t, std::size_t>(b, e - b);
+  };
+
+  // Phase 1: reduce-scatter ring. After step k, chunk (rank-k-1) holds the
+  // partial sum of k+2 contributions; after p-1 steps each rank owns the
+  // fully reduced chunk (rank+1).
+  std::vector<std::byte> incoming;
+  for (int k = 0; k < p - 1; ++k) {
+    const auto [sb, ss] = chunk(rank - k);
+    const auto [rb, rs] = chunk(rank - k - 1);
+    incoming.resize(rs);
+    co_await comm.sendrecv(
+        right, std::span<const std::byte>(recv.data() + sb, ss), left,
+        incoming, /*tag=*/k);
+    combine_bytes(std::span<std::byte>(recv.data() + rb, rs), incoming);
+    charge_reduction(comm, rs, n);
+  }
+
+  // Phase 2: allgather ring circulating the reduced chunks.
+  for (int k = 0; k < p - 1; ++k) {
+    const auto [sb, ss] = chunk(rank + 1 - k);
+    const auto [rb, rs] = chunk(rank - k);
+    co_await comm.sendrecv(
+        right, std::span<const std::byte>(recv.data() + sb, ss), left,
+        std::span<std::byte>(recv.data() + rb, rs), /*tag=*/200 + k);
+  }
+}
+
+sim::RankTask run_allreduce(Algorithm algorithm, sim::Comm comm,
+                            std::span<const std::byte> send_buf,
+                            std::span<std::byte> recv_buf) {
+  if (collective_of(algorithm) != Collective::kAllreduce) {
+    throw SimError("run_allreduce: not an allreduce algorithm");
+  }
+  if (!algorithm_supports(algorithm, comm.size())) {
+    throw SimError("algorithm " + display_name(algorithm) +
+                   " does not support world size " +
+                   std::to_string(comm.size()));
+  }
+  switch (algorithm) {
+    case Algorithm::kArRecursiveDoubling:
+      return allreduce_recursive_doubling(comm, send_buf, recv_buf);
+    case Algorithm::kArRabenseifner:
+      return allreduce_rabenseifner(comm, send_buf, recv_buf);
+    case Algorithm::kArRing:
+      return allreduce_ring(comm, send_buf, recv_buf);
+    default:
+      throw SimError("unreachable");
+  }
+}
+
+}  // namespace pml::coll

@@ -1,0 +1,36 @@
+// Flat MPI_Allreduce algorithms (extension: paper §IX future work).
+//
+// Semantics match MPI_Allreduce with a byte-wise wrapping-sum operator
+// (commutative and associative, valid for any payload size): on
+// completion every rank's `recv_buf` holds the element-wise sum (mod 256)
+// of all ranks' `send_buf` contributions. Real payloads move and combine,
+// so the result is verifiable for any algorithm and world size.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "coll/collective.hpp"
+#include "sim/comm.hpp"
+
+namespace pml::coll {
+
+/// Byte-wise wrapping sum of `src` into `dst` (the simulator's reduce op).
+void combine_bytes(std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// Dispatch to one of the three allreduce algorithms.
+/// Throws pml::SimError if the algorithm does not support comm.size().
+sim::RankTask run_allreduce(Algorithm algorithm, sim::Comm comm,
+                            std::span<const std::byte> send_buf,
+                            std::span<std::byte> recv_buf);
+
+sim::RankTask allreduce_recursive_doubling(sim::Comm comm,
+                                           std::span<const std::byte> send,
+                                           std::span<std::byte> recv);
+sim::RankTask allreduce_rabenseifner(sim::Comm comm,
+                                     std::span<const std::byte> send,
+                                     std::span<std::byte> recv);
+sim::RankTask allreduce_ring(sim::Comm comm, std::span<const std::byte> send,
+                             std::span<std::byte> recv);
+
+}  // namespace pml::coll

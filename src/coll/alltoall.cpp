@@ -1,0 +1,349 @@
+#include "coll/alltoall.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace pml::coll {
+
+namespace {
+
+using sim::Comm;
+using sim::RankTask;
+using sim::RequestId;
+
+std::size_t block_size(std::span<const std::byte> buf, int p) {
+  const auto bytes = buf.size();
+  const auto blocks = static_cast<std::size_t>(p);
+  if (bytes % blocks != 0) {
+    throw SimError("alltoall: buffer not divisible into p blocks");
+  }
+  return bytes / blocks;
+}
+
+const std::byte* cblock(std::span<const std::byte> buf, std::size_t n, int b) {
+  return buf.data() + static_cast<std::size_t>(b) * n;
+}
+
+std::byte* mblock(std::span<std::byte> buf, std::size_t n, int b) {
+  return buf.data() + static_cast<std::size_t>(b) * n;
+}
+
+}  // namespace
+
+sim::RankTask alltoall_scatter_dest(Comm comm, std::span<const std::byte> send,
+                                    std::span<std::byte> recv) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = block_size(send, p);
+
+  // Own block moves locally.
+  if (n > 0) std::memcpy(mblock(recv, n, rank), cblock(send, n, rank), n);
+  comm.copy(n, recv.size());
+
+  // Post everything at once, destinations staggered to spread load, then
+  // wait for the lot (MVAPICH "scatter destination" schedule).
+  std::vector<RequestId> reqs;
+  reqs.reserve(2 * static_cast<std::size_t>(p - 1));
+  for (int i = 1; i < p; ++i) {
+    const int dst = (rank + i) % p;
+    reqs.push_back(comm.isend(
+        dst, std::span<const std::byte>(cblock(send, n, dst), n), /*tag=*/0));
+  }
+  for (int i = 1; i < p; ++i) {
+    const int src = (rank - i + p) % p;
+    reqs.push_back(comm.irecv(
+        src, std::span<std::byte>(mblock(recv, n, src), n), /*tag=*/0));
+  }
+  // Unexpected-message queue searches: with 2(p-1) requests outstanding,
+  // each match scans queues that grow with the peer count (mirrored in the
+  // analytic model, cost.cpp).
+  const double queue_factor = 0.25 * floor_log2(std::max(2, p - 1));
+  comm.compute(2.0 * (p - 1) *
+               comm.engine().model().per_message_overhead() * queue_factor);
+  co_await comm.wait_all(std::move(reqs));
+}
+
+sim::RankTask alltoall_pairwise(Comm comm, std::span<const std::byte> send,
+                                std::span<std::byte> recv) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = block_size(send, p);
+
+  if (n > 0) std::memcpy(mblock(recv, n, rank), cblock(send, n, rank), n);
+  comm.copy(n, recv.size());
+
+  for (int k = 1; k < p; ++k) {
+    int send_to = 0;
+    int recv_from = 0;
+    if (is_power_of_two(p)) {
+      send_to = recv_from = rank ^ k;  // XOR schedule (paper §III)
+    } else {
+      send_to = (rank + k) % p;
+      recv_from = (rank - k + p) % p;
+    }
+    co_await comm.sendrecv(
+        send_to, std::span<const std::byte>(cblock(send, n, send_to), n),
+        recv_from, std::span<std::byte>(mblock(recv, n, recv_from), n),
+        /*tag=*/k);
+  }
+}
+
+sim::RankTask alltoall_bruck(Comm comm, std::span<const std::byte> send,
+                             std::span<std::byte> recv) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = block_size(send, p);
+  if (p == 1) {
+    if (n > 0) std::memcpy(recv.data(), send.data(), n);
+    comm.copy(n, n);
+    co_return;
+  }
+
+  // Phase 1: local rotation. temp[j] = block destined to (rank + j) mod p.
+  std::vector<std::byte> temp(send.size());
+  for (int j = 0; j < p; ++j) {
+    const int b = (rank + j) % p;
+    if (n > 0) std::memcpy(mblock(temp, n, j), cblock(send, n, b), n);
+  }
+  comm.copy(temp.size(), temp.size());
+
+  // Phase 2: for each bit k, forward all blocks whose index has bit k set
+  // to rank + 2^k; receive the same index set from rank - 2^k.
+  std::vector<std::byte> stage_out;
+  std::vector<std::byte> stage_in;
+  for (int k = 0; (1 << k) < p; ++k) {
+    const int dist = 1 << k;
+    const int dst = (rank + dist) % p;
+    const int src = (rank - dist + p) % p;
+
+    std::vector<int> idx;
+    for (int j = 0; j < p; ++j) {
+      if ((j & dist) != 0) idx.push_back(j);
+    }
+    stage_out.resize(idx.size() * n);
+    stage_in.resize(idx.size() * n);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (n > 0) std::memcpy(stage_out.data() + i * n, cblock(temp, n, idx[i]), n);
+    }
+    comm.copy(stage_out.size(), temp.size());
+
+    co_await comm.sendrecv(dst, stage_out, src, stage_in, /*tag=*/k);
+
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (n > 0) std::memcpy(mblock(temp, n, idx[i]), stage_in.data() + i * n, n);
+    }
+    comm.copy(stage_in.size(), temp.size());
+  }
+
+  // Phase 3: temp[j] now holds the block sent by (rank - j) mod p to us.
+  for (int j = 0; j < p; ++j) {
+    const int origin = (rank - j + p) % p;
+    if (n > 0) std::memcpy(mblock(recv, n, origin), cblock(temp, n, j), n);
+  }
+  comm.copy(recv.size(), recv.size());
+}
+
+std::vector<std::vector<AlltoallRdStep>> alltoall_rd_plan(int world) {
+  if (!is_power_of_two(world)) {
+    throw SimError("alltoall recursive doubling requires a power-of-two world");
+  }
+  const auto w = static_cast<std::size_t>(world);
+  // holdings[r] = sorted blocks currently stored at rank r.
+  std::vector<std::vector<RoutedBlock>> holdings(w);
+  for (int r = 0; r < world; ++r) {
+    for (int d = 0; d < world; ++d) {
+      holdings[static_cast<std::size_t>(r)].push_back(RoutedBlock{d, r});
+    }
+    std::sort(holdings[static_cast<std::size_t>(r)].begin(),
+              holdings[static_cast<std::size_t>(r)].end());
+  }
+
+  std::vector<std::vector<AlltoallRdStep>> plan(w);
+  const int m = floor_log2(world);
+  for (int k = 0; k < m; ++k) {
+    const int bit = 1 << k;
+    std::vector<std::vector<RoutedBlock>> next(w);
+    for (int r = 0; r < world; ++r) {
+      const int partner = r ^ bit;
+      AlltoallRdStep step;
+      step.partner = partner;
+      for (const RoutedBlock& b : holdings[static_cast<std::size_t>(r)]) {
+        // Forward every block whose destination lies in the partner's half.
+        if ((b.dest & bit) == (partner & bit)) {
+          step.send_blocks.push_back(b);
+        } else {
+          next[static_cast<std::size_t>(r)].push_back(b);
+        }
+      }
+      plan[static_cast<std::size_t>(r)].push_back(std::move(step));
+    }
+    for (int r = 0; r < world; ++r) {
+      auto& mine = plan[static_cast<std::size_t>(r)].back();
+      const auto partner = static_cast<std::size_t>(mine.partner);
+      mine.recv_blocks = plan[partner].back().send_blocks;
+      auto& store = next[static_cast<std::size_t>(r)];
+      store.insert(store.end(), mine.recv_blocks.begin(),
+                   mine.recv_blocks.end());
+      std::sort(store.begin(), store.end());
+    }
+    holdings = std::move(next);
+  }
+
+  for (int r = 0; r < world; ++r) {
+    const auto& h = holdings[static_cast<std::size_t>(r)];
+    if (static_cast<int>(h.size()) != world) {
+      throw SimError("alltoall_rd_plan: rank holds wrong block count");
+    }
+    for (int o = 0; o < world; ++o) {
+      if (h[static_cast<std::size_t>(o)].dest != r ||
+          h[static_cast<std::size_t>(o)].origin != o) {
+        throw SimError("alltoall_rd_plan: routing invariant violated");
+      }
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+const std::vector<std::vector<AlltoallRdStep>>& cached_rd_plan(int world) {
+  static std::mutex mu;
+  static std::map<int, std::vector<std::vector<AlltoallRdStep>>> cache;
+  const std::scoped_lock lock(mu);
+  auto it = cache.find(world);
+  if (it == cache.end()) {
+    it = cache.emplace(world, alltoall_rd_plan(world)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+sim::RankTask alltoall_recursive_doubling(Comm comm,
+                                          std::span<const std::byte> send,
+                                          std::span<std::byte> recv) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = block_size(send, p);
+  if (p == 1) {
+    if (n > 0) std::memcpy(recv.data(), send.data(), n);
+    comm.copy(n, n);
+    co_return;
+  }
+
+  // Store-and-forward: blocks keyed by (dest, origin).
+  std::map<RoutedBlock, std::vector<std::byte>> store;
+  for (int d = 0; d < p; ++d) {
+    std::vector<std::byte> data(n);
+    if (n > 0) std::memcpy(data.data(), cblock(send, n, d), n);
+    store.emplace(RoutedBlock{d, rank}, std::move(data));
+  }
+  comm.copy(send.size(), send.size());
+
+  const auto& plan = cached_rd_plan(p);
+  const auto& steps = plan[static_cast<std::size_t>(rank)];
+  std::vector<std::byte> stage_out;
+  std::vector<std::byte> stage_in;
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const AlltoallRdStep& step = steps[s];
+
+    stage_out.resize(step.send_blocks.size() * n);
+    for (std::size_t i = 0; i < step.send_blocks.size(); ++i) {
+      auto it = store.find(step.send_blocks[i]);
+      if (it == store.end()) throw SimError("rd alltoall: missing block");
+      if (n > 0) std::memcpy(stage_out.data() + i * n, it->second.data(), n);
+      store.erase(it);
+    }
+    comm.copy(stage_out.size(), send.size());
+
+    stage_in.resize(step.recv_blocks.size() * n);
+    co_await comm.sendrecv(step.partner, stage_out, step.partner, stage_in,
+                           static_cast<int>(s));
+
+    for (std::size_t i = 0; i < step.recv_blocks.size(); ++i) {
+      std::vector<std::byte> data(n);
+      if (n > 0) std::memcpy(data.data(), stage_in.data() + i * n, n);
+      store.emplace(step.recv_blocks[i], std::move(data));
+    }
+    comm.copy(stage_in.size(), send.size());
+  }
+
+  for (int o = 0; o < p; ++o) {
+    auto it = store.find(RoutedBlock{rank, o});
+    if (it == store.end()) throw SimError("rd alltoall: incomplete result");
+    if (n > 0) std::memcpy(mblock(recv, n, o), it->second.data(), n);
+  }
+  comm.copy(recv.size(), recv.size());
+}
+
+sim::RankTask alltoall_inplace(Comm comm, std::span<const std::byte> send,
+                               std::span<std::byte> recv) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::size_t n = block_size(send, p);
+
+  // In-place semantics: the result buffer starts as a copy of the send
+  // buffer; p-1 lockstep rounds replace one block at a time. Round k sends
+  // block (rank+k) and overwrites block (rank-k), so blocks needed in late
+  // rounds (k > p/2) would be clobbered by early ones — they are stashed up
+  // front. Extra memory: half a buffer plus one bounce block, instead of a
+  // full second buffer.
+  if (!send.empty()) std::memcpy(recv.data(), send.data(), send.size());
+  comm.copy(send.size(), send.size());
+
+  std::vector<std::vector<std::byte>> stash(static_cast<std::size_t>(p));
+  for (int k = p / 2 + 1; k < p; ++k) {
+    const int block = (rank + k) % p;
+    auto& slot = stash[static_cast<std::size_t>(k)];
+    slot.resize(n);
+    if (n > 0) std::memcpy(slot.data(), cblock(recv, n, block), n);
+    comm.copy(n, recv.size());
+  }
+
+  std::vector<std::byte> bounce(n);
+  for (int k = 1; k < p; ++k) {
+    const int send_to = (rank + k) % p;
+    const int recv_from = (rank - k + p) % p;
+    const std::byte* source = k > p / 2
+                                  ? stash[static_cast<std::size_t>(k)].data()
+                                  : cblock(recv, n, send_to);
+    if (n > 0) std::memcpy(bounce.data(), source, n);
+    comm.copy(n, n);
+    co_await comm.sendrecv(
+        send_to, bounce, recv_from,
+        std::span<std::byte>(mblock(recv, n, recv_from), n), /*tag=*/k);
+  }
+}
+
+sim::RankTask run_alltoall(Algorithm algorithm, sim::Comm comm,
+                           std::span<const std::byte> send_buf,
+                           std::span<std::byte> recv_buf) {
+  if (collective_of(algorithm) != Collective::kAlltoall) {
+    throw SimError("run_alltoall: not an alltoall algorithm");
+  }
+  if (!algorithm_supports(algorithm, comm.size())) {
+    throw SimError("algorithm " + display_name(algorithm) +
+                   " does not support world size " +
+                   std::to_string(comm.size()));
+  }
+  switch (algorithm) {
+    case Algorithm::kAaBruck:
+      return alltoall_bruck(comm, send_buf, recv_buf);
+    case Algorithm::kAaScatterDest:
+      return alltoall_scatter_dest(comm, send_buf, recv_buf);
+    case Algorithm::kAaPairwise:
+      return alltoall_pairwise(comm, send_buf, recv_buf);
+    case Algorithm::kAaRecursiveDoubling:
+      return alltoall_recursive_doubling(comm, send_buf, recv_buf);
+    case Algorithm::kAaInplace:
+      return alltoall_inplace(comm, send_buf, recv_buf);
+    default:
+      throw SimError("unreachable");
+  }
+}
+
+}  // namespace pml::coll

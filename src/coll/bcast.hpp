@@ -1,0 +1,28 @@
+// Flat MPI_Bcast algorithms (extension: paper §IX future work).
+//
+// Semantics match MPI_Bcast with root 0: on completion every rank's
+// `buf` holds the root's payload. Real bytes move, so delivery is
+// verifiable bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "coll/collective.hpp"
+#include "sim/comm.hpp"
+
+namespace pml::coll {
+
+/// Dispatch to one of the three bcast algorithms (root is rank 0; on the
+/// root `buf` is the source, elsewhere it is the destination).
+sim::RankTask run_bcast(Algorithm algorithm, sim::Comm comm,
+                        std::span<std::byte> buf);
+
+sim::RankTask bcast_binomial(sim::Comm comm, std::span<std::byte> buf);
+sim::RankTask bcast_scatter_allgather(sim::Comm comm, std::span<std::byte> buf);
+sim::RankTask bcast_pipelined_ring(sim::Comm comm, std::span<std::byte> buf);
+
+/// Pipeline segment size used by the pipelined ring (bytes).
+std::size_t bcast_pipeline_segment(std::size_t total_bytes);
+
+}  // namespace pml::coll

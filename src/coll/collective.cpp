@@ -1,0 +1,192 @@
+#include "coll/collective.hpp"
+
+#include "common/error.hpp"
+
+namespace pml::coll {
+
+const std::vector<Collective>& all_collectives() {
+  static const std::vector<Collective> all = {
+      Collective::kAllgather,
+      Collective::kAlltoall,
+      Collective::kAllreduce,
+      Collective::kBcast,
+  };
+  return all;
+}
+
+const std::vector<Collective>& paper_collectives() {
+  static const std::vector<Collective> two = {
+      Collective::kAllgather,
+      Collective::kAlltoall,
+  };
+  return two;
+}
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAgRecursiveDoubling: return "rd";
+    case Algorithm::kAgRing: return "ring";
+    case Algorithm::kAgBruck: return "bruck";
+    case Algorithm::kAgRdComm: return "rd_comm";
+    case Algorithm::kAaBruck: return "bruck";
+    case Algorithm::kAaScatterDest: return "scatter_dest";
+    case Algorithm::kAaPairwise: return "pairwise";
+    case Algorithm::kAaRecursiveDoubling: return "rd";
+    case Algorithm::kAaInplace: return "inplace";
+    case Algorithm::kArRecursiveDoubling: return "rd";
+    case Algorithm::kArRabenseifner: return "rabenseifner";
+    case Algorithm::kArRing: return "ring";
+    case Algorithm::kBcBinomial: return "binomial";
+    case Algorithm::kBcScatterAllgather: return "scatter_allgather";
+    case Algorithm::kBcPipelinedRing: return "pipelined_ring";
+  }
+  throw Error("unknown algorithm");
+}
+
+std::string display_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAgRecursiveDoubling: return "Recursive Doubling";
+    case Algorithm::kAgRing: return "Ring";
+    case Algorithm::kAgBruck: return "Bruck";
+    case Algorithm::kAgRdComm: return "Recursive Doubling Comm";
+    case Algorithm::kAaBruck: return "Bruck";
+    case Algorithm::kAaScatterDest: return "Scatter_Dest";
+    case Algorithm::kAaPairwise: return "Pairwise";
+    case Algorithm::kAaRecursiveDoubling: return "Recursive Doubling";
+    case Algorithm::kAaInplace: return "Inplace";
+    case Algorithm::kArRecursiveDoubling: return "Recursive Doubling";
+    case Algorithm::kArRabenseifner: return "Rabenseifner";
+    case Algorithm::kArRing: return "Ring";
+    case Algorithm::kBcBinomial: return "Binomial Tree";
+    case Algorithm::kBcScatterAllgather: return "Scatter-Allgather";
+    case Algorithm::kBcPipelinedRing: return "Pipelined Ring";
+  }
+  throw Error("unknown algorithm");
+}
+
+std::string to_string(Collective c) {
+  switch (c) {
+    case Collective::kAllgather: return "allgather";
+    case Collective::kAlltoall: return "alltoall";
+    case Collective::kAllreduce: return "allreduce";
+    case Collective::kBcast: return "bcast";
+  }
+  throw Error("unknown collective");
+}
+
+Collective collective_from_string(const std::string& name) {
+  if (name == "allgather") return Collective::kAllgather;
+  if (name == "alltoall") return Collective::kAlltoall;
+  if (name == "allreduce") return Collective::kAllreduce;
+  if (name == "bcast") return Collective::kBcast;
+  throw Error("unknown collective: " + name);
+}
+
+Algorithm algorithm_from_string(const std::string& name) {
+  // Names are unique per collective but "rd"/"bruck" appear in both; resolve
+  // with a collective-qualified form "collective:name" or unqualified when
+  // unambiguous.
+  const auto qualified = [&](Collective c, const std::string& n) {
+    for (const Algorithm a : algorithms_for(c)) {
+      if (to_string(a) == n) return a;
+    }
+    throw Error("unknown algorithm: " + name);
+  };
+  const auto colon = name.find(':');
+  if (colon != std::string::npos) {
+    return qualified(collective_from_string(name.substr(0, colon)),
+                     name.substr(colon + 1));
+  }
+  if (name == "rd_comm") return Algorithm::kAgRdComm;
+  if (name == "rabenseifner") return Algorithm::kArRabenseifner;
+  if (name == "binomial") return Algorithm::kBcBinomial;
+  if (name == "scatter_allgather") return Algorithm::kBcScatterAllgather;
+  if (name == "pipelined_ring") return Algorithm::kBcPipelinedRing;
+  if (name == "scatter_dest") return Algorithm::kAaScatterDest;
+  if (name == "pairwise") return Algorithm::kAaPairwise;
+  if (name == "inplace") return Algorithm::kAaInplace;
+  throw Error("ambiguous algorithm name (qualify as collective:name): " + name);
+}
+
+Collective collective_of(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAgRecursiveDoubling:
+    case Algorithm::kAgRing:
+    case Algorithm::kAgBruck:
+    case Algorithm::kAgRdComm:
+      return Collective::kAllgather;
+    case Algorithm::kAaBruck:
+    case Algorithm::kAaScatterDest:
+    case Algorithm::kAaPairwise:
+    case Algorithm::kAaRecursiveDoubling:
+    case Algorithm::kAaInplace:
+      return Collective::kAlltoall;
+    case Algorithm::kArRecursiveDoubling:
+    case Algorithm::kArRabenseifner:
+    case Algorithm::kArRing:
+      return Collective::kAllreduce;
+    case Algorithm::kBcBinomial:
+    case Algorithm::kBcScatterAllgather:
+    case Algorithm::kBcPipelinedRing:
+      return Collective::kBcast;
+  }
+  throw Error("unknown algorithm");
+}
+
+const std::vector<Algorithm>& algorithms_for(Collective c) {
+  static const std::vector<Algorithm> allgather = {
+      Algorithm::kAgRecursiveDoubling,
+      Algorithm::kAgRing,
+      Algorithm::kAgBruck,
+      Algorithm::kAgRdComm,
+  };
+  static const std::vector<Algorithm> alltoall = {
+      Algorithm::kAaBruck,
+      Algorithm::kAaScatterDest,
+      Algorithm::kAaPairwise,
+      Algorithm::kAaRecursiveDoubling,
+      Algorithm::kAaInplace,
+  };
+  static const std::vector<Algorithm> allreduce = {
+      Algorithm::kArRecursiveDoubling,
+      Algorithm::kArRabenseifner,
+      Algorithm::kArRing,
+  };
+  static const std::vector<Algorithm> bcast = {
+      Algorithm::kBcBinomial,
+      Algorithm::kBcScatterAllgather,
+      Algorithm::kBcPipelinedRing,
+  };
+  switch (c) {
+    case Collective::kAllgather: return allgather;
+    case Collective::kAlltoall: return alltoall;
+    case Collective::kAllreduce: return allreduce;
+    case Collective::kBcast: return bcast;
+  }
+  throw Error("unknown collective");
+}
+
+bool algorithm_supports(Algorithm a, int p) {
+  if (p < 1) return false;
+  switch (a) {
+    case Algorithm::kAgRdComm:
+      return p == 1 || p % 2 == 0;  // neighbor exchange needs even p
+    case Algorithm::kAaRecursiveDoubling:
+      return is_power_of_two(p);
+    case Algorithm::kArRecursiveDoubling:
+    case Algorithm::kArRabenseifner:
+      return is_power_of_two(p);  // halving/doubling over a pow2 group
+    default:
+      return true;
+  }
+}
+
+std::vector<Algorithm> valid_algorithms(Collective c, int p) {
+  std::vector<Algorithm> out;
+  for (const Algorithm a : algorithms_for(c)) {
+    if (algorithm_supports(a, p)) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace pml::coll

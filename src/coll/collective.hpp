@@ -1,0 +1,100 @@
+// Collective operations and their flat algorithm sets.
+//
+// The paper targets the flat (single-level) algorithms of MVAPICH for
+// MPI_Allgather and MPI_Alltoall (paper §III). Each algorithm exists in two
+// faithful forms here:
+//  - an executable schedule against the simulated communicator
+//    (allgather.hpp / alltoall.hpp) that moves real bytes, and
+//  - a closed-form analytic cost (cost.hpp) derived from the same network
+//    model, used for the large benchmark sweeps that build the training
+//    dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pml::coll {
+
+/// The two collectives studied in the paper, plus the two the paper's
+/// future-work section targets next (implemented here as extensions).
+enum class Collective : std::uint8_t {
+  kAllgather,
+  kAlltoall,
+  kAllreduce,  ///< extension (paper §IX future work)
+  kBcast,      ///< extension (paper §IX future work)
+};
+
+/// All collectives the framework can tune, in enum order.
+const std::vector<Collective>& all_collectives();
+
+/// The two collectives evaluated in the paper.
+const std::vector<Collective>& paper_collectives();
+
+/// Flat algorithms, grouped by collective (paper §III; allreduce/bcast
+/// follow the classic MPICH/MVAPICH flat algorithm sets).
+enum class Algorithm : std::uint8_t {
+  // MPI_Allgather
+  kAgRecursiveDoubling,  ///< pairwise halving/doubling, O(log p) steps
+  kAgRing,               ///< logical ring, p-1 steps, bandwidth-optimal
+  kAgBruck,              ///< dissemination, ceil(log p) steps, any p
+  kAgRdComm,             ///< "Recursive Doubling Communication": the
+                         ///< reduced-overhead neighbor-exchange variant,
+                         ///< p/2 steps of doubled payloads (even p)
+  // MPI_Alltoall
+  kAaBruck,              ///< log p store-and-forward phases, small msgs
+  kAaScatterDest,        ///< all nonblocking sends/recvs posted at once
+  kAaPairwise,           ///< p-1 lockstep XOR/shift exchanges
+  kAaRecursiveDoubling,  ///< log p store-and-forward halves (pow2 p)
+  kAaInplace,            ///< lockstep in-place exchanges, half-buffer stash
+  // MPI_Allreduce (extension)
+  kArRecursiveDoubling,  ///< full-vector exchange + combine, log p steps
+  kArRabenseifner,       ///< reduce-scatter (halving) + allgather (doubling)
+  kArRing,               ///< reduce-scatter ring + allgather ring, 2(p-1)
+  // MPI_Bcast (extension)
+  kBcBinomial,           ///< binomial tree, log p rounds
+  kBcScatterAllgather,   ///< van de Geijn: scatter + ring allgather
+  kBcPipelinedRing,      ///< chunked chain pipeline, large messages
+};
+
+/// Short identifier used in tuning tables, e.g. "ring", "scatter_dest".
+std::string to_string(Algorithm a);
+
+/// Human-oriented name, e.g. "Recursive Doubling".
+std::string display_name(Algorithm a);
+
+std::string to_string(Collective c);
+
+/// Parse to_string() output back; throws pml::Error on unknown names.
+Algorithm algorithm_from_string(const std::string& name);
+Collective collective_from_string(const std::string& name);
+
+/// Which collective an algorithm implements.
+Collective collective_of(Algorithm a);
+
+/// All algorithms of a collective, in enum order.
+const std::vector<Algorithm>& algorithms_for(Collective c);
+
+/// True when the algorithm supports a world of `p` ranks (e.g. recursive
+/// doubling requires a power of two, neighbor exchange an even count).
+bool algorithm_supports(Algorithm a, int p);
+
+/// Algorithms of `c` valid at world size `p` (never empty for p >= 1).
+std::vector<Algorithm> valid_algorithms(Collective c, int p);
+
+/// True if `p` is a power of two.
+constexpr bool is_power_of_two(int p) noexcept {
+  return p > 0 && (p & (p - 1)) == 0;
+}
+
+/// floor(log2(p)) for p >= 1.
+constexpr int floor_log2(int p) noexcept {
+  int l = 0;
+  while (p > 1) {
+    p >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace pml::coll

@@ -1,0 +1,371 @@
+#include "coll/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pml::coll {
+
+namespace {
+
+using sim::NetworkModel;
+
+/// Number of block indices j in [0, p) with bit k set (Bruck send counts).
+int bruck_count(int p, int k) {
+  const int bit = 1 << k;
+  const int period = bit << 1;
+  const int full = (p / period) * bit;
+  const int rem = std::max(0, (p % period) - bit);
+  return full + rem;
+}
+
+double post_overhead(const NetworkModel& m, int messages) {
+  return m.per_message_overhead() * messages;
+}
+
+/// Inter-node exchange where `flows` concurrent flows share each NIC.
+double inter_round(const NetworkModel& m, std::uint64_t bytes, int flows) {
+  return m.inter_alpha() +
+         static_cast<double>(bytes) * std::max(1, flows) / m.inter_bandwidth();
+}
+
+double intra_round(const NetworkModel& m, std::uint64_t bytes) {
+  return m.intra_alpha() +
+         static_cast<double>(bytes) / m.copy_bandwidth(bytes);
+}
+
+}  // namespace
+
+double round_cost(const NetworkModel& m, std::uint64_t bytes, int distance) {
+  const auto& topo = m.topology();
+  const int p = topo.world_size();
+  const int d = ((distance % p) + p) % p;
+  if (d == 0) return 0.0;
+  const double overhead = post_overhead(m, 2);  // one send + one recv
+  if (topo.nodes == 1) return overhead + intra_round(m, bytes);
+
+  // Node-major layout: within each node, min(d, ppn) ranks have an off-node
+  // partner at distance d; they serialise through the NIC. The round (a
+  // lockstep exchange) completes when the slowest rank finishes.
+  const int flows = std::min(d, topo.ppn);
+  const double inter = inter_round(m, bytes, flows);
+  if (flows >= topo.ppn) return overhead + inter;
+  return overhead + std::max(inter, intra_round(m, bytes));
+}
+
+namespace {
+
+// ---- MPI_Allgather --------------------------------------------------------
+
+double ag_recursive_doubling(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  const int mlog = floor_log2(p);
+  const int pow2 = 1 << mlog;
+  const int remainder = p - pow2;
+
+  double t = 0.0;
+  if (remainder > 0) {
+    // Extra ranks park blocks with proxies and later receive the full
+    // result; meanwhile owned block sets are scattered and must be packed.
+    t += round_cost(m, n, pow2);
+  }
+  for (int k = 0; k < mlog; ++k) {
+    // With a remainder, each owned set is inflated by roughly p / pow2.
+    const double inflate = static_cast<double>(p) / pow2;
+    const auto bytes = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(1ULL << k) * static_cast<double>(n) *
+                  inflate));
+    t += round_cost(m, bytes, 1 << k);
+    if (remainder > 0) {
+      t += 2.0 * m.memcpy_time(bytes, static_cast<std::uint64_t>(p) * n);
+    }
+  }
+  if (remainder > 0) {
+    t += round_cost(m, static_cast<std::uint64_t>(p) * n, pow2);
+  }
+  return t;
+}
+
+double ag_ring(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  return (p - 1) * round_cost(m, n, 1);
+}
+
+double ag_bruck(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  const auto total = static_cast<std::uint64_t>(p) * n;
+  double t = m.memcpy_time(n, total);  // seed the shifted temp buffer
+  for (int k = 0; (1 << k) < p; ++k) {
+    const int count = std::min(1 << k, p - (1 << k));
+    t += round_cost(m, static_cast<std::uint64_t>(count) * n, 1 << k);
+  }
+  t += m.memcpy_time(total, total);  // final rotation into the result
+  return t;
+}
+
+double ag_neighbor_exchange(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  // p/2 rounds of doubled payloads with neighbours. The alternating
+  // left/right pattern costs a scheduling turnaround (~alpha/2) per round
+  // and a pipeline-bubble derate on the wire time relative to a ring that
+  // streams in one direction.
+  constexpr double kTurnaround = 0.5;
+  constexpr double kBubble = 1.08;
+  const double step0 = round_cost(m, n, 1);
+  double t = step0;
+  for (int s = 1; s < p / 2; ++s) {
+    const double base = round_cost(m, 2 * n, 1);
+    t += base * kBubble + kTurnaround * m.inter_alpha();
+  }
+  return t;
+}
+
+// ---- MPI_Alltoall ---------------------------------------------------------
+
+double aa_bruck(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  const auto total = static_cast<std::uint64_t>(p) * n;
+  double t = 2.0 * m.memcpy_time(total, total);  // rotation in and out
+  for (int k = 0; (1 << k) < p; ++k) {
+    const auto bytes =
+        static_cast<std::uint64_t>(bruck_count(p, k)) * n;
+    t += round_cost(m, bytes, 1 << k);
+    t += 2.0 * m.memcpy_time(bytes, total);  // pack + unpack staging
+  }
+  return t;
+}
+
+double aa_scatter_dest(const NetworkModel& m, std::uint64_t n) {
+  const auto& topo = m.topology();
+  const int p = topo.world_size();
+  if (p == 1) return 0.0;
+  // Posting 2(p-1) requests at once also pays unexpected-message queue
+  // searches on the receive side, which grow with the number of
+  // outstanding peers (lockstep schedules keep the queues short).
+  const double queue_factor =
+      1.0 + 0.25 * floor_log2(std::max(2, p - 1));
+  const double posting = post_overhead(m, 2 * (p - 1)) * queue_factor;
+
+  const double t_intra =
+      topo.ppn > 1
+          ? m.intra_alpha() + static_cast<double>(topo.ppn - 1) *
+                                  static_cast<double>(n) /
+                                  m.copy_bandwidth(n)
+          : 0.0;
+  if (topo.nodes == 1) return posting + t_intra;
+
+  // All off-node traffic of a node funnels through its NIC; blasting
+  // p-1 concurrent transfers additionally pays an incast/posted-queue
+  // congestion derate that lockstep schedules avoid.
+  const auto inter_bytes = static_cast<double>(topo.ppn) *
+                           static_cast<double>(p - topo.ppn) *
+                           static_cast<double>(n);
+  const double fan_in = static_cast<double>(p - topo.ppn);
+  const double incast = 1.0 + 0.18 * std::min(1.0, fan_in / 96.0);
+  const double t_net = m.inter_alpha() + inter_bytes * incast / m.inter_bandwidth();
+  return posting + std::max(t_net, t_intra);
+}
+
+double aa_pairwise(const NetworkModel& m, std::uint64_t n) {
+  const auto& topo = m.topology();
+  const int p = topo.world_size();
+  if (p == 1) return 0.0;
+  if (is_power_of_two(p)) {
+    // XOR schedule: steps k < ppn stay on-node when ppn | p (node-major,
+    // power-of-two ppn); the rest are fully off-node rounds.
+    double t = 0.0;
+    for (int k = 1; k < p; ++k) {
+      const bool on_node = topo.nodes == 1 || k < topo.ppn;
+      t += post_overhead(m, 2) + (on_node ? intra_round(m, n)
+                                          : inter_round(m, n, topo.ppn));
+    }
+    return t;
+  }
+  double t = 0.0;
+  for (int k = 1; k < p; ++k) t += round_cost(m, n, k);
+  return t;
+}
+
+double aa_recursive_doubling(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  const auto total = static_cast<std::uint64_t>(p) * n;
+  const auto half = static_cast<std::uint64_t>(p / 2) * n;
+  double t = 2.0 * m.memcpy_time(total, total);  // seed + final placement
+  const int mlog = floor_log2(p);
+  for (int k = 0; k < mlog; ++k) {
+    t += round_cost(m, half, 1 << k);
+    t += 2.0 * m.memcpy_time(half, total);  // pack + unpack each hop
+  }
+  return t;
+}
+
+double aa_inplace(const NetworkModel& m, std::uint64_t n) {
+  const auto& topo = m.topology();
+  const int p = topo.world_size();
+  if (p == 1) return 0.0;
+  const auto total = static_cast<std::uint64_t>(p) * n;
+  // Seeding copy, the up-front stash of the late-round half of the blocks,
+  // and a bounce-block copy every round (the price of working in place).
+  double t = m.memcpy_time(total, total);
+  t += m.memcpy_time(static_cast<std::uint64_t>(p / 2) * n, total);
+  t += (p - 1.0) * m.memcpy_time(n, n);
+  // The communication schedule is pairwise with shift partners (distance k
+  // at round k), which crosses nodes earlier than the XOR schedule.
+  for (int k = 1; k < p; ++k) t += round_cost(m, n, k);
+  return t;
+}
+
+// ---- MPI_Allreduce (extension) ---------------------------------------------
+
+double reduce_time(const NetworkModel& m, std::uint64_t bytes,
+                   std::uint64_t working_set) {
+  return m.reduction_time(bytes, working_set);
+}
+
+double ar_recursive_doubling(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  double t = m.memcpy_time(n, n);  // seed the accumulation buffer
+  for (int k = 0; (1 << k) < p; ++k) {
+    t += round_cost(m, n, 1 << k) + reduce_time(m, n, n);
+  }
+  return t;
+}
+
+double ar_rabenseifner(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  const int mlog = floor_log2(p);
+  double t = m.memcpy_time(n, n);
+  // Reduce-scatter (halving) and its mirror-image allgather (doubling):
+  // step k moves n / 2^(k+1) bytes at distance 2^k.
+  for (int k = 0; k < mlog; ++k) {
+    const std::uint64_t half = n >> (k + 1);
+    t += round_cost(m, half, 1 << k) + reduce_time(m, half, n);
+    t += round_cost(m, half, 1 << k);  // allgather phase, same volume
+  }
+  return t;
+}
+
+double ar_ring(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  const std::uint64_t chunk = std::max<std::uint64_t>(1, n / static_cast<std::uint64_t>(p));
+  double t = m.memcpy_time(n, n);
+  t += (p - 1.0) * (round_cost(m, chunk, 1) + reduce_time(m, chunk, n));
+  t += (p - 1.0) * round_cost(m, chunk, 1);
+  return t;
+}
+
+// ---- MPI_Bcast (extension) ---------------------------------------------------
+
+double bc_binomial(const NetworkModel& m, std::uint64_t n) {
+  const auto& topo = m.topology();
+  const int p = topo.world_size();
+  if (p == 1) return 0.0;
+  // Critical path: one transfer per tree level. Unlike a lockstep round,
+  // a tree level with span `mask` has only p/(2*mask) senders, so the
+  // per-NIC flow count is max(1, ppn/(2*mask)) when the level crosses
+  // nodes (mask >= ppn), and levels below ppn stay in shared memory.
+  double t = 0.0;
+  for (int k = 0; (1 << k) < p; ++k) {
+    const int mask = 1 << k;
+    if (topo.nodes > 1 && mask >= topo.ppn) {
+      const int flows = std::max(1, topo.ppn / (2 * mask));
+      t += post_overhead(m, 2) + inter_round(m, n, flows);
+    } else {
+      t += post_overhead(m, 2) + intra_round(m, n);
+    }
+  }
+  return t;
+}
+
+double bc_scatter_allgather(const NetworkModel& m, std::uint64_t n) {
+  const int p = m.topology().world_size();
+  if (p == 1) return 0.0;
+  const std::uint64_t chunk = std::max<std::uint64_t>(1, n / static_cast<std::uint64_t>(p));
+  double t = 0.0;
+  // Binomial scatter: level k hands over ~2^k chunks.
+  for (int k = floor_log2(p); k >= 0; --k) {
+    if ((1 << k) >= p) continue;
+    t += round_cost(m, chunk << k, 1 << k);
+  }
+  if (is_power_of_two(p)) {
+    // Recursive-doubling allgather over chunk ranges (van de Geijn).
+    for (int k = 0; (1 << k) < p; ++k) {
+      t += round_cost(m, chunk << k, 1 << k);
+    }
+  } else {
+    t += (p - 1.0) * round_cost(m, chunk, 1);  // chunk-ring fallback
+  }
+  return t;
+}
+
+double bc_pipelined_ring(const NetworkModel& m, std::uint64_t n) {
+  const auto& topo = m.topology();
+  const int p = topo.world_size();
+  if (p == 1) return 0.0;
+  const auto seg = static_cast<std::uint64_t>(
+      std::max<std::uint64_t>(1, std::min<std::uint64_t>(n, 8 * 1024)));
+  const double num_segs =
+      n == 0 ? 1.0 : std::ceil(static_cast<double>(n) / static_cast<double>(seg));
+  // Chain 0 -> 1 -> ... -> p-1 in node-major order: nodes-1 hops cross the
+  // network, the rest are shared-memory. Fill = sum of hop costs; drain =
+  // one slowest-hop interval per extra segment.
+  const double hop_inter = inter_round(m, seg, 1) + post_overhead(m, 2);
+  const double hop_intra = intra_round(m, seg) + post_overhead(m, 2);
+  const double fill = (topo.nodes - 1) * hop_inter +
+                      (p - topo.nodes) * hop_intra;
+  const double slowest = topo.nodes > 1 ? hop_inter : hop_intra;
+  return fill + (num_segs - 1.0) * slowest;
+}
+
+}  // namespace
+
+double analytic_cost(const sim::NetworkModel& m, Algorithm algorithm,
+                     std::uint64_t block_bytes) {
+  const int p = m.topology().world_size();
+  if (!algorithm_supports(algorithm, p)) {
+    throw SimError("analytic_cost: " + display_name(algorithm) +
+                   " unsupported at world size " + std::to_string(p));
+  }
+  switch (algorithm) {
+    case Algorithm::kAgRecursiveDoubling: return ag_recursive_doubling(m, block_bytes);
+    case Algorithm::kAgRing: return ag_ring(m, block_bytes);
+    case Algorithm::kAgBruck: return ag_bruck(m, block_bytes);
+    case Algorithm::kAgRdComm: return ag_neighbor_exchange(m, block_bytes);
+    case Algorithm::kAaBruck: return aa_bruck(m, block_bytes);
+    case Algorithm::kAaScatterDest: return aa_scatter_dest(m, block_bytes);
+    case Algorithm::kAaPairwise: return aa_pairwise(m, block_bytes);
+    case Algorithm::kAaRecursiveDoubling: return aa_recursive_doubling(m, block_bytes);
+    case Algorithm::kAaInplace: return aa_inplace(m, block_bytes);
+    case Algorithm::kArRecursiveDoubling: return ar_recursive_doubling(m, block_bytes);
+    case Algorithm::kArRabenseifner: return ar_rabenseifner(m, block_bytes);
+    case Algorithm::kArRing: return ar_ring(m, block_bytes);
+    case Algorithm::kBcBinomial: return bc_binomial(m, block_bytes);
+    case Algorithm::kBcScatterAllgather: return bc_scatter_allgather(m, block_bytes);
+    case Algorithm::kBcPipelinedRing: return bc_pipelined_ring(m, block_bytes);
+  }
+  throw SimError("unknown algorithm");
+}
+
+double measured_cost(const sim::NetworkModel& m, Algorithm algorithm,
+                     std::uint64_t block_bytes, int iterations, Rng& rng,
+                     double noise_sigma) {
+  if (iterations < 1) throw SimError("measured_cost: iterations must be >= 1");
+  const double base = analytic_cost(m, algorithm, block_bytes);
+  double total = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    total += base * (noise_sigma > 0.0 ? rng.lognormal_jitter(noise_sigma) : 1.0);
+  }
+  return total / iterations;
+}
+
+}  // namespace pml::coll

@@ -1,0 +1,40 @@
+// Closed-form analytic costs for the flat collective algorithms.
+//
+// The event engine (runner.hpp) replays every message of a schedule, which
+// is exact but O(messages). Building the paper's ~9000-record training
+// dataset (18 clusters x node counts x PPN x 21 message sizes x algorithms
+// x iterations) and sweeping 16-node/56-PPN benchmark points needs a cost
+// path that is O(log p). These formulas are derived from the same
+// NetworkModel schedule parameters the engine uses (alpha/beta per link
+// class, NIC serialisation across PPN concurrent flows, L3-aware copy
+// bandwidth, per-message CPU overhead), so the two paths rank algorithms
+// consistently; tests assert their agreement on small configurations.
+#pragma once
+
+#include <cstdint>
+
+#include "coll/collective.hpp"
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+
+namespace pml::coll {
+
+/// Deterministic (noise-free) cost in seconds of running `algorithm` with a
+/// per-rank block of `block_bytes` on the given model's topology.
+/// Precondition: algorithm_supports(algorithm, world).
+double analytic_cost(const sim::NetworkModel& model, Algorithm algorithm,
+                     std::uint64_t block_bytes);
+
+/// Cost of one lockstep exchange round where each rank sends `bytes` to a
+/// partner `distance` ranks away (node-major layout). Exposed for tests.
+double round_cost(const sim::NetworkModel& model, std::uint64_t bytes,
+                  int distance);
+
+/// A noisy measurement of analytic_cost: multiplies by log-normal jitter
+/// and averages `iterations` samples, mirroring how the paper averages
+/// repeated benchmark runs to suppress dynamic network effects (§III).
+double measured_cost(const sim::NetworkModel& model, Algorithm algorithm,
+                     std::uint64_t block_bytes, int iterations, Rng& rng,
+                     double noise_sigma);
+
+}  // namespace pml::coll

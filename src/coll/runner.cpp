@@ -1,0 +1,139 @@
+#include "coll/runner.hpp"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "coll/allgather.hpp"
+#include "coll/allreduce.hpp"
+#include "coll/alltoall.hpp"
+#include "coll/bcast.hpp"
+#include "common/error.hpp"
+
+namespace pml::coll {
+
+namespace {
+
+/// Deterministic payload byte for (origin rank, destination-or-block, offset).
+std::byte pattern(int origin, int block, std::size_t offset) {
+  const auto h = static_cast<std::uint32_t>(origin) * 2654435761u ^
+                 static_cast<std::uint32_t>(block) * 40503u ^
+                 static_cast<std::uint32_t>(offset) * 2246822519u;
+  return static_cast<std::byte>(h >> 24);
+}
+
+}  // namespace
+
+namespace {
+
+/// Buffer sizes per collective: (send bytes, recv bytes) for a per-block
+/// payload of n bytes on p ranks.
+std::pair<std::size_t, std::size_t> buffer_shape(Collective coll,
+                                                 std::size_t n, int p) {
+  switch (coll) {
+    case Collective::kAllgather:
+      return {n, n * static_cast<std::size_t>(p)};
+    case Collective::kAlltoall:
+      return {n * static_cast<std::size_t>(p), n * static_cast<std::size_t>(p)};
+    case Collective::kAllreduce:
+      return {n, n};
+    case Collective::kBcast:
+      return {0, n};  // single in-place buffer
+  }
+  throw SimError("unknown collective");
+}
+
+}  // namespace
+
+RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
+                         Algorithm algorithm, std::uint64_t block_bytes,
+                         sim::SimOptions opts) {
+  const int p = topo.world_size();
+  const auto n = static_cast<std::size_t>(block_bytes);
+  const Collective coll = collective_of(algorithm);
+  const auto [send_bytes, recv_bytes] = buffer_shape(coll, n, p);
+
+  std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::byte>> recv(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& s = send[static_cast<std::size_t>(r)];
+    s.resize(send_bytes);
+    for (std::size_t i = 0; i < send_bytes; ++i) {
+      const int block = coll == Collective::kAlltoall
+                            ? static_cast<int>(n == 0 ? 0 : i / n)
+                            : r;
+      s[i] = pattern(r, block, n == 0 ? 0 : i % n);
+    }
+    auto& d = recv[static_cast<std::size_t>(r)];
+    d.assign(recv_bytes, std::byte{0});
+    if (coll == Collective::kBcast && r == 0) {
+      // Root's buffer carries the payload to broadcast.
+      for (std::size_t i = 0; i < recv_bytes; ++i) d[i] = pattern(0, 0, i);
+    }
+  }
+
+  sim::Engine engine(cluster, topo, opts);
+  engine.run([&](int rank) {
+    sim::Comm comm(engine, rank);
+    auto& s = send[static_cast<std::size_t>(rank)];
+    auto& d = recv[static_cast<std::size_t>(rank)];
+    switch (coll) {
+      case Collective::kAllgather:
+        return run_allgather(algorithm, comm, s, d);
+      case Collective::kAlltoall:
+        return run_alltoall(algorithm, comm, s, d);
+      case Collective::kAllreduce:
+        return run_allreduce(algorithm, comm, s, d);
+      case Collective::kBcast:
+        return run_bcast(algorithm, comm, d);
+    }
+    throw SimError("unknown collective");
+  });
+
+  RunResult result;
+  result.seconds = engine.elapsed();
+  if (!opts.copy_data) return result;
+
+  auto fail = [&](int rank, std::size_t offset) {
+    throw SimError("payload mismatch: " + display_name(algorithm) + " rank " +
+                   std::to_string(rank) + " offset " + std::to_string(offset));
+  };
+  for (int r = 0; r < p; ++r) {
+    const auto& d = recv[static_cast<std::size_t>(r)];
+    switch (coll) {
+      case Collective::kAllgather:
+      case Collective::kAlltoall:
+        for (int b = 0; b < p; ++b) {
+          for (std::size_t i = 0; i < n; ++i) {
+            // Allgather: block b holds rank b's contribution.
+            // Alltoall: block b holds rank b's block destined to r.
+            const std::byte expect = coll == Collective::kAllgather
+                                         ? pattern(b, b, i)
+                                         : pattern(b, r, i);
+            if (d[static_cast<std::size_t>(b) * n + i] != expect) {
+              fail(r, static_cast<std::size_t>(b) * n + i);
+            }
+          }
+        }
+        break;
+      case Collective::kAllreduce:
+        for (std::size_t i = 0; i < n; ++i) {
+          unsigned sum = 0;
+          for (int src = 0; src < p; ++src) {
+            sum += static_cast<unsigned>(pattern(src, src, i));
+          }
+          if (d[i] != static_cast<std::byte>(sum)) fail(r, i);
+        }
+        break;
+      case Collective::kBcast:
+        for (std::size_t i = 0; i < n; ++i) {
+          if (d[i] != pattern(0, 0, i)) fail(r, i);
+        }
+        break;
+    }
+  }
+  result.verified = true;
+  return result;
+}
+
+}  // namespace pml::coll

@@ -1,0 +1,29 @@
+// Event-engine execution of a collective with correctness verification.
+#pragma once
+
+#include <cstdint>
+
+#include "coll/collective.hpp"
+#include "sim/engine.hpp"
+
+namespace pml::coll {
+
+/// Outcome of one simulated collective invocation.
+struct RunResult {
+  double seconds = 0.0;  ///< simulated completion time (max over ranks)
+  bool verified = false; ///< payload checked bit-for-bit on every rank
+};
+
+/// Execute `algorithm` on the event engine with `block_bytes` per block,
+/// verifying the delivered payloads against the MPI-specified result.
+/// Buffers are filled with a (origin, block, offset)-dependent pattern and
+/// checked on every rank; `verified` is false only if `opts.copy_data` was
+/// disabled (timing-only mode).
+///
+/// Throws pml::SimError on schedule deadlock, unsupported world size, or a
+/// payload mismatch (an incorrect algorithm is a bug, not a data point).
+RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
+                         Algorithm algorithm, std::uint64_t block_bytes,
+                         sim::SimOptions opts = {});
+
+}  // namespace pml::coll

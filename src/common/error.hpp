@@ -1,0 +1,40 @@
+// Error types shared across the PML-MPI libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pml {
+
+/// Base class for all errors raised by the PML-MPI libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on malformed JSON input or type-mismatched JSON access.
+class JsonError : public Error {
+ public:
+  explicit JsonError(const std::string& what) : Error("json: " + what) {}
+};
+
+/// Raised on invalid simulator configuration or protocol misuse
+/// (e.g. mismatched send/recv sizes, deadlocked schedule).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("sim: " + what) {}
+};
+
+/// Raised on invalid ML inputs (empty dataset, dimension mismatch, ...).
+class MlError : public Error {
+ public:
+  explicit MlError(const std::string& what) : Error("ml: " + what) {}
+};
+
+/// Raised by the tuning framework (unknown cluster, missing table, ...).
+class TuningError : public Error {
+ public:
+  explicit TuningError(const std::string& what) : Error("tuning: " + what) {}
+};
+
+}  // namespace pml

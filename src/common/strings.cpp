@@ -1,0 +1,84 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pml {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= (1ULL << 30) && bytes % (1ULL << 30) == 0) {
+    return std::to_string(bytes >> 30) + "G";
+  }
+  if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0) {
+    return std::to_string(bytes >> 20) + "M";
+  }
+  if (bytes >= (1ULL << 10) && bytes % (1ULL << 10) == 0) {
+    return std::to_string(bytes >> 10) + "K";
+  }
+  return std::to_string(bytes);
+}
+
+std::string format_time(double seconds) {
+  char buf[48];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f h", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open file for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open file for writing: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) throw Error("write failed: " + path);
+}
+
+}  // namespace pml

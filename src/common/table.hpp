@@ -1,0 +1,34 @@
+// ASCII table printer for the bench binaries.
+//
+// Every bench reproduces a table or figure from the paper; this renders the
+// rows in a compact aligned layout so bench_output.txt reads like the paper's
+// tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pml {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  std::string str() const;
+
+  /// Convenience: render to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pml

@@ -1,0 +1,137 @@
+#include "core/dataset_builder.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "coll/cost.hpp"
+#include "common/error.hpp"
+#include "sim/network.hpp"
+
+namespace pml::core {
+
+std::vector<TuningRecord> build_cluster_records(const sim::ClusterSpec& cluster,
+                                                coll::Collective collective,
+                                                const BuildOptions& options) {
+  if (options.iterations < 1) throw TuningError("iterations must be >= 1");
+  std::vector<TuningRecord> records;
+  // Deterministic per (cluster, collective) noise stream.
+  std::uint64_t seed_material = options.seed;
+  for (const char ch : cluster.name) {
+    seed_material = seed_material * 31 + static_cast<unsigned char>(ch);
+  }
+  seed_material = seed_material * 31 + static_cast<unsigned>(collective);
+  Rng rng(splitmix64(seed_material));
+
+  const auto& algorithms = coll::algorithms_for(collective);
+  for (const int nodes : cluster.node_counts) {
+    for (const int ppn : cluster.ppn_values) {
+      if (ppn > cluster.hw.threads) continue;
+      const sim::Topology topo{nodes, ppn};
+      const sim::NetworkModel model(cluster, topo);
+      for (const std::uint64_t msg : cluster.message_sizes) {
+        TuningRecord rec;
+        rec.cluster = cluster.name;
+        rec.nodes = nodes;
+        rec.ppn = ppn;
+        rec.msg_bytes = msg;
+        rec.collective = collective;
+        rec.features = extract_features(cluster, nodes, ppn, msg);
+        rec.times.assign(algorithms.size(),
+                         std::numeric_limits<double>::infinity());
+        for (std::size_t a = 0; a < algorithms.size(); ++a) {
+          if (!coll::algorithm_supports(algorithms[a], topo.world_size())) {
+            continue;
+          }
+          rec.times[a] = coll::measured_cost(model, algorithms[a], msg,
+                                             options.iterations, rng,
+                                             options.noise_sigma);
+        }
+        const auto best = std::min_element(rec.times.begin(), rec.times.end());
+        if (!std::isfinite(*best)) {
+          throw TuningError("no valid algorithm at world size " +
+                            std::to_string(topo.world_size()));
+        }
+        rec.label = static_cast<int>(best - rec.times.begin());
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<TuningRecord> build_records(
+    std::span<const sim::ClusterSpec> clusters, coll::Collective collective,
+    const BuildOptions& options) {
+  std::vector<TuningRecord> all;
+  for (const sim::ClusterSpec& cluster : clusters) {
+    auto recs = build_cluster_records(cluster, collective, options);
+    all.insert(all.end(), std::make_move_iterator(recs.begin()),
+               std::make_move_iterator(recs.end()));
+  }
+  return all;
+}
+
+ml::Dataset to_ml_dataset(std::span<const TuningRecord> records,
+                          coll::Collective collective,
+                          const std::vector<std::size_t>& columns) {
+  if (records.empty()) throw TuningError("no records to convert");
+  ml::Dataset data;
+  const auto& algorithms = coll::algorithms_for(collective);
+  data.num_classes = static_cast<int>(algorithms.size());
+  for (const coll::Algorithm a : algorithms) {
+    data.class_names.push_back(coll::to_string(a));
+  }
+  if (columns.empty()) {
+    data.feature_names = feature_names();
+  } else {
+    for (const std::size_t c : columns) {
+      data.feature_names.push_back(feature_names().at(c));
+    }
+  }
+  for (const TuningRecord& rec : records) {
+    if (rec.collective != collective) {
+      throw TuningError("record collective mismatch");
+    }
+    const auto row = columns.empty() ? rec.features
+                                     : project_features(rec.features, columns);
+    data.x.push_row(row);
+    data.y.push_back(rec.label);
+  }
+  data.validate();
+  return data;
+}
+
+std::vector<std::size_t> rows_in_clusters(
+    std::span<const TuningRecord> records,
+    std::span<const std::string> clusters) {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (const std::string& name : clusters) {
+      if (records[i].cluster == name) {
+        rows.push_back(i);
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
+std::vector<std::size_t> rows_with_nodes_at_most(
+    std::span<const TuningRecord> records, int threshold) {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].nodes <= threshold) rows.push_back(i);
+  }
+  return rows;
+}
+
+std::vector<std::size_t> rows_with_nodes_above(
+    std::span<const TuningRecord> records, int threshold) {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].nodes > threshold) rows.push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace pml::core

@@ -1,0 +1,69 @@
+// Tuning-dataset construction (paper §V-B, Table I).
+//
+// For every (cluster, #nodes, ppn, message size) point of a cluster's sweep
+// the builder benchmarks every valid algorithm (averaged noisy iterations,
+// exactly as the paper averages repeated runs) and labels the point with
+// the fastest one. The result is the ~9000-record-per-collective dataset
+// the paper trains on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coll/collective.hpp"
+#include "core/features.hpp"
+#include "ml/dataset.hpp"
+#include "sim/hardware.hpp"
+
+namespace pml::core {
+
+/// One benchmark point: features, per-algorithm timings, and the label.
+struct TuningRecord {
+  std::string cluster;
+  int nodes = 0;
+  int ppn = 0;
+  std::uint64_t msg_bytes = 0;
+  coll::Collective collective = coll::Collective::kAllgather;
+  std::vector<double> features;  ///< full 14-column row
+  /// Measured seconds per algorithm, indexed like algorithms_for(collective);
+  /// +inf marks algorithms invalid at this world size.
+  std::vector<double> times;
+  int label = -1;  ///< index of the fastest algorithm
+};
+
+struct BuildOptions {
+  int iterations = 5;          ///< averaged per measurement (noise suppression)
+  double noise_sigma = 0.015;  ///< dynamic network effects (paper §III)
+  std::uint64_t seed = 2024;
+};
+
+/// Benchmark one cluster's full Table-I sweep for one collective.
+std::vector<TuningRecord> build_cluster_records(const sim::ClusterSpec& cluster,
+                                                coll::Collective collective,
+                                                const BuildOptions& options);
+
+/// Benchmark a set of clusters (all of Table I by default).
+std::vector<TuningRecord> build_records(
+    std::span<const sim::ClusterSpec> clusters, coll::Collective collective,
+    const BuildOptions& options);
+
+/// Convert records to an ML dataset. `columns` selects feature columns
+/// (empty = all 14). Class labels index algorithms_for(collective).
+ml::Dataset to_ml_dataset(std::span<const TuningRecord> records,
+                          coll::Collective collective,
+                          const std::vector<std::size_t>& columns = {});
+
+/// Row indices whose cluster name is in `clusters` (cluster-based splits).
+std::vector<std::size_t> rows_in_clusters(
+    std::span<const TuningRecord> records,
+    std::span<const std::string> clusters);
+
+/// Row indices with node count <= / > `threshold` (node-based splits).
+std::vector<std::size_t> rows_with_nodes_at_most(
+    std::span<const TuningRecord> records, int threshold);
+std::vector<std::size_t> rows_with_nodes_above(
+    std::span<const TuningRecord> records, int threshold);
+
+}  // namespace pml::core

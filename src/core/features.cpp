@@ -1,0 +1,73 @@
+#include "core/features.hpp"
+
+#include "common/error.hpp"
+
+namespace pml::core {
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      // MPI-specific
+      "num_nodes",
+      "ppn",
+      "msg_size",
+      // hardware (paper §V-A)
+      "cpu_max_clock_ghz",
+      "l3_cache_mb",
+      "mem_bw_gbs",
+      "core_count",
+      "thread_count",
+      "sockets",
+      "numa_nodes",
+      "pcie_lanes",
+      "pcie_version",
+      "hca_link_speed_gbps",
+      "hca_link_width",
+  };
+  return names;
+}
+
+std::size_t feature_count() { return feature_names().size(); }
+
+std::size_t feature_index(const std::string& name) {
+  const auto& names = feature_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  throw TuningError("unknown feature: " + name);
+}
+
+std::vector<double> extract_features(const sim::ClusterSpec& cluster,
+                                     int nodes, int ppn,
+                                     std::uint64_t msg_bytes) {
+  if (nodes < 1 || ppn < 1) throw TuningError("invalid job shape");
+  const sim::HardwareSpec& hw = cluster.hw;
+  return {
+      static_cast<double>(nodes),
+      static_cast<double>(ppn),
+      static_cast<double>(msg_bytes),
+      hw.cpu_max_clock_ghz,
+      hw.l3_cache_mb,
+      hw.mem_bw_gbs,
+      static_cast<double>(hw.cores),
+      static_cast<double>(hw.threads),
+      static_cast<double>(hw.sockets),
+      static_cast<double>(hw.numa_nodes),
+      static_cast<double>(hw.pcie_lanes),
+      static_cast<double>(hw.pcie_version),
+      hw.hca_link_speed_gbps,
+      static_cast<double>(hw.hca_link_width),
+  };
+}
+
+std::vector<double> project_features(const std::vector<double>& full,
+                                     const std::vector<std::size_t>& columns) {
+  std::vector<double> out;
+  out.reserve(columns.size());
+  for (const std::size_t c : columns) {
+    if (c >= full.size()) throw TuningError("feature column out of range");
+    out.push_back(full[c]);
+  }
+  return out;
+}
+
+}  // namespace pml::core

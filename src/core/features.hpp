@@ -1,0 +1,38 @@
+// Feature extraction: the 14 features of paper §V-A.
+//
+// On a real deployment the extraction script shells out to lscpu/lspci and
+// the HCA tools; here the same quantities come from the ClusterSpec. The
+// feature *vector layout* is part of the shipped-model contract: a model
+// trained offline must see identical columns at inference time, so the
+// names and order are fixed here and serialized with the model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/hardware.hpp"
+
+namespace pml::core {
+
+/// Names of all 14 features, in column order: 3 MPI-specific
+/// (num_nodes, ppn, msg_size) followed by the 11 hardware features.
+const std::vector<std::string>& feature_names();
+
+/// Number of features (14).
+std::size_t feature_count();
+
+/// Column index of a named feature; throws pml::TuningError if unknown.
+std::size_t feature_index(const std::string& name);
+
+/// Extract the full feature row for one (cluster, job, message) point.
+std::vector<double> extract_features(const sim::ClusterSpec& cluster,
+                                     int nodes, int ppn,
+                                     std::uint64_t msg_bytes);
+
+/// Project a full feature row onto a column subset (model feature
+/// selection, paper: "top 5 features ... to avoid overfitting").
+std::vector<double> project_features(const std::vector<double>& full,
+                                     const std::vector<std::size_t>& columns);
+
+}  // namespace pml::core

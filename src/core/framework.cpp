@@ -1,0 +1,197 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pml::core {
+
+using coll::Collective;
+
+namespace {
+
+/// Train one collective's model, with optional top-K feature selection.
+PmlFramework::PerCollective train_part(std::span<const TuningRecord> records,
+                                       Collective collective,
+                                       const TrainOptions& options, Rng& rng) {
+  std::vector<std::size_t> columns(feature_count());
+  std::iota(columns.begin(), columns.end(), 0u);
+
+  if (options.top_features > 0 &&
+      static_cast<std::size_t>(options.top_features) < columns.size()) {
+    // Preliminary fit on all features ranks them by Gini importance.
+    const ml::Dataset full = to_ml_dataset(records, collective);
+    ml::RandomForest probe(options.forest);
+    Rng probe_rng = rng.split();
+    probe.fit(full, probe_rng);
+    const auto importances = probe.feature_importances();
+    std::sort(columns.begin(), columns.end(),
+              [&](std::size_t a, std::size_t b) {
+                return importances[a] > importances[b];
+              });
+    columns.resize(static_cast<std::size_t>(options.top_features));
+    std::sort(columns.begin(), columns.end());
+  }
+
+  PmlFramework::PerCollective part;
+  part.columns = columns;
+  const ml::Dataset data = to_ml_dataset(records, collective, columns);
+  part.forest = ml::RandomForest(options.forest);
+  Rng fit_rng = rng.split();
+  part.forest.fit(data, fit_rng);
+  return part;
+}
+
+}  // namespace
+
+PmlFramework PmlFramework::train(std::span<const sim::ClusterSpec> clusters,
+                                 const TrainOptions& options) {
+  PmlFramework fw;
+  Rng rng(options.seed);
+  for (const Collective collective : options.collectives) {
+    const auto records = build_records(clusters, collective, options.build);
+    fw.parts_.emplace(collective,
+                      train_part(records, collective, options, rng));
+  }
+  if (fw.parts_.empty()) throw TuningError("train: no collectives requested");
+  return fw;
+}
+
+PmlFramework PmlFramework::train_on_records(
+    std::span<const TuningRecord> allgather_records,
+    std::span<const TuningRecord> alltoall_records,
+    const TrainOptions& options) {
+  PmlFramework fw;
+  Rng rng(options.seed);
+  fw.parts_.emplace(Collective::kAllgather,
+                    train_part(allgather_records, Collective::kAllgather,
+                               options, rng));
+  fw.parts_.emplace(Collective::kAlltoall,
+                    train_part(alltoall_records, Collective::kAlltoall,
+                               options, rng));
+  return fw;
+}
+
+const PmlFramework::PerCollective& PmlFramework::part(
+    Collective collective) const {
+  const auto it = parts_.find(collective);
+  if (it == parts_.end()) {
+    throw TuningError("framework has no model for " +
+                      coll::to_string(collective));
+  }
+  return it->second;
+}
+
+coll::Algorithm PmlFramework::select(Collective collective,
+                                     const sim::ClusterSpec& cluster,
+                                     sim::Topology topo,
+                                     std::uint64_t msg_bytes) {
+  const PerCollective& p = part(collective);
+  const auto full = extract_features(cluster, topo.nodes, topo.ppn, msg_bytes);
+  const auto row = project_features(full, p.columns);
+  const auto proba = p.forest.predict_proba(row);
+
+  // Rank classes by probability, return the best one valid at this world
+  // size (the model may favour e.g. power-of-two-only recursive doubling).
+  const auto& algorithms = coll::algorithms_for(collective);
+  std::vector<std::size_t> order(proba.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return proba[a] > proba[b]; });
+  for (const std::size_t c : order) {
+    if (coll::algorithm_supports(algorithms[c], topo.world_size())) {
+      return algorithms[c];
+    }
+  }
+  throw TuningError("no valid algorithm for world size " +
+                    std::to_string(topo.world_size()));
+}
+
+TuningTable PmlFramework::compile_for(
+    const sim::ClusterSpec& cluster, std::span<const int> node_counts,
+    std::span<const int> ppn_values,
+    std::span<const std::uint64_t> msg_sizes) {
+  std::vector<coll::Collective> trained;
+  for (const auto& [collective, part] : parts_) trained.push_back(collective);
+  const auto start = std::chrono::steady_clock::now();
+  TuningTable table = TuningTable::generate(*this, cluster, node_counts,
+                                            ppn_values, msg_sizes, trained);
+  const auto end = std::chrono::steady_clock::now();
+  inference_seconds_ =
+      std::chrono::duration<double>(end - start).count();
+  return table;
+}
+
+const TuningTable& PmlFramework::compile_or_cached(
+    const sim::ClusterSpec& cluster, std::span<const int> node_counts,
+    std::span<const int> ppn_values, std::span<const std::uint64_t> msg_sizes,
+    TuningTable& cache) {
+  if (cache.cluster_name() == cluster.name && !cache.empty()) {
+    return cache;  // Fig. 4: an existing table bypasses ML tuning
+  }
+  cache = compile_for(cluster, node_counts, ppn_values, msg_sizes);
+  return cache;
+}
+
+const ml::RandomForest& PmlFramework::model(Collective collective) const {
+  return part(collective).forest;
+}
+
+std::vector<double> PmlFramework::full_feature_importances(
+    Collective collective) const {
+  const PerCollective& p = part(collective);
+  const auto compact = p.forest.feature_importances();
+  std::vector<double> full(feature_count(), 0.0);
+  for (std::size_t i = 0; i < p.columns.size(); ++i) {
+    full[p.columns[i]] = compact[i];
+  }
+  return full;
+}
+
+const std::vector<std::size_t>& PmlFramework::selected_columns(
+    Collective collective) const {
+  return part(collective).columns;
+}
+
+Json PmlFramework::to_json() const {
+  Json j = Json::object();
+  j["format"] = "pml-mpi-model-v1";
+  j["feature_names"] = [] {
+    Json names = Json::array();
+    for (const auto& n : feature_names()) names.push_back(n);
+    return names;
+  }();
+  Json parts = Json::object();
+  for (const auto& [collective, p] : parts_) {
+    Json pj = Json::object();
+    Json cols = Json::array();
+    for (const std::size_t c : p.columns) cols.push_back(c);
+    pj["columns"] = std::move(cols);
+    pj["forest"] = p.forest.to_json();
+    parts[coll::to_string(collective)] = std::move(pj);
+  }
+  j["collectives"] = std::move(parts);
+  return j;
+}
+
+PmlFramework PmlFramework::load(const Json& j) {
+  if (!j.contains("format") ||
+      j.at("format").as_string() != "pml-mpi-model-v1") {
+    throw TuningError("not a pml-mpi model bundle");
+  }
+  PmlFramework fw;
+  for (const auto& [name, pj] : j.at("collectives").as_object()) {
+    PerCollective p;
+    for (const Json& c : pj.at("columns").as_array()) {
+      p.columns.push_back(static_cast<std::size_t>(c.as_int()));
+    }
+    p.forest = ml::RandomForest::from_json(pj.at("forest"));
+    fw.parts_.emplace(coll::collective_from_string(name), std::move(p));
+  }
+  if (fw.parts_.empty()) throw TuningError("model bundle has no collectives");
+  return fw;
+}
+
+}  // namespace pml::core

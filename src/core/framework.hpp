@@ -1,0 +1,116 @@
+// PmlFramework: the paper's primary contribution.
+//
+// Offline stage (paper Fig. 3): benchmark the Table-I clusters, assemble
+// the feature/label dataset, optionally select the top-K features by Gini
+// importance, and train one Random Forest per collective. The trained
+// bundle serializes to JSON — the "pre-trained model shipped along with
+// the MPI library".
+//
+// Online stage (paper Fig. 4): for a new cluster, if a tuning table is
+// already cached, use it; otherwise extract the cluster's features, run a
+// single inference sweep (one process, sub-second), and emit a JSON tuning
+// table for use at application runtime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coll/collective.hpp"
+#include "common/json.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/selectors.hpp"
+#include "core/tuning_table.hpp"
+#include "ml/forest.hpp"
+
+namespace pml::core {
+
+struct TrainOptions {
+  BuildOptions build;             ///< dataset sweep parameters
+  /// Per-collective model parameters; the defaults follow what the Table-II
+  /// grid search selects on the full dataset.
+  ml::RandomForestParams forest{.n_trees = 100, .max_features = 6};
+  /// Keep only the K most important features (paper: "top 5 features are
+  /// selected ... to avoid overfitting"); -1 keeps all 14.
+  int top_features = -1;
+  std::uint64_t seed = 13;
+  /// Collectives to train models for. Defaults to the paper's pair;
+  /// include kAllreduce/kBcast to enable the future-work extensions.
+  std::vector<coll::Collective> collectives = coll::paper_collectives();
+};
+
+class PmlFramework final : public Selector {
+ public:
+  /// Trained model plus the feature columns it consumes (public so the
+  /// training helpers and tests can assemble/inspect bundles).
+  struct PerCollective {
+    ml::RandomForest forest;
+    std::vector<std::size_t> columns;  ///< feature columns the model sees
+  };
+
+  /// Offline training on a list of clusters (exclude the evaluation
+  /// cluster to reproduce the paper's leave-cluster-out protocol).
+  static PmlFramework train(std::span<const sim::ClusterSpec> clusters,
+                            const TrainOptions& options = {});
+
+  /// Offline training on pre-built records (lets callers filter rows, e.g.
+  /// the node-based split of paper §VII-D).
+  static PmlFramework train_on_records(
+      std::span<const TuningRecord> allgather_records,
+      std::span<const TuningRecord> alltoall_records,
+      const TrainOptions& options = {});
+
+  // --- Selector interface: direct single-point inference -------------------
+  std::string name() const override { return "PML-MPI"; }
+  coll::Algorithm select(coll::Collective collective,
+                         const sim::ClusterSpec& cluster, sim::Topology topo,
+                         std::uint64_t msg_bytes) override;
+
+  // --- Online stage (Fig. 4) ------------------------------------------------
+
+  /// Generate the tuning table for a (possibly never-seen) cluster by
+  /// running inference over the given sweep. Updates inference_seconds().
+  TuningTable compile_for(const sim::ClusterSpec& cluster,
+                          std::span<const int> node_counts,
+                          std::span<const int> ppn_values,
+                          std::span<const std::uint64_t> msg_sizes);
+
+  /// Fig. 4 top box: reuse `cache` if it already covers this cluster,
+  /// otherwise compile a fresh table (and replace `cache`).
+  const TuningTable& compile_or_cached(const sim::ClusterSpec& cluster,
+                                       std::span<const int> node_counts,
+                                       std::span<const int> ppn_values,
+                                       std::span<const std::uint64_t> msg_sizes,
+                                       TuningTable& cache);
+
+  /// Wall-clock seconds of the last compile_for call (the paper's
+  /// "less than a second of model inference overhead").
+  double inference_seconds() const noexcept { return inference_seconds_; }
+
+  // --- Introspection ---------------------------------------------------------
+
+  const ml::RandomForest& model(coll::Collective collective) const;
+
+  /// Gini importances expanded to the full 14-column layout (zero for
+  /// columns dropped by feature selection).
+  std::vector<double> full_feature_importances(
+      coll::Collective collective) const;
+
+  const std::vector<std::size_t>& selected_columns(
+      coll::Collective collective) const;
+
+  // --- Serialization ---------------------------------------------------------
+
+  Json to_json() const;
+  static PmlFramework load(const Json& j);
+
+ private:
+  const PerCollective& part(coll::Collective collective) const;
+
+  std::map<coll::Collective, PerCollective> parts_;
+  double inference_seconds_ = 0.0;
+};
+
+}  // namespace pml::core

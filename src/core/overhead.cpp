@@ -1,0 +1,44 @@
+#include "core/overhead.hpp"
+
+#include "coll/cost.hpp"
+#include "common/error.hpp"
+#include "sim/network.hpp"
+
+namespace pml::core {
+
+int omb_iterations(std::uint64_t msg_bytes) {
+  // OSU micro-benchmark defaults: 1000 iterations up to 8 KiB, 100 beyond
+  // (plus warmup, folded in here).
+  return msg_bytes <= 8192 ? 1200 : 120;
+}
+
+double microbenchmark_core_hours(const sim::ClusterSpec& cluster,
+                                 coll::Collective collective, int nodes,
+                                 int ppn,
+                                 std::span<const std::uint64_t> msg_sizes) {
+  const sim::Topology topo{nodes, ppn};
+  const sim::NetworkModel model(cluster, topo);
+  double wall_seconds = 0.0;
+  for (const std::uint64_t msg : msg_sizes) {
+    for (const coll::Algorithm a :
+         coll::valid_algorithms(collective, topo.world_size())) {
+      wall_seconds +=
+          coll::analytic_cost(model, a, msg) * omb_iterations(msg);
+    }
+  }
+  return wall_seconds * topo.world_size() / 3600.0;
+}
+
+double acclaim_core_hours(int nodes, int ppn) {
+  if (nodes < 1 || ppn < 1) throw TuningError("invalid job shape");
+  constexpr double kAcclaimMinutes = 5.62;  // published, 128 nodes, allgather
+  return kAcclaimMinutes / 60.0 * static_cast<double>(nodes) *
+         static_cast<double>(ppn);
+}
+
+double pml_core_hours(double inference_seconds) {
+  if (inference_seconds < 0.0) throw TuningError("negative inference time");
+  return inference_seconds / 3600.0;  // a single process
+}
+
+}  // namespace pml::core

@@ -1,0 +1,39 @@
+// Startup-overhead models for the Fig. 1 / Fig. 7 core-hours comparison.
+//
+// Core hours = number of processes x wall-clock time / 3600 (paper's
+// definition). Three strategies are compared:
+//  - offline micro-benchmarking: exhaustively times every algorithm at
+//    every message size with an OMB-style iteration schedule;
+//  - ACCLAiM: the published runtime model overhead (5.62 minutes for
+//    MPI_Allgather on 128 nodes [Wilkins et al. 2022]), charged on every
+//    process of the job — the paper treats this as a lower bound;
+//  - PML-MPI: one process running a sub-second inference sweep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "coll/collective.hpp"
+#include "sim/hardware.hpp"
+
+namespace pml::core {
+
+/// OMB-style iteration count for one message size (more iterations at
+/// small sizes, fewer at large, as osu_allgather does).
+int omb_iterations(std::uint64_t msg_bytes);
+
+/// Core-hours for the exhaustive offline sweep of every valid algorithm
+/// over `msg_sizes` on (nodes x ppn) processes of `cluster`.
+double microbenchmark_core_hours(const sim::ClusterSpec& cluster,
+                                 coll::Collective collective, int nodes,
+                                 int ppn,
+                                 std::span<const std::uint64_t> msg_sizes);
+
+/// ACCLAiM's published overhead scaled to the job size: 5.62 minutes of
+/// online training occupying all nodes*ppn processes.
+double acclaim_core_hours(int nodes, int ppn);
+
+/// PML-MPI overhead: `inference_seconds` of wall time on a single process.
+double pml_core_hours(double inference_seconds);
+
+}  // namespace pml::core

@@ -1,0 +1,146 @@
+#include "core/selectors.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "coll/cost.hpp"
+#include "common/error.hpp"
+
+namespace pml::core {
+
+using coll::Algorithm;
+using coll::Collective;
+
+coll::Algorithm first_supported(
+    std::initializer_list<coll::Algorithm> preference, int p) {
+  for (const Algorithm a : preference) {
+    if (coll::algorithm_supports(a, p)) return a;
+  }
+  throw TuningError("no supported algorithm in preference list");
+}
+
+Algorithm MvapichDefaultSelector::select(Collective collective,
+                                         const sim::ClusterSpec& /*cluster*/,
+                                         sim::Topology topo,
+                                         std::uint64_t msg_bytes) {
+  const int p = topo.world_size();
+  // Static thresholds in the spirit of the MVAPICH2 2.3.7 generic table:
+  // they encode one machine's crossovers and ignore the hardware at hand.
+  // Recursive doubling is only chosen at power-of-two worlds (its
+  // generalised non-power-of-two schedule is known to be poor).
+  if (collective == Collective::kAllgather) {
+    const std::uint64_t total = static_cast<std::uint64_t>(p) * msg_bytes;
+    if (msg_bytes < 512 && coll::is_power_of_two(p)) {
+      return Algorithm::kAgRecursiveDoubling;
+    }
+    if (total <= 256 * 1024) {
+      return first_supported({Algorithm::kAgBruck, Algorithm::kAgRing}, p);
+    }
+    // MVAPICH2 2.3.7 has no neighbor-exchange allgather: everything past
+    // the dissemination range rides the ring, which is what the paper's
+    // ML selector improves on in the mid-size window.
+    return first_supported({Algorithm::kAgRing, Algorithm::kAgBruck}, p);
+  }
+  if (collective == Collective::kAlltoall) {
+    if (static_cast<std::uint64_t>(p) * msg_bytes <= 32 * 1024) {
+      return first_supported({Algorithm::kAaBruck, Algorithm::kAaPairwise}, p);
+    }
+    if (msg_bytes <= 32 * 1024) {
+      return first_supported(
+          {Algorithm::kAaScatterDest, Algorithm::kAaPairwise}, p);
+    }
+    return first_supported({Algorithm::kAaPairwise, Algorithm::kAaScatterDest},
+                           p);
+  }
+  if (collective == Collective::kAllreduce) {
+    if (msg_bytes <= 2048) {
+      return first_supported(
+          {Algorithm::kArRecursiveDoubling, Algorithm::kArRing}, p);
+    }
+    return first_supported({Algorithm::kArRabenseifner, Algorithm::kArRing},
+                           p);
+  }
+  // MPI_Bcast: thresholds tuned for a mid-size machine; the chunked
+  // algorithms' doubling allgather needs a power-of-two world.
+  if (msg_bytes <= 32 * 1024) return Algorithm::kBcBinomial;
+  if (msg_bytes <= 512 * 1024 && coll::is_power_of_two(p)) {
+    return Algorithm::kBcScatterAllgather;
+  }
+  return Algorithm::kBcPipelinedRing;
+}
+
+Algorithm OpenMpiDefaultSelector::select(Collective collective,
+                                         const sim::ClusterSpec& /*cluster*/,
+                                         sim::Topology topo,
+                                         std::uint64_t msg_bytes) {
+  const int p = topo.world_size();
+  // Fixed decision rules in the spirit of Open MPI's tuned defaults, with
+  // the neighbor-exchange mid-range for allgather and earlier pairwise
+  // switching for alltoall.
+  if (collective == Collective::kAllgather) {
+    const std::uint64_t total = static_cast<std::uint64_t>(p) * msg_bytes;
+    if (total <= 64 * 1024) {
+      return first_supported({Algorithm::kAgBruck, Algorithm::kAgRing}, p);
+    }
+    if (total <= 512 * 1024 && coll::is_power_of_two(p)) {
+      return Algorithm::kAgRecursiveDoubling;
+    }
+    if (total <= 2 * 1024 * 1024) {
+      return first_supported({Algorithm::kAgRdComm, Algorithm::kAgRing}, p);
+    }
+    return first_supported({Algorithm::kAgRing, Algorithm::kAgRdComm}, p);
+  }
+  if (collective == Collective::kAlltoall) {
+    if (static_cast<std::uint64_t>(p) * msg_bytes <= 16 * 1024) {
+      return first_supported({Algorithm::kAaBruck, Algorithm::kAaPairwise}, p);
+    }
+    if (msg_bytes <= 4 * 1024) {
+      return first_supported(
+          {Algorithm::kAaScatterDest, Algorithm::kAaPairwise}, p);
+    }
+    return first_supported({Algorithm::kAaPairwise, Algorithm::kAaScatterDest},
+                           p);
+  }
+  if (collective == Collective::kAllreduce) {
+    if (msg_bytes <= 8192) {
+      return first_supported(
+          {Algorithm::kArRecursiveDoubling, Algorithm::kArRing}, p);
+    }
+    return first_supported({Algorithm::kArRing, Algorithm::kArRabenseifner},
+                           p);
+  }
+  // MPI_Bcast
+  if (msg_bytes <= 8 * 1024) return Algorithm::kBcBinomial;
+  if (msg_bytes <= 128 * 1024 && coll::is_power_of_two(p)) {
+    return Algorithm::kBcScatterAllgather;
+  }
+  return Algorithm::kBcPipelinedRing;
+}
+
+Algorithm RandomSelector::select(Collective collective,
+                                 const sim::ClusterSpec& /*cluster*/,
+                                 sim::Topology topo,
+                                 std::uint64_t /*msg_bytes*/) {
+  const auto valid =
+      coll::valid_algorithms(collective, topo.world_size());
+  return valid[static_cast<std::size_t>(rng_.uniform_index(valid.size()))];
+}
+
+Algorithm OracleSelector::select(Collective collective,
+                                 const sim::ClusterSpec& cluster,
+                                 sim::Topology topo, std::uint64_t msg_bytes) {
+  const sim::NetworkModel model(cluster, topo);
+  Algorithm best = Algorithm::kAgRing;
+  double lo = std::numeric_limits<double>::infinity();
+  for (const Algorithm a :
+       coll::valid_algorithms(collective, topo.world_size())) {
+    const double t = coll::analytic_cost(model, a, msg_bytes);
+    if (t < lo) {
+      lo = t;
+      best = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace pml::core

@@ -1,0 +1,80 @@
+// Algorithm-selection strategies: the baselines the paper compares against.
+//
+//  - MvapichDefaultSelector: static message-size thresholds modelled on the
+//    MVAPICH2 2.3.7 default tuning tables ("relies on a static tuning
+//    table, which lacks optimization for the specific cluster").
+//  - OpenMpiDefaultSelector: fixed decision rules modelled on Open MPI's
+//    tuned-collectives defaults (different thresholds, different mid-size
+//    choices).
+//  - RandomSelector: uniform choice among valid algorithms (paper Fig. 8).
+//  - OracleSelector: exhaustive offline micro-benchmarking — evaluates
+//    every algorithm with the cost model and returns the argmin. This is
+//    the upper bound the paper's §VII-C "slowdown vs offline
+//    micro-benchmarking" is measured against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "coll/collective.hpp"
+#include "common/rng.hpp"
+#include "sim/hardware.hpp"
+#include "sim/network.hpp"
+
+namespace pml::core {
+
+/// Strategy interface: pick an algorithm for a (collective, cluster, job,
+/// message size) point. Implementations must return an algorithm valid at
+/// the topology's world size.
+class Selector {
+ public:
+  virtual ~Selector() = default;
+  virtual std::string name() const = 0;
+  virtual coll::Algorithm select(coll::Collective collective,
+                                 const sim::ClusterSpec& cluster,
+                                 sim::Topology topo,
+                                 std::uint64_t msg_bytes) = 0;
+};
+
+class MvapichDefaultSelector final : public Selector {
+ public:
+  std::string name() const override { return "MVAPICH2-2.3.7-default"; }
+  coll::Algorithm select(coll::Collective collective,
+                         const sim::ClusterSpec& cluster, sim::Topology topo,
+                         std::uint64_t msg_bytes) override;
+};
+
+class OpenMpiDefaultSelector final : public Selector {
+ public:
+  std::string name() const override { return "OpenMPI-5.1.0a-default"; }
+  coll::Algorithm select(coll::Collective collective,
+                         const sim::ClusterSpec& cluster, sim::Topology topo,
+                         std::uint64_t msg_bytes) override;
+};
+
+class RandomSelector final : public Selector {
+ public:
+  explicit RandomSelector(std::uint64_t seed = 99) : rng_(seed) {}
+  std::string name() const override { return "Random"; }
+  coll::Algorithm select(coll::Collective collective,
+                         const sim::ClusterSpec& cluster, sim::Topology topo,
+                         std::uint64_t msg_bytes) override;
+
+ private:
+  Rng rng_;
+};
+
+class OracleSelector final : public Selector {
+ public:
+  std::string name() const override { return "Oracle-microbenchmark"; }
+  coll::Algorithm select(coll::Collective collective,
+                         const sim::ClusterSpec& cluster, sim::Topology topo,
+                         std::uint64_t msg_bytes) override;
+};
+
+/// First algorithm in `preference` order valid at world size `p`.
+coll::Algorithm first_supported(std::initializer_list<coll::Algorithm> preference,
+                                int p);
+
+}  // namespace pml::core

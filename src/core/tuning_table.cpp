@@ -1,0 +1,162 @@
+#include "core/tuning_table.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pml::core {
+
+void TuningTable::add(JobTable job) {
+  if (job.entries.empty()) throw TuningError("job table has no entries");
+  for (std::size_t i = 1; i < job.entries.size(); ++i) {
+    if (job.entries[i].max_bytes <= job.entries[i - 1].max_bytes) {
+      throw TuningError("job table entries must have ascending max_bytes");
+    }
+  }
+  if (find(job.collective, job.nodes, job.ppn) != nullptr) {
+    throw TuningError("duplicate job table for nodes=" +
+                      std::to_string(job.nodes) +
+                      " ppn=" + std::to_string(job.ppn));
+  }
+  jobs_.push_back(std::move(job));
+}
+
+const JobTable* TuningTable::find(coll::Collective collective, int nodes,
+                                  int ppn) const {
+  for (const JobTable& j : jobs_) {
+    if (j.collective == collective && j.nodes == nodes && j.ppn == ppn) {
+      return &j;
+    }
+  }
+  return nullptr;
+}
+
+const JobTable* TuningTable::nearest(coll::Collective collective, int nodes,
+                                     int ppn) const {
+  const JobTable* best = nullptr;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const JobTable& j : jobs_) {
+    if (j.collective != collective) continue;
+    // Geometric distance in (log nodes, log ppn) space.
+    const double dn = std::log2(static_cast<double>(j.nodes)) -
+                      std::log2(static_cast<double>(nodes));
+    const double dp = std::log2(static_cast<double>(j.ppn)) -
+                      std::log2(static_cast<double>(ppn));
+    const double dist = dn * dn + dp * dp;
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = &j;
+    }
+  }
+  return best;
+}
+
+bool TuningTable::has(coll::Collective collective, int nodes, int ppn) const {
+  return find(collective, nodes, ppn) != nullptr;
+}
+
+coll::Algorithm TuningTable::lookup(coll::Collective collective, int nodes,
+                                    int ppn, std::uint64_t msg_bytes) const {
+  const JobTable* job = find(collective, nodes, ppn);
+  if (job == nullptr) job = nearest(collective, nodes, ppn);
+  if (job == nullptr) {
+    throw TuningError("tuning table has no entries for collective " +
+                      coll::to_string(collective));
+  }
+  for (const TuningEntry& e : job->entries) {
+    if (msg_bytes <= e.max_bytes) return e.algorithm;
+  }
+  return job->entries.back().algorithm;  // open-ended final range
+}
+
+TuningTable TuningTable::generate(Selector& selector,
+                                  const sim::ClusterSpec& cluster,
+                                  std::span<const int> node_counts,
+                                  std::span<const int> ppn_values,
+                                  std::span<const std::uint64_t> msg_sizes) {
+  return generate(selector, cluster, node_counts, ppn_values, msg_sizes,
+                  coll::paper_collectives());
+}
+
+TuningTable TuningTable::generate(Selector& selector,
+                                  const sim::ClusterSpec& cluster,
+                                  std::span<const int> node_counts,
+                                  std::span<const int> ppn_values,
+                                  std::span<const std::uint64_t> msg_sizes,
+                                  std::span<const coll::Collective> collectives) {
+  if (msg_sizes.empty()) throw TuningError("generate: empty size sweep");
+  TuningTable table(cluster.name);
+  for (const auto collective : collectives) {
+    for (const int nodes : node_counts) {
+      for (const int ppn : ppn_values) {
+        if (ppn > cluster.hw.threads) continue;
+        JobTable job;
+        job.collective = collective;
+        job.nodes = nodes;
+        job.ppn = ppn;
+        for (const std::uint64_t msg : msg_sizes) {
+          const coll::Algorithm a = selector.select(
+              collective, cluster, sim::Topology{nodes, ppn}, msg);
+          if (!job.entries.empty() && job.entries.back().algorithm == a) {
+            job.entries.back().max_bytes = msg;  // extend the range
+          } else {
+            job.entries.push_back(TuningEntry{msg, a});
+          }
+        }
+        table.add(std::move(job));
+      }
+    }
+  }
+  return table;
+}
+
+Json TuningTable::to_json() const {
+  Json j = Json::object();
+  j["format"] = "pml-mpi-tuning-table-v1";
+  j["cluster"] = cluster_name_;
+  Json jobs = Json::array();
+  for (const JobTable& job : jobs_) {
+    Json jj = Json::object();
+    jj["collective"] = coll::to_string(job.collective);
+    jj["nodes"] = job.nodes;
+    jj["ppn"] = job.ppn;
+    Json entries = Json::array();
+    for (const TuningEntry& e : job.entries) {
+      Json ej = Json::object();
+      ej["max_bytes"] = e.max_bytes;
+      ej["algorithm"] = coll::to_string(e.algorithm);
+      entries.push_back(std::move(ej));
+    }
+    jj["entries"] = std::move(entries);
+    jobs.push_back(std::move(jj));
+  }
+  j["jobs"] = std::move(jobs);
+  return j;
+}
+
+TuningTable TuningTable::from_json(const Json& j) {
+  if (!j.contains("format") ||
+      j.at("format").as_string() != "pml-mpi-tuning-table-v1") {
+    throw TuningError("not a pml-mpi tuning table");
+  }
+  TuningTable table(j.at("cluster").as_string());
+  for (const Json& jj : j.at("jobs").as_array()) {
+    JobTable job;
+    job.collective = coll::collective_from_string(jj.at("collective").as_string());
+    job.nodes = static_cast<int>(jj.at("nodes").as_int());
+    job.ppn = static_cast<int>(jj.at("ppn").as_int());
+    for (const Json& ej : jj.at("entries").as_array()) {
+      TuningEntry e;
+      e.max_bytes = static_cast<std::uint64_t>(ej.at("max_bytes").as_int());
+      e.algorithm = coll::algorithm_from_string(
+          coll::to_string(job.collective) + ":" +
+          ej.at("algorithm").as_string());
+      job.entries.push_back(e);
+    }
+    table.add(std::move(job));
+  }
+  return table;
+}
+
+}  // namespace pml::core

@@ -1,0 +1,86 @@
+// Tuning tables: the JSON artefact the framework emits at MPI-library
+// compile time (paper Fig. 4) and consults at application runtime.
+//
+// A table maps (collective, #nodes, ppn, message-size range) to an
+// algorithm. Consecutive message sizes that select the same algorithm are
+// compressed into ranges, matching the look-up-table format of offline
+// micro-benchmarking tools.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coll/collective.hpp"
+#include "common/json.hpp"
+#include "core/selectors.hpp"
+
+namespace pml::core {
+
+/// One size range: applies to message sizes <= max_bytes (entries are
+/// ordered; the last entry of a job table is open-ended).
+struct TuningEntry {
+  std::uint64_t max_bytes = 0;
+  coll::Algorithm algorithm = coll::Algorithm::kAgRing;
+};
+
+/// Entries for one (collective, nodes, ppn) job shape.
+struct JobTable {
+  coll::Collective collective = coll::Collective::kAllgather;
+  int nodes = 0;
+  int ppn = 0;
+  std::vector<TuningEntry> entries;  ///< ascending max_bytes, non-empty
+};
+
+class TuningTable {
+ public:
+  TuningTable() = default;
+  explicit TuningTable(std::string cluster_name)
+      : cluster_name_(std::move(cluster_name)) {}
+
+  const std::string& cluster_name() const noexcept { return cluster_name_; }
+  std::size_t job_count() const noexcept { return jobs_.size(); }
+  bool empty() const noexcept { return jobs_.empty(); }
+
+  /// Register a job table; throws TuningError on empty/unsorted entries or
+  /// a duplicate (collective, nodes, ppn) key.
+  void add(JobTable job);
+
+  bool has(coll::Collective collective, int nodes, int ppn) const;
+
+  /// Algorithm for the job shape and message size. Exact (nodes, ppn) match
+  /// preferred; otherwise the geometrically nearest registered shape of the
+  /// collective is used (as MPI libraries fall back to the closest tuned
+  /// configuration). Throws TuningError if the collective has no entries.
+  coll::Algorithm lookup(coll::Collective collective, int nodes, int ppn,
+                         std::uint64_t msg_bytes) const;
+
+  /// Build a table by querying a selector over a sweep (used both for the
+  /// ML path and for baking baseline heuristics into table form).
+  /// `collectives` defaults to the two the paper evaluates.
+  static TuningTable generate(Selector& selector,
+                              const sim::ClusterSpec& cluster,
+                              std::span<const int> node_counts,
+                              std::span<const int> ppn_values,
+                              std::span<const std::uint64_t> msg_sizes);
+  static TuningTable generate(Selector& selector,
+                              const sim::ClusterSpec& cluster,
+                              std::span<const int> node_counts,
+                              std::span<const int> ppn_values,
+                              std::span<const std::uint64_t> msg_sizes,
+                              std::span<const coll::Collective> collectives);
+
+  Json to_json() const;
+  static TuningTable from_json(const Json& j);
+
+ private:
+  const JobTable* find(coll::Collective collective, int nodes, int ppn) const;
+  const JobTable* nearest(coll::Collective collective, int nodes,
+                          int ppn) const;
+
+  std::string cluster_name_;
+  std::vector<JobTable> jobs_;
+};
+
+}  // namespace pml::core

@@ -1,0 +1,120 @@
+#include "ml/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pml::ml {
+
+namespace {
+
+void softmax_inplace(std::vector<double>& scores) {
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  double sum = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - mx);
+    sum += s;
+  }
+  for (double& s : scores) s /= sum;
+}
+
+}  // namespace
+
+void GradientBoosting::fit(const Dataset& train, Rng& rng) {
+  train.validate();
+  if (params_.n_rounds < 1) throw MlError("boosting: n_rounds must be >= 1");
+  if (params_.subsample <= 0.0 || params_.subsample > 1.0) {
+    throw MlError("boosting: subsample must be in (0, 1]");
+  }
+  num_classes_ = train.num_classes;
+  const auto k = static_cast<std::size_t>(num_classes_);
+  const std::size_t n = train.size();
+  stages_.clear();
+
+  // Class priors as initial logits.
+  base_score_.assign(k, 0.0);
+  for (const int y : train.y) base_score_[static_cast<std::size_t>(y)] += 1.0;
+  for (double& b : base_score_) {
+    b = std::log(std::max(b / static_cast<double>(n), 1e-9));
+  }
+
+  // Running raw scores F[i][c].
+  std::vector<std::vector<double>> f(n, base_score_);
+
+  TreeParams tp;
+  tp.max_depth = params_.max_depth;
+  tp.min_samples_leaf = params_.min_samples_leaf;
+
+  std::vector<double> residual(n);
+  std::vector<std::size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0u);
+
+  for (int round = 0; round < params_.n_rounds; ++round) {
+    // Stochastic GBM row subset for this round.
+    std::span<const std::size_t> used(rows);
+    if (params_.subsample < 1.0) {
+      rng.shuffle(rows);
+      const auto keep = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::llround(
+                 params_.subsample * static_cast<double>(n))));
+      used = std::span<const std::size_t>(rows.data(), keep);
+    }
+
+    auto& stage = stages_.emplace_back();
+    stage.reserve(k);
+    // Current probabilities for the residuals of this round.
+    std::vector<std::vector<double>> proba(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      proba[i] = f[i];
+      softmax_inplace(proba[i]);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double target =
+            train.y[i] == static_cast<int>(c) ? 1.0 : 0.0;
+        residual[i] = target - proba[i][c];
+      }
+      Rng tree_rng = rng.split();
+      RegressionTree tree(tp);
+      tree.fit(train.x, residual, tree_rng, used);
+
+      // Friedman's multiclass Newton step per leaf:
+      // gamma = (K-1)/K * sum(r) / sum(|r| (1 - |r|)).
+      for (std::size_t leaf = 0; leaf < tree.leaf_count(); ++leaf) {
+        double num = 0.0;
+        double den = 0.0;
+        for (const std::size_t i : tree.leaf_members()[leaf]) {
+          const double r = residual[i];
+          num += r;
+          den += std::abs(r) * (1.0 - std::abs(r));
+        }
+        const double gamma =
+            den > 1e-12
+                ? (static_cast<double>(k) - 1.0) / static_cast<double>(k) *
+                      num / den
+                : 0.0;
+        tree.set_leaf_value(static_cast<int>(leaf), gamma);
+      }
+      // Update all rows' scores (not only the subsample).
+      for (std::size_t i = 0; i < n; ++i) {
+        f[i][c] += params_.learning_rate * tree.predict(train.x.row(i));
+      }
+      stage.push_back(std::move(tree));
+    }
+  }
+}
+
+std::vector<double> GradientBoosting::predict_proba(
+    std::span<const double> row) const {
+  require_fitted();
+  std::vector<double> scores = base_score_;
+  for (const auto& stage : stages_) {
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+      scores[c] += params_.learning_rate * stage[c].predict(row);
+    }
+  }
+  softmax_inplace(scores);
+  return scores;
+}
+
+}  // namespace pml::ml

@@ -1,0 +1,74 @@
+#include "ml/cv.hpp"
+
+namespace pml::ml {
+
+double cross_val_score(const ModelFactory& factory, const Json& params,
+                       const Dataset& data, int folds, Rng& rng,
+                       const std::string& metric) {
+  data.validate();
+  if (metric != "auc" && metric != "accuracy") {
+    throw MlError("cross_val_score: unknown metric " + metric);
+  }
+  const auto splits = stratified_kfold(data.y, folds, rng);
+  double total = 0.0;
+  int scored = 0;
+  for (const TrainTestSplit& split : splits) {
+    const Dataset train = data.subset(split.train);
+    const Dataset test = data.subset(split.test);
+    auto model = factory(params);
+    Rng fit_rng = rng.split();
+    model->fit(train, fit_rng);
+    try {
+      total += metric == "auc" ? evaluate_auc(*model, test)
+                               : evaluate_accuracy(*model, test);
+      ++scored;
+    } catch (const MlError&) {
+      // A fold whose test slice lacks class diversity cannot be AUC-scored;
+      // skip it rather than poison the mean.
+    }
+  }
+  if (scored == 0) throw MlError("cross_val_score: no scorable folds");
+  return total / scored;
+}
+
+GridSearchResult grid_search(const ModelFactory& factory,
+                             const std::vector<Json>& candidates,
+                             const Dataset& data, int folds, Rng& rng,
+                             const std::string& metric) {
+  if (candidates.empty()) throw MlError("grid_search: no candidates");
+  GridSearchResult result;
+  result.best_score = -1.0;
+  for (const Json& candidate : candidates) {
+    Rng cv_rng = rng.split();
+    const double score =
+        cross_val_score(factory, candidate, data, folds, cv_rng, metric);
+    result.all_scores.emplace_back(candidate, score);
+    if (score > result.best_score) {
+      result.best_score = score;
+      result.best_params = candidate;
+    }
+  }
+  return result;
+}
+
+std::vector<Json> param_grid(
+    const std::vector<std::pair<std::string, std::vector<Json>>>& axes) {
+  std::vector<Json> grid;
+  grid.push_back(Json::object());
+  for (const auto& [key, values] : axes) {
+    if (values.empty()) throw MlError("param_grid: empty axis " + key);
+    std::vector<Json> expanded;
+    expanded.reserve(grid.size() * values.size());
+    for (const Json& base : grid) {
+      for (const Json& v : values) {
+        Json next = base;
+        next[key] = v;
+        expanded.push_back(std::move(next));
+      }
+    }
+    grid = std::move(expanded);
+  }
+  return grid;
+}
+
+}  // namespace pml::ml

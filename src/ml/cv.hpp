@@ -1,0 +1,46 @@
+// Cross-validation and hyperparameter grid search.
+//
+// The paper tunes every model with "extensive hyperparameter tuning" and
+// scores cross-validation folds by AUC rather than accuracy to resist
+// class imbalance (§V-C). Grid candidates are JSON objects so every model
+// family shares one search loop; a factory lambda turns a candidate into a
+// fresh classifier.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model.hpp"
+
+namespace pml::ml {
+
+using ModelFactory = std::function<std::unique_ptr<Classifier>(const Json&)>;
+
+/// Mean of a fold-wise metric under stratified k-fold cross-validation.
+/// metric: "auc" (default, as in the paper) or "accuracy".
+double cross_val_score(const ModelFactory& factory, const Json& params,
+                       const Dataset& data, int folds, Rng& rng,
+                       const std::string& metric = "auc");
+
+struct GridSearchResult {
+  Json best_params;
+  double best_score = 0.0;
+  std::vector<std::pair<Json, double>> all_scores;  // candidate -> CV score
+};
+
+/// Exhaustive search over candidate parameter sets, CV-scored by `metric`.
+GridSearchResult grid_search(const ModelFactory& factory,
+                             const std::vector<Json>& candidates,
+                             const Dataset& data, int folds, Rng& rng,
+                             const std::string& metric = "auc");
+
+/// Cartesian product of per-key value lists, e.g.
+/// {"n_trees": [50,100], "max_depth": [8,-1]} -> 4 candidates.
+std::vector<Json> param_grid(
+    const std::vector<std::pair<std::string, std::vector<Json>>>& axes);
+
+}  // namespace pml::ml

@@ -1,0 +1,81 @@
+#include "ml/factory.hpp"
+
+namespace pml::ml {
+
+namespace {
+
+/// Reject unknown hyperparameter keys so grid typos fail loudly.
+void check_keys(const Json& params,
+                std::initializer_list<const char*> allowed) {
+  if (!params.is_object()) throw MlError("params must be a JSON object");
+  for (const auto& [key, value] : params.as_object()) {
+    bool ok = false;
+    for (const char* a : allowed) ok = ok || key == a;
+    if (!ok) throw MlError("unknown hyperparameter: " + key);
+  }
+}
+
+int get_int(const Json& params, const char* key, int fallback) {
+  return params.contains(key) ? static_cast<int>(params.at(key).as_int())
+                              : fallback;
+}
+
+double get_double(const Json& params, const char* key, double fallback) {
+  return params.contains(key) ? params.at(key).as_number() : fallback;
+}
+
+bool get_bool(const Json& params, const char* key, bool fallback) {
+  return params.contains(key) ? params.at(key).as_bool() : fallback;
+}
+
+}  // namespace
+
+std::unique_ptr<Classifier> make_classifier(const std::string& family,
+                                            const Json& params) {
+  if (family == "RandomForest") {
+    check_keys(params, {"n_trees", "max_depth", "min_samples_leaf",
+                        "max_features", "bootstrap"});
+    RandomForestParams p;
+    p.n_trees = get_int(params, "n_trees", p.n_trees);
+    p.max_depth = get_int(params, "max_depth", p.max_depth);
+    p.min_samples_leaf = get_int(params, "min_samples_leaf", p.min_samples_leaf);
+    p.max_features = get_int(params, "max_features", p.max_features);
+    p.bootstrap = get_bool(params, "bootstrap", p.bootstrap);
+    return std::make_unique<RandomForest>(p);
+  }
+  if (family == "GradientBoost") {
+    check_keys(params, {"n_rounds", "learning_rate", "max_depth",
+                        "min_samples_leaf", "subsample"});
+    GradientBoostingParams p;
+    p.n_rounds = get_int(params, "n_rounds", p.n_rounds);
+    p.learning_rate = get_double(params, "learning_rate", p.learning_rate);
+    p.max_depth = get_int(params, "max_depth", p.max_depth);
+    p.min_samples_leaf = get_int(params, "min_samples_leaf", p.min_samples_leaf);
+    p.subsample = get_double(params, "subsample", p.subsample);
+    return std::make_unique<GradientBoosting>(p);
+  }
+  if (family == "KNN") {
+    check_keys(params, {"k", "distance_weighted"});
+    KnnParams p;
+    p.k = get_int(params, "k", p.k);
+    p.distance_weighted =
+        get_bool(params, "distance_weighted", p.distance_weighted);
+    return std::make_unique<Knn>(p);
+  }
+  if (family == "SVM") {
+    check_keys(params, {"lambda", "epochs"});
+    SvmParams p;
+    p.lambda = get_double(params, "lambda", p.lambda);
+    p.epochs = get_int(params, "epochs", p.epochs);
+    return std::make_unique<LinearSvm>(p);
+  }
+  throw MlError("unknown model family: " + family);
+}
+
+ModelFactory factory_for(const std::string& family) {
+  return [family](const Json& params) {
+    return make_classifier(family, params);
+  };
+}
+
+}  // namespace pml::ml

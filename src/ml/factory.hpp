@@ -1,0 +1,24 @@
+// JSON-parameterised constructors for the four model families of Table II.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ml/boosting.hpp"
+#include "ml/cv.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/svm.hpp"
+
+namespace pml::ml {
+
+/// Build a classifier by family name with JSON hyperparameters. Recognised
+/// names: "RandomForest", "GradientBoost", "KNN", "SVM". Unknown keys in
+/// `params` are rejected, so typos in grids fail loudly.
+std::unique_ptr<Classifier> make_classifier(const std::string& family,
+                                            const Json& params);
+
+/// ModelFactory bound to one family (for grid_search).
+ModelFactory factory_for(const std::string& family);
+
+}  // namespace pml::ml

@@ -1,0 +1,145 @@
+#include "ml/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pml::ml {
+
+void RandomForest::fit(const Dataset& train, Rng& rng) {
+  train.validate();
+  if (params_.n_trees < 1) throw MlError("forest: n_trees must be >= 1");
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(params_.n_trees));
+  num_classes_ = train.num_classes;
+  n_features_ = train.x.cols();
+
+  TreeParams tp;
+  tp.max_depth = params_.max_depth;
+  tp.min_samples_leaf = params_.min_samples_leaf;
+  tp.max_features =
+      params_.max_features > 0
+          ? params_.max_features
+          : std::max(1, static_cast<int>(std::floor(
+                            std::sqrt(static_cast<double>(n_features_)))));
+
+  const std::size_t n = train.size();
+  // OOB vote accumulation: votes[i][c] over trees where i was out of bag.
+  std::vector<std::vector<double>> oob_votes;
+  if (params_.bootstrap) {
+    oob_votes.assign(n, std::vector<double>(
+                            static_cast<std::size_t>(num_classes_), 0.0));
+  }
+  std::vector<char> in_bag(n);
+  std::vector<std::size_t> sample(n);
+
+  for (int t = 0; t < params_.n_trees; ++t) {
+    Rng tree_rng = rng.split();
+    DecisionTree tree(tp);
+    if (params_.bootstrap) {
+      std::fill(in_bag.begin(), in_bag.end(), 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        sample[i] = static_cast<std::size_t>(tree_rng.uniform_index(n));
+        in_bag[sample[i]] = 1;
+      }
+      tree.fit(train.x, train.y, num_classes_, tree_rng, sample);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in_bag[i]) continue;
+        const auto p = tree.predict_proba(train.x.row(i));
+        for (std::size_t c = 0; c < p.size(); ++c) oob_votes[i][c] += p[c];
+      }
+    } else {
+      tree.fit(train.x, train.y, num_classes_, tree_rng);
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  if (params_.bootstrap) {
+    std::size_t scored = 0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& v = oob_votes[i];
+      double total = 0.0;
+      for (const double x : v) total += x;
+      if (total <= 0.0) continue;  // never out of bag
+      ++scored;
+      const int pred = static_cast<int>(
+          std::max_element(v.begin(), v.end()) - v.begin());
+      if (pred == train.y[i]) ++correct;
+    }
+    if (scored > 0) {
+      oob_score_ = static_cast<double>(correct) / static_cast<double>(scored);
+    }
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> row) const {
+  require_fitted();
+  std::vector<double> proba(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto p = tree.predict_proba(row);
+    for (std::size_t c = 0; c < proba.size(); ++c) proba[c] += p[c];
+  }
+  for (double& p : proba) p /= static_cast<double>(trees_.size());
+  return proba;
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  require_fitted();
+  std::vector<double> total(n_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto imp = tree.feature_importances();
+    for (std::size_t f = 0; f < total.size(); ++f) total[f] += imp[f];
+  }
+  double sum = 0.0;
+  for (const double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+Json RandomForest::to_json() const {
+  require_fitted();
+  Json j = Json::object();
+  j["model"] = "random_forest";
+  j["num_classes"] = num_classes_;
+  j["n_features"] = n_features_;
+  Json params = Json::object();
+  params["n_trees"] = params_.n_trees;
+  params["max_depth"] = params_.max_depth;
+  params["min_samples_leaf"] = params_.min_samples_leaf;
+  params["max_features"] = params_.max_features;
+  params["bootstrap"] = params_.bootstrap;
+  j["params"] = std::move(params);
+  Json trees = Json::array();
+  for (const DecisionTree& t : trees_) trees.push_back(t.to_json());
+  j["trees"] = std::move(trees);
+  return j;
+}
+
+RandomForest RandomForest::from_json(const Json& j) {
+  if (j.at("model").as_string() != "random_forest") {
+    throw MlError("from_json: not a random_forest model");
+  }
+  RandomForestParams params;
+  const Json& pj = j.at("params");
+  params.n_trees = static_cast<int>(pj.at("n_trees").as_int());
+  params.max_depth = static_cast<int>(pj.at("max_depth").as_int());
+  params.min_samples_leaf =
+      static_cast<int>(pj.at("min_samples_leaf").as_int());
+  params.max_features = static_cast<int>(pj.at("max_features").as_int());
+  params.bootstrap = pj.at("bootstrap").as_bool();
+
+  RandomForest forest(params);
+  forest.num_classes_ = static_cast<int>(j.at("num_classes").as_int());
+  forest.n_features_ =
+      static_cast<std::size_t>(j.at("n_features").as_int());
+  for (const Json& tj : j.at("trees").as_array()) {
+    forest.trees_.push_back(DecisionTree::from_json(tj));
+  }
+  if (forest.trees_.empty()) throw MlError("from_json: forest has no trees");
+  return forest;
+}
+
+}  // namespace pml::ml

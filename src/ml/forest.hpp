@@ -1,0 +1,53 @@
+// Random Forest classifier — the model the paper selects (Table II) and
+// ships pre-trained with the MPI library.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/json.hpp"
+#include "ml/model.hpp"
+#include "ml/tree.hpp"
+
+namespace pml::ml {
+
+struct RandomForestParams {
+  int n_trees = 100;
+  int max_depth = -1;
+  int min_samples_leaf = 1;
+  /// Features tried per split; -1 = floor(sqrt(total)) (sklearn default).
+  int max_features = -1;
+  bool bootstrap = true;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(RandomForestParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "RandomForest"; }
+  void fit(const Dataset& train, Rng& rng) override;
+  std::vector<double> predict_proba(std::span<const double> row) const override;
+
+  /// Normalised Gini-decrease feature importances (sum to 1): per-feature
+  /// impurity decreases accumulated across all trees, as described in
+  /// paper §V-A.
+  std::vector<double> feature_importances() const;
+
+  /// Out-of-bag accuracy estimate (only when bootstrap was enabled).
+  std::optional<double> oob_score() const noexcept { return oob_score_; }
+
+  const RandomForestParams& params() const noexcept { return params_; }
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+
+  Json to_json() const;
+  static RandomForest from_json(const Json& j);
+
+ private:
+  RandomForestParams params_;
+  std::vector<DecisionTree> trees_;
+  std::size_t n_features_ = 0;
+  std::optional<double> oob_score_;
+};
+
+}  // namespace pml::ml

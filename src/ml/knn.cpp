@@ -1,0 +1,49 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pml::ml {
+
+void Knn::fit(const Dataset& train, Rng& /*rng*/) {
+  train.validate();
+  if (params_.k < 1) throw MlError("knn: k must be >= 1");
+  num_classes_ = train.num_classes;
+  scaler_.fit(train.x);
+  x_ = scaler_.transform(train.x);
+  y_ = train.y;
+}
+
+std::vector<double> Knn::predict_proba(std::span<const double> row) const {
+  require_fitted();
+  const auto q = scaler_.transform_row(row);
+  const std::size_t n = x_.rows();
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(params_.k), n);
+
+  std::vector<std::pair<double, std::size_t>> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = x_.row(i);
+    double d = 0.0;
+    for (std::size_t c = 0; c < q.size(); ++c) {
+      const double diff = r[c] - q[c];
+      d += diff * diff;
+    }
+    dist[i] = {d, i};
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = params_.distance_weighted
+                         ? 1.0 / (std::sqrt(dist[i].first) + 1e-9)
+                         : 1.0;
+    votes[static_cast<std::size_t>(y_[dist[i].second])] += w;
+  }
+  const double total = std::accumulate(votes.begin(), votes.end(), 0.0);
+  for (double& v : votes) v /= total;
+  return votes;
+}
+
+}  // namespace pml::ml

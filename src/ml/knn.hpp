@@ -1,0 +1,30 @@
+// K-nearest-neighbours classifier over standardised features.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace pml::ml {
+
+struct KnnParams {
+  int k = 5;
+  bool distance_weighted = false;  ///< 1/d vote weights instead of uniform
+};
+
+class Knn final : public Classifier {
+ public:
+  explicit Knn(KnnParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "KNN"; }
+  void fit(const Dataset& train, Rng& rng) override;
+  std::vector<double> predict_proba(std::span<const double> row) const override;
+
+  const KnnParams& params() const noexcept { return params_; }
+
+ private:
+  KnnParams params_;
+  Standardizer scaler_;
+  Matrix x_;             // standardised training rows
+  std::vector<int> y_;
+};
+
+}  // namespace pml::ml

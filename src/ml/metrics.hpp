@@ -1,0 +1,45 @@
+// Evaluation metrics: accuracy, confusion matrix, and the macro
+// one-vs-rest ROC AUC the paper uses during cross-validation to guard
+// against class imbalance (§V-C).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace pml::ml {
+
+/// Fraction of matching predictions.
+double accuracy(std::span<const int> truth, std::span<const int> predicted);
+
+/// counts[t][p] = rows with true class t predicted as p.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    std::span<const int> truth, std::span<const int> predicted,
+    int num_classes);
+
+/// Binary ROC AUC by the Mann-Whitney statistic: probability that a random
+/// positive scores above a random negative (ties count half).
+double binary_auc(std::span<const double> scores,
+                  std::span<const char> is_positive);
+
+/// Macro-averaged one-vs-rest AUC over the classes present in `truth`.
+/// proba[i] are the per-class probability estimates of row i.
+double macro_ovr_auc(const std::vector<std::vector<double>>& proba,
+                     std::span<const int> truth, int num_classes);
+
+/// Predict every row of a dataset with a fitted classifier.
+std::vector<int> predict_all(const Classifier& model, const Dataset& data);
+
+/// Per-row class probabilities for a whole dataset.
+std::vector<std::vector<double>> predict_proba_all(const Classifier& model,
+                                                   const Dataset& data);
+
+/// Convenience: accuracy of a fitted model on a dataset.
+double evaluate_accuracy(const Classifier& model, const Dataset& data);
+
+/// Convenience: macro OvR AUC of a fitted model on a dataset.
+double evaluate_auc(const Classifier& model, const Dataset& data);
+
+}  // namespace pml::ml

@@ -1,0 +1,48 @@
+// Common classifier interface.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace pml::ml {
+
+/// Abstract multiclass classifier. Implementations: RandomForest,
+/// GradientBoosting, Knn, LinearSvm (the four models of paper Table II).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Train on the dataset; all stochastic choices flow through `rng`.
+  virtual void fit(const Dataset& train, Rng& rng) = 0;
+
+  /// Class-probability estimates for one feature row (size num_classes()).
+  virtual std::vector<double> predict_proba(
+      std::span<const double> row) const = 0;
+
+  /// Argmax of predict_proba.
+  virtual int predict(std::span<const double> row) const {
+    const auto p = predict_proba(row);
+    return static_cast<int>(
+        std::max_element(p.begin(), p.end()) - p.begin());
+  }
+
+  int num_classes() const noexcept { return num_classes_; }
+  bool fitted() const noexcept { return num_classes_ > 0; }
+
+ protected:
+  void require_fitted() const {
+    if (!fitted()) throw MlError(name() + ": predict before fit");
+  }
+
+  int num_classes_ = 0;
+};
+
+}  // namespace pml::ml

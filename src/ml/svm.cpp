@@ -1,0 +1,73 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pml::ml {
+
+void LinearSvm::fit(const Dataset& train, Rng& rng) {
+  train.validate();
+  if (params_.lambda <= 0.0) throw MlError("svm: lambda must be positive");
+  if (params_.epochs < 1) throw MlError("svm: epochs must be >= 1");
+  num_classes_ = train.num_classes;
+  scaler_.fit(train.x);
+  const Matrix x = scaler_.transform(train.x);
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+
+  weights_.assign(static_cast<std::size_t>(num_classes_),
+                  std::vector<double>(d + 1, 0.0));
+
+  // Pegasos: at step t, eta = 1 / (lambda * t); update on one random row.
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    auto& w = weights_[c];
+    std::size_t t = 0;
+    for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+      for (std::size_t step = 0; step < n; ++step) {
+        ++t;
+        const auto i = static_cast<std::size_t>(rng.uniform_index(n));
+        const auto row = x.row(i);
+        const double label = train.y[i] == static_cast<int>(c) ? 1.0 : -1.0;
+        double margin = w[d];
+        for (std::size_t f = 0; f < d; ++f) margin += w[f] * row[f];
+        const double eta = 1.0 / (params_.lambda * static_cast<double>(t));
+        const double shrink = 1.0 - eta * params_.lambda;
+        for (std::size_t f = 0; f < d; ++f) w[f] *= shrink;
+        if (label * margin < 1.0) {
+          for (std::size_t f = 0; f < d; ++f) w[f] += eta * label * row[f];
+          w[d] += eta * label;  // unregularised bias
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> LinearSvm::decision_function(
+    std::span<const double> row) const {
+  require_fitted();
+  const auto q = scaler_.transform_row(row);
+  std::vector<double> margins(weights_.size(), 0.0);
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    const auto& w = weights_[c];
+    double m = w[q.size()];
+    for (std::size_t f = 0; f < q.size(); ++f) m += w[f] * q[f];
+    margins[c] = m;
+  }
+  return margins;
+}
+
+std::vector<double> LinearSvm::predict_proba(
+    std::span<const double> row) const {
+  auto scores = decision_function(row);
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  double sum = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - mx);
+    sum += s;
+  }
+  for (double& s : scores) s /= sum;
+  return scores;
+}
+
+}  // namespace pml::ml

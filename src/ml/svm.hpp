@@ -1,0 +1,33 @@
+// Linear SVM, one-vs-rest, trained with the Pegasos stochastic subgradient
+// method on standardised features.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace pml::ml {
+
+struct SvmParams {
+  double lambda = 1e-3;  ///< L2 regularisation strength
+  int epochs = 20;       ///< passes over the training set
+};
+
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(SvmParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "SVM"; }
+  void fit(const Dataset& train, Rng& rng) override;
+  std::vector<double> predict_proba(std::span<const double> row) const override;
+
+  const SvmParams& params() const noexcept { return params_; }
+
+  /// Raw one-vs-rest margins (before the softmax calibration).
+  std::vector<double> decision_function(std::span<const double> row) const;
+
+ private:
+  SvmParams params_;
+  Standardizer scaler_;
+  std::vector<std::vector<double>> weights_;  // per class, + bias at the end
+};
+
+}  // namespace pml::ml

@@ -1,0 +1,366 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace pml::ml {
+
+double gini_impurity(std::span<const double> class_counts) {
+  double total = 0.0;
+  for (const double c : class_counts) total += c;
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (const double c : class_counts) {
+    const double p = c / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+namespace {
+
+/// Candidate feature subset for one split (without replacement).
+std::vector<std::size_t> sample_features(std::size_t total, int max_features,
+                                         Rng& rng) {
+  std::vector<std::size_t> all(total);
+  std::iota(all.begin(), all.end(), 0u);
+  if (max_features <= 0 || static_cast<std::size_t>(max_features) >= total) {
+    return all;
+  }
+  rng.shuffle(all);
+  all.resize(static_cast<std::size_t>(max_features));
+  return all;
+}
+
+struct SplitResult {
+  bool found = false;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double decrease = 0.0;  // impurity decrease, unweighted by node share
+};
+
+}  // namespace
+
+// ---- DecisionTree ----------------------------------------------------------
+
+void DecisionTree::fit(const Matrix& x, std::span<const int> y,
+                       int num_classes, Rng& rng,
+                       std::span<const std::size_t> samples) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    throw MlError("tree: bad training shape");
+  }
+  if (num_classes < 1) throw MlError("tree: num_classes must be >= 1");
+  nodes_.clear();
+  depth_ = 0;
+  num_classes_ = num_classes;
+  importances_.assign(x.cols(), 0.0);
+
+  std::vector<std::size_t> idx;
+  if (samples.empty()) {
+    idx.resize(x.rows());
+    std::iota(idx.begin(), idx.end(), 0u);
+  } else {
+    idx.assign(samples.begin(), samples.end());
+  }
+  build(x, y, num_classes, idx, 0, idx.size(), 0,
+        static_cast<double>(idx.size()), rng);
+}
+
+int DecisionTree::build(const Matrix& x, std::span<const int> y,
+                        int num_classes, std::vector<std::size_t>& samples,
+                        std::size_t begin, std::size_t end, int level,
+                        double total_samples, Rng& rng) {
+  depth_ = std::max(depth_, level);
+  const std::size_t n = end - begin;
+
+  std::vector<double> counts(static_cast<std::size_t>(num_classes), 0.0);
+  for (std::size_t i = begin; i < end; ++i) {
+    counts[static_cast<std::size_t>(y[samples[i]])] += 1.0;
+  }
+  const double node_gini = gini_impurity(counts);
+
+  auto make_leaf = [&] {
+    Node leaf;
+    leaf.proba.resize(counts.size());
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      leaf.proba[c] = counts[c] / static_cast<double>(n);
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  const bool depth_capped = params_.max_depth >= 0 && level >= params_.max_depth;
+  if (node_gini <= 0.0 || depth_capped ||
+      n < static_cast<std::size_t>(params_.min_samples_split)) {
+    return make_leaf();
+  }
+
+  // Best Gini split over a (possibly random) feature subset.
+  SplitResult best;
+  const auto features = sample_features(x.cols(), params_.max_features, rng);
+  std::vector<std::size_t> order(samples.begin() + static_cast<long>(begin),
+                                 samples.begin() + static_cast<long>(end));
+  std::vector<double> left(counts.size());
+  for (const std::size_t f : features) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return x.at(a, f) < x.at(b, f);
+    });
+    std::fill(left.begin(), left.end(), 0.0);
+    std::vector<double> right = counts;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto cls = static_cast<std::size_t>(y[order[i]]);
+      left[cls] += 1.0;
+      right[cls] -= 1.0;
+      const double lo = x.at(order[i], f);
+      const double hi = x.at(order[i + 1], f);
+      if (hi <= lo) continue;  // no threshold separates equal values
+      const auto nl = static_cast<double>(i + 1);
+      const auto nr = static_cast<double>(n - i - 1);
+      if (nl < params_.min_samples_leaf || nr < params_.min_samples_leaf) {
+        continue;
+      }
+      const double child =
+          (nl * gini_impurity(left) + nr * gini_impurity(right)) /
+          static_cast<double>(n);
+      const double decrease = node_gini - child;
+      if (decrease > best.decrease + 1e-15) {
+        best.found = true;
+        best.feature = f;
+        best.threshold = 0.5 * (lo + hi);
+        best.decrease = decrease;
+      }
+    }
+  }
+  if (!best.found) return make_leaf();
+
+  // sklearn-style importance: node share of total samples times decrease.
+  importances_[best.feature] +=
+      (static_cast<double>(n) / total_samples) * best.decrease;
+
+  const auto mid_it = std::partition(
+      samples.begin() + static_cast<long>(begin),
+      samples.begin() + static_cast<long>(end), [&](std::size_t s) {
+        return x.at(s, best.feature) <= best.threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - samples.begin());
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].feature =
+      static_cast<int>(best.feature);
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best.threshold;
+  const int left_id =
+      build(x, y, num_classes, samples, begin, mid, level + 1, total_samples, rng);
+  const int right_id =
+      build(x, y, num_classes, samples, mid, end, level + 1, total_samples, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left_id;
+  nodes_[static_cast<std::size_t>(node_id)].right = right_id;
+  return node_id;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> row) const {
+  if (nodes_.empty()) throw MlError("tree: predict before fit");
+  const Node* node = &nodes_[0];
+  while (node->feature >= 0) {
+    const std::size_t f = static_cast<std::size_t>(node->feature);
+    if (f >= row.size()) throw MlError("tree: row has too few features");
+    node = row[f] <= node->threshold
+               ? &nodes_[static_cast<std::size_t>(node->left)]
+               : &nodes_[static_cast<std::size_t>(node->right)];
+  }
+  return node->proba;
+}
+
+int DecisionTree::predict(std::span<const double> row) const {
+  const auto p = predict_proba(row);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+Json DecisionTree::to_json() const {
+  Json j = Json::object();
+  j["num_classes"] = num_classes_;
+  j["depth"] = depth_;
+  Json nodes = Json::array();
+  for (const Node& n : nodes_) {
+    Json nj = Json::object();
+    nj["feature"] = n.feature;
+    if (n.feature >= 0) {
+      nj["threshold"] = n.threshold;
+      nj["left"] = n.left;
+      nj["right"] = n.right;
+    } else {
+      Json proba = Json::array();
+      for (const double p : n.proba) proba.push_back(p);
+      nj["proba"] = std::move(proba);
+    }
+    nodes.push_back(std::move(nj));
+  }
+  j["nodes"] = std::move(nodes);
+  return j;
+}
+
+DecisionTree DecisionTree::from_json(const Json& j) {
+  DecisionTree tree;
+  tree.num_classes_ = static_cast<int>(j.at("num_classes").as_int());
+  tree.depth_ = static_cast<int>(j.at("depth").as_int());
+  for (const Json& nj : j.at("nodes").as_array()) {
+    Node n;
+    n.feature = static_cast<int>(nj.at("feature").as_int());
+    if (n.feature >= 0) {
+      n.threshold = nj.at("threshold").as_number();
+      n.left = static_cast<int>(nj.at("left").as_int());
+      n.right = static_cast<int>(nj.at("right").as_int());
+    } else {
+      for (const Json& p : nj.at("proba").as_array()) {
+        n.proba.push_back(p.as_number());
+      }
+    }
+    tree.nodes_.push_back(std::move(n));
+  }
+  if (tree.nodes_.empty()) throw MlError("tree: empty serialized model");
+  return tree;
+}
+
+// ---- RegressionTree --------------------------------------------------------
+
+void RegressionTree::fit(const Matrix& x, std::span<const double> targets,
+                         Rng& rng, std::span<const std::size_t> samples) {
+  if (x.rows() == 0 || x.rows() != targets.size()) {
+    throw MlError("regression tree: bad training shape");
+  }
+  nodes_.clear();
+  leaf_nodes_.clear();
+  leaf_members_.clear();
+
+  std::vector<std::size_t> idx;
+  if (samples.empty()) {
+    idx.resize(x.rows());
+    std::iota(idx.begin(), idx.end(), 0u);
+  } else {
+    idx.assign(samples.begin(), samples.end());
+  }
+  build(x, targets, idx, 0, idx.size(), 0, rng);
+}
+
+int RegressionTree::build(const Matrix& x, std::span<const double> targets,
+                          std::vector<std::size_t>& samples, std::size_t begin,
+                          std::size_t end, int level, Rng& rng) {
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double t = targets[samples[i]];
+    sum += t;
+    sum_sq += t * t;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double sse = sum_sq - sum * mean;  // total squared error around mean
+
+  auto make_leaf = [&] {
+    Node leaf;
+    leaf.value = mean;
+    leaf.leaf_id = static_cast<int>(leaf_nodes_.size());
+    nodes_.push_back(leaf);
+    const int node_id = static_cast<int>(nodes_.size() - 1);
+    leaf_nodes_.push_back(node_id);
+    leaf_members_.emplace_back(samples.begin() + static_cast<long>(begin),
+                               samples.begin() + static_cast<long>(end));
+    return node_id;
+  };
+
+  const bool depth_capped = params_.max_depth >= 0 && level >= params_.max_depth;
+  if (sse <= 1e-12 || depth_capped ||
+      n < static_cast<std::size_t>(params_.min_samples_split)) {
+    return make_leaf();
+  }
+
+  SplitResult best;
+  const auto features = sample_features(x.cols(), params_.max_features, rng);
+  std::vector<std::size_t> order(samples.begin() + static_cast<long>(begin),
+                                 samples.begin() + static_cast<long>(end));
+  for (const std::size_t f : features) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return x.at(a, f) < x.at(b, f);
+    });
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double t = targets[order[i]];
+      left_sum += t;
+      left_sq += t * t;
+      const double lo = x.at(order[i], f);
+      const double hi = x.at(order[i + 1], f);
+      if (hi <= lo) continue;
+      const auto nl = static_cast<double>(i + 1);
+      const auto nr = static_cast<double>(n - i - 1);
+      if (nl < params_.min_samples_leaf || nr < params_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sq = sum_sq - left_sq;
+      const double sse_l = left_sq - left_sum * left_sum / nl;
+      const double sse_r = right_sq - right_sum * right_sum / nr;
+      const double decrease = sse - sse_l - sse_r;
+      if (decrease > best.decrease + 1e-15) {
+        best.found = true;
+        best.feature = f;
+        best.threshold = 0.5 * (lo + hi);
+        best.decrease = decrease;
+      }
+    }
+  }
+  if (!best.found) return make_leaf();
+
+  const auto mid_it = std::partition(
+      samples.begin() + static_cast<long>(begin),
+      samples.begin() + static_cast<long>(end), [&](std::size_t s) {
+        return x.at(s, best.feature) <= best.threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - samples.begin());
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].feature =
+      static_cast<int>(best.feature);
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best.threshold;
+  const int left_id = build(x, targets, samples, begin, mid, level + 1, rng);
+  const int right_id = build(x, targets, samples, mid, end, level + 1, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left_id;
+  nodes_[static_cast<std::size_t>(node_id)].right = right_id;
+  return node_id;
+}
+
+int RegressionTree::apply(std::span<const double> row) const {
+  if (nodes_.empty()) throw MlError("regression tree: apply before fit");
+  const Node* node = &nodes_[0];
+  while (node->feature >= 0) {
+    const std::size_t f = static_cast<std::size_t>(node->feature);
+    if (f >= row.size()) throw MlError("regression tree: short feature row");
+    node = row[f] <= node->threshold
+               ? &nodes_[static_cast<std::size_t>(node->left)]
+               : &nodes_[static_cast<std::size_t>(node->right)];
+  }
+  return node->leaf_id;
+}
+
+double RegressionTree::predict(std::span<const double> row) const {
+  return leaf_value(apply(row));
+}
+
+void RegressionTree::set_leaf_value(int leaf_id, double value) {
+  nodes_[static_cast<std::size_t>(leaf_nodes_.at(
+             static_cast<std::size_t>(leaf_id)))]
+      .value = value;
+}
+
+double RegressionTree::leaf_value(int leaf_id) const {
+  return nodes_[static_cast<std::size_t>(leaf_nodes_.at(
+                    static_cast<std::size_t>(leaf_id)))]
+      .value;
+}
+
+}  // namespace pml::ml

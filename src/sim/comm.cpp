@@ -1,0 +1,9 @@
+// Intentionally small: Comm is a header-only facade; this TU anchors the
+// library target and provides a home for future out-of-line additions.
+#include "sim/comm.hpp"
+
+namespace pml::sim {
+
+// (no out-of-line definitions currently)
+
+}  // namespace pml::sim

@@ -1,0 +1,103 @@
+// Per-rank communicator facade over the simulation engine.
+//
+// A `Comm` is the MPI-communicator-shaped handle a rank program receives.
+// Point-to-point calls return awaitables; `co_await comm.sendrecv(...)` is
+// the workhorse of every round-based collective schedule.
+//
+// Example rank program (a neighbour exchange):
+//
+//   RankTask program(Comm comm) {
+//     std::vector<std::byte> out(msg), in(msg);
+//     co_await comm.sendrecv(right, out, left, in);
+//   }
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pml::sim {
+
+/// Awaitable completion of a set of nonblocking requests.
+class [[nodiscard]] WaitAwaitable {
+ public:
+  WaitAwaitable(Engine& engine, int rank, std::vector<RequestId> reqs)
+      : engine_(&engine), rank_(rank), reqs_(std::move(reqs)) {}
+
+  bool await_ready() const { return engine_->all_done(reqs_); }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine_->suspend_wait(rank_, reqs_, h);
+  }
+  void await_resume() { engine_->complete_wait(rank_, reqs_); }
+
+ private:
+  Engine* engine_;
+  int rank_;
+  std::vector<RequestId> reqs_;
+};
+
+/// Lightweight per-rank view of the engine (copyable; references the engine).
+class Comm {
+ public:
+  Comm(Engine& engine, int rank) : engine_(&engine), rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return engine_->world_size(); }
+  int node() const noexcept { return engine_->topology().node_of(rank_); }
+  bool same_node(int other) const noexcept {
+    return engine_->topology().same_node(rank_, other);
+  }
+  Engine& engine() const noexcept { return *engine_; }
+  double now() const { return engine_->now(rank_); }
+
+  /// Nonblocking post; pair with wait()/wait_all().
+  RequestId isend(int dst, std::span<const std::byte> data, int tag = 0) {
+    return engine_->post_send(rank_, dst, data, tag);
+  }
+  RequestId irecv(int src, std::span<std::byte> data, int tag = 0) {
+    return engine_->post_recv(rank_, src, data, tag);
+  }
+
+  WaitAwaitable wait(RequestId req) {
+    return WaitAwaitable(*engine_, rank_, {req});
+  }
+  WaitAwaitable wait_all(std::vector<RequestId> reqs) {
+    return WaitAwaitable(*engine_, rank_, std::move(reqs));
+  }
+
+  /// Blocking send/recv: co_await comm.send(...).
+  WaitAwaitable send(int dst, std::span<const std::byte> data, int tag = 0) {
+    return wait(isend(dst, data, tag));
+  }
+  WaitAwaitable recv(int src, std::span<std::byte> data, int tag = 0) {
+    return wait(irecv(src, data, tag));
+  }
+
+  /// Simultaneous exchange: send to `dst`, receive from `src`.
+  WaitAwaitable sendrecv(int dst, std::span<const std::byte> send_data,
+                         int src, std::span<std::byte> recv_data,
+                         int tag = 0) {
+    std::vector<RequestId> reqs;
+    reqs.reserve(2);
+    reqs.push_back(isend(dst, send_data, tag));
+    reqs.push_back(irecv(src, recv_data, tag));
+    return wait_all(std::move(reqs));
+  }
+
+  /// Charge local computation time to this rank.
+  void compute(double seconds) { engine_->local_compute(rank_, seconds); }
+
+  /// Charge a local buffer copy (L3-aware) to this rank.
+  void copy(std::uint64_t bytes, std::uint64_t working_set) {
+    engine_->local_copy(rank_, bytes, working_set);
+  }
+
+ private:
+  Engine* engine_;
+  int rank_;
+};
+
+}  // namespace pml::sim

@@ -1,0 +1,238 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace pml::sim {
+
+Engine::Engine(const ClusterSpec& cluster, Topology topo, SimOptions opts)
+    : cluster_(cluster),
+      topo_(topo),
+      model_(cluster, topo),
+      opts_(opts),
+      rng_(opts.seed),
+      now_(static_cast<std::size_t>(topo.world_size()), 0.0),
+      nic_tx_free_(static_cast<std::size_t>(topo.nodes), 0.0),
+      nic_rx_free_(static_cast<std::size_t>(topo.nodes), 0.0) {}
+
+void Engine::check_rank(int rank) const {
+  if (rank < 0 || rank >= topo_.world_size()) {
+    throw SimError("rank " + std::to_string(rank) + " out of range [0, " +
+                   std::to_string(topo_.world_size()) + ")");
+  }
+}
+
+void Engine::schedule(double time, int rank, double clock,
+                      std::coroutine_handle<> h) {
+  events_.push(Event{time, next_seq_++, h, rank, clock});
+}
+
+RequestId Engine::post_send(int rank, int dst, std::span<const std::byte> data,
+                            int tag) {
+  check_rank(rank);
+  check_rank(dst);
+  auto& clock = now_[static_cast<std::size_t>(rank)];
+  clock += model_.per_message_overhead();
+
+  const auto id = static_cast<RequestId>(requests_.size());
+  requests_.push_back(Request{rank, false, 0.0, nullptr});
+
+  const std::uint64_t key = channel_key(rank, dst, tag);
+  PendingOp op{id, clock, data.data(), nullptr, data.size(), {}};
+  if (data.size() <= opts_.eager_threshold) {
+    // Eager protocol: the payload is copied to a bounce buffer and the send
+    // completes immediately; the sender may reuse its buffer right away.
+    // The matched transfer below still sets the receive timing.
+    if (opts_.copy_data && !data.empty()) {
+      op.buffered.assign(data.begin(), data.end());
+      op.send_data = op.buffered.data();
+    }
+    request_finished(id, clock + model_.memcpy_time(data.size(), data.size()));
+  }
+  pending_sends_[key].push_back(std::move(op));
+  try_match(key, rank, dst);
+  return id;
+}
+
+RequestId Engine::post_recv(int rank, int src, std::span<std::byte> data,
+                            int tag) {
+  check_rank(rank);
+  check_rank(src);
+  auto& clock = now_[static_cast<std::size_t>(rank)];
+  clock += model_.per_message_overhead();
+
+  const auto id = static_cast<RequestId>(requests_.size());
+  requests_.push_back(Request{rank, false, 0.0, nullptr});
+
+  const std::uint64_t key = channel_key(src, rank, tag);
+  pending_recvs_[key].push_back(
+      PendingOp{id, clock, nullptr, data.data(), data.size(), {}});
+  try_match(key, src, rank);
+  return id;
+}
+
+void Engine::try_match(std::uint64_t key, int src, int dst) {
+  auto sit = pending_sends_.find(key);
+  auto rit = pending_recvs_.find(key);
+  while (sit != pending_sends_.end() && rit != pending_recvs_.end() &&
+         !sit->second.empty() && !rit->second.empty()) {
+    const PendingOp send = std::move(sit->second.front());
+    const PendingOp recv = std::move(rit->second.front());
+    sit->second.pop_front();
+    rit->second.pop_front();
+    complete_transfer(src, dst, send, recv);
+  }
+}
+
+void Engine::complete_transfer(int src, int dst, const PendingOp& send,
+                               const PendingOp& recv) {
+  if (send.bytes != recv.bytes) {
+    throw SimError("message size mismatch on channel " + std::to_string(src) +
+                   "->" + std::to_string(dst) + ": send " +
+                   std::to_string(send.bytes) + "B, recv " +
+                   std::to_string(recv.bytes) + "B");
+  }
+  const double jitter =
+      opts_.noise_sigma > 0.0 ? rng_.lognormal_jitter(opts_.noise_sigma) : 1.0;
+
+  double start = std::max(send.post_time, recv.post_time);
+  double send_finish = 0.0;
+  double recv_finish = 0.0;
+  if (model_.internode(src, dst)) {
+    auto& tx = nic_tx_free_[static_cast<std::size_t>(topo_.node_of(src))];
+    auto& rx = nic_rx_free_[static_cast<std::size_t>(topo_.node_of(dst))];
+    start = std::max({start, tx, rx});
+    const double occupancy = model_.wire_time(send.bytes) * jitter;
+    tx = start + occupancy;
+    rx = start + occupancy;
+    // The sender's nonblocking op completes once the NIC has drained its
+    // buffer; the receiver additionally waits out the wire latency.
+    send_finish = start + occupancy;
+    recv_finish = start + occupancy + model_.inter_alpha() * jitter;
+  } else {
+    const double duration =
+        (model_.intra_alpha() +
+         static_cast<double>(send.bytes) / model_.copy_bandwidth(send.bytes)) *
+        jitter;
+    send_finish = start + duration;
+    recv_finish = start + duration;
+  }
+
+  if (opts_.copy_data && send.bytes > 0) {
+    std::memcpy(recv.recv_data, send.send_data, send.bytes);
+  }
+  if (!requests_[send.req].done) {  // rendezvous sends finish on NIC drain
+    request_finished(send.req, send_finish);
+  }
+  request_finished(recv.req, recv_finish);
+}
+
+void Engine::request_finished(RequestId id, double finish) {
+  Request& req = requests_[id];
+  req.done = true;
+  req.finish = finish;
+  if (WaitState* w = req.waiter) {
+    w->ready = std::max(w->ready, finish);
+    if (--w->remaining == 0) {
+      schedule(w->ready, w->rank, w->ready, w->handle);
+    }
+  }
+}
+
+bool Engine::all_done(std::span<const RequestId> reqs) const {
+  return std::all_of(reqs.begin(), reqs.end(),
+                     [&](RequestId id) { return requests_[id].done; });
+}
+
+void Engine::complete_wait(int rank, std::span<const RequestId> reqs) {
+  auto& clock = now_[static_cast<std::size_t>(rank)];
+  for (const RequestId id : reqs) {
+    clock = std::max(clock, requests_[id].finish);
+  }
+}
+
+void Engine::suspend_wait(int rank, std::span<const RequestId> reqs,
+                          std::coroutine_handle<> h) {
+  waits_.push_back(WaitState{0, now_[static_cast<std::size_t>(rank)], rank, h});
+  WaitState& w = waits_.back();
+  for (const RequestId id : reqs) {
+    Request& req = requests_[id];
+    if (req.done) {
+      w.ready = std::max(w.ready, req.finish);
+    } else {
+      if (req.waiter != nullptr) {
+        throw SimError("request waited on twice");
+      }
+      req.waiter = &w;
+      ++w.remaining;
+    }
+  }
+  if (w.remaining == 0) {
+    // Everything finished between the ready check and the suspension:
+    // resume immediately at the fold of the finish times.
+    schedule(w.ready, rank, w.ready, h);
+  }
+}
+
+void Engine::local_compute(int rank, double seconds) {
+  check_rank(rank);
+  if (seconds < 0.0) throw SimError("negative compute interval");
+  now_[static_cast<std::size_t>(rank)] += seconds;
+}
+
+void Engine::local_copy(int rank, std::uint64_t bytes,
+                        std::uint64_t working_set) {
+  check_rank(rank);
+  now_[static_cast<std::size_t>(rank)] +=
+      model_.memcpy_time(bytes, working_set);
+}
+
+void Engine::run(const std::function<RankTask(int)>& factory) {
+  if (ran_) throw SimError("Engine::run called twice; construct a new Engine");
+  ran_ = true;
+
+  const int p = topo_.world_size();
+  tasks_.reserve(static_cast<std::size_t>(p));
+  for (int rank = 0; rank < p; ++rank) {
+    tasks_.push_back(factory(rank));
+    schedule(0.0, rank, 0.0, tasks_.back().handle());
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    auto& clock = now_[static_cast<std::size_t>(ev.rank)];
+    clock = std::max(clock, ev.clock);
+    ev.handle.resume();
+    if (ev.handle.done()) {
+      ++completed_ranks_;
+      auto typed = std::coroutine_handle<RankTask::promise_type>::from_address(
+          ev.handle.address());
+      if (typed.promise().exception) {
+        std::rethrow_exception(typed.promise().exception);
+      }
+    }
+  }
+
+  if (completed_ranks_ != p) {
+    std::string stuck;
+    for (int rank = 0; rank < p; ++rank) {
+      if (!tasks_[static_cast<std::size_t>(rank)].handle().done()) {
+        if (!stuck.empty()) stuck += ", ";
+        stuck += std::to_string(rank);
+        if (stuck.size() > 60) {
+          stuck += ", ...";
+          break;
+        }
+      }
+    }
+    throw SimError("deadlock: ranks {" + stuck + "} never completed");
+  }
+}
+
+double Engine::elapsed() const {
+  return *std::max_element(now_.begin(), now_.end());
+}
+
+}  // namespace pml::sim

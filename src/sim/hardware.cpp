@@ -1,0 +1,306 @@
+#include "sim/hardware.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pml::sim {
+
+std::string to_string(Interconnect ic) {
+  switch (ic) {
+    case Interconnect::kInfinibandQdr: return "Mellanox InfiniBand (QDR)";
+    case Interconnect::kInfinibandFdr: return "Mellanox InfiniBand (FDR)";
+    case Interconnect::kInfinibandEdr: return "Mellanox InfiniBand (EDR)";
+    case Interconnect::kInfinibandHdr: return "Mellanox InfiniBand (HDR)";
+    case Interconnect::kOmniPath: return "Intel Omni-Path";
+  }
+  throw Error("unknown interconnect");
+}
+
+double lane_speed_gbps(Interconnect ic) {
+  // Effective per-lane data rates (after encoding overhead).
+  switch (ic) {
+    case Interconnect::kInfinibandQdr: return 8.0;    // 10 Gb/s, 8b/10b
+    case Interconnect::kInfinibandFdr: return 13.64;  // 14.06 Gb/s, 64b/66b
+    case Interconnect::kInfinibandEdr: return 25.0;
+    case Interconnect::kInfinibandHdr: return 50.0;
+    case Interconnect::kOmniPath: return 25.0;
+  }
+  throw Error("unknown interconnect");
+}
+
+int default_link_width(Interconnect /*ic*/) {
+  return 4;  // all Table-I systems use 4X links
+}
+
+double base_latency_us(Interconnect ic) {
+  // Small-message one-way MPI latencies typical of each generation.
+  switch (ic) {
+    case Interconnect::kInfinibandQdr: return 1.5;
+    case Interconnect::kInfinibandFdr: return 1.1;
+    case Interconnect::kInfinibandEdr: return 0.9;
+    case Interconnect::kInfinibandHdr: return 0.8;
+    case Interconnect::kOmniPath: return 1.0;
+  }
+  throw Error("unknown interconnect");
+}
+
+namespace {
+
+Interconnect interconnect_from_string(const std::string& s) {
+  if (s == to_string(Interconnect::kInfinibandQdr)) return Interconnect::kInfinibandQdr;
+  if (s == to_string(Interconnect::kInfinibandFdr)) return Interconnect::kInfinibandFdr;
+  if (s == to_string(Interconnect::kInfinibandEdr)) return Interconnect::kInfinibandEdr;
+  if (s == to_string(Interconnect::kInfinibandHdr)) return Interconnect::kInfinibandHdr;
+  if (s == to_string(Interconnect::kOmniPath)) return Interconnect::kOmniPath;
+  throw Error("unknown interconnect name: " + s);
+}
+
+/// PCIe per-lane throughput in GB/s (effective, after encoding).
+double pcie_lane_gbs(int version) {
+  switch (version) {
+    case 2: return 0.5;
+    case 3: return 0.985;
+    case 4: return 1.969;
+    default: throw Error("unsupported PCIe version " + std::to_string(version));
+  }
+}
+
+}  // namespace
+
+double HardwareSpec::nic_bandwidth_gbs() const {
+  const double link_gbs = hca_link_speed_gbps * hca_link_width / 8.0;
+  const double pcie_gbs = pcie_lane_gbs(pcie_version) * pcie_lanes;
+  constexpr double kProtocolEfficiency = 0.92;
+  return std::min(link_gbs, pcie_gbs) * kProtocolEfficiency;
+}
+
+Json HardwareSpec::to_json() const {
+  Json j = Json::object();
+  j["cpu_max_clock_ghz"] = cpu_max_clock_ghz;
+  j["l3_cache_mb"] = l3_cache_mb;
+  j["mem_bw_gbs"] = mem_bw_gbs;
+  j["cores"] = cores;
+  j["threads"] = threads;
+  j["sockets"] = sockets;
+  j["numa_nodes"] = numa_nodes;
+  j["pcie_lanes"] = pcie_lanes;
+  j["pcie_version"] = pcie_version;
+  j["hca_link_speed_gbps"] = hca_link_speed_gbps;
+  j["hca_link_width"] = hca_link_width;
+  return j;
+}
+
+HardwareSpec HardwareSpec::from_json(const Json& j) {
+  HardwareSpec hw;
+  hw.cpu_max_clock_ghz = j.at("cpu_max_clock_ghz").as_number();
+  hw.l3_cache_mb = j.at("l3_cache_mb").as_number();
+  hw.mem_bw_gbs = j.at("mem_bw_gbs").as_number();
+  hw.cores = static_cast<int>(j.at("cores").as_int());
+  hw.threads = static_cast<int>(j.at("threads").as_int());
+  hw.sockets = static_cast<int>(j.at("sockets").as_int());
+  hw.numa_nodes = static_cast<int>(j.at("numa_nodes").as_int());
+  hw.pcie_lanes = static_cast<int>(j.at("pcie_lanes").as_int());
+  hw.pcie_version = static_cast<int>(j.at("pcie_version").as_int());
+  hw.hca_link_speed_gbps = j.at("hca_link_speed_gbps").as_number();
+  hw.hca_link_width = static_cast<int>(j.at("hca_link_width").as_int());
+  return hw;
+}
+
+Json ClusterSpec::to_json() const {
+  Json j = Json::object();
+  j["name"] = name;
+  j["processor"] = processor;
+  j["interconnect"] = to_string(interconnect);
+  j["hardware"] = hw.to_json();
+  Json nodes = Json::array();
+  for (const int n : node_counts) nodes.push_back(n);
+  j["node_counts"] = std::move(nodes);
+  Json ppns = Json::array();
+  for (const int p : ppn_values) ppns.push_back(p);
+  j["ppn_values"] = std::move(ppns);
+  Json sizes = Json::array();
+  for (const auto s : message_sizes) sizes.push_back(s);
+  j["message_sizes"] = std::move(sizes);
+  return j;
+}
+
+ClusterSpec ClusterSpec::from_json(const Json& j) {
+  ClusterSpec c;
+  c.name = j.at("name").as_string();
+  c.processor = j.at("processor").as_string();
+  c.interconnect = interconnect_from_string(j.at("interconnect").as_string());
+  c.hw = HardwareSpec::from_json(j.at("hardware"));
+  for (const auto& n : j.at("node_counts").as_array()) {
+    c.node_counts.push_back(static_cast<int>(n.as_int()));
+  }
+  for (const auto& p : j.at("ppn_values").as_array()) {
+    c.ppn_values.push_back(static_cast<int>(p.as_int()));
+  }
+  for (const auto& s : j.at("message_sizes").as_array()) {
+    c.message_sizes.push_back(static_cast<std::uint64_t>(s.as_int()));
+  }
+  return c;
+}
+
+std::vector<std::uint64_t> power_of_two_sizes(int count) {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) sizes.push_back(1ULL << i);
+  return sizes;
+}
+
+namespace {
+
+/// Powers of two up to `full`, then `full` itself if it is not a power of
+/// two; the trailing `count` values. Mirrors the half/full-subscription
+/// sweeps the paper runs (e.g. Frontera PPN 28 and 56).
+std::vector<int> ppn_sweep(int full, int count) {
+  std::vector<int> all;
+  for (int p = 1; p < full; p *= 2) all.push_back(p);
+  const int half = full / 2;
+  if (std::find(all.begin(), all.end(), half) == all.end() && half >= 1) {
+    all.push_back(half);
+  }
+  all.push_back(full);
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  if (static_cast<int>(all.size()) > count) {
+    all.erase(all.begin(), all.end() - count);
+  }
+  return all;
+}
+
+std::vector<int> node_sweep(int count) {
+  std::vector<int> nodes;
+  for (int i = 0, n = 1; i < count; ++i, n *= 2) nodes.push_back(n);
+  return nodes;
+}
+
+HardwareSpec make_hw(double clock, double l3, double bw, int cores,
+                     int threads_per_core, int sockets, int numa, int lanes,
+                     int pcie_ver, Interconnect ic) {
+  HardwareSpec hw;
+  hw.cpu_max_clock_ghz = clock;
+  hw.l3_cache_mb = l3;
+  hw.mem_bw_gbs = bw;
+  hw.cores = cores;
+  hw.threads = cores * threads_per_core;
+  hw.sockets = sockets;
+  hw.numa_nodes = numa;
+  hw.pcie_lanes = lanes;
+  hw.pcie_version = pcie_ver;
+  hw.hca_link_speed_gbps = lane_speed_gbps(ic);
+  hw.hca_link_width = default_link_width(ic);
+  return hw;
+}
+
+ClusterSpec make_cluster(std::string name, std::string processor,
+                         Interconnect ic, HardwareSpec hw, int n_nodes,
+                         int n_ppn, int n_sizes) {
+  ClusterSpec c;
+  c.name = std::move(name);
+  c.processor = std::move(processor);
+  c.interconnect = ic;
+  c.hw = hw;
+  c.node_counts = node_sweep(n_nodes);
+  c.ppn_values = ppn_sweep(hw.cores, n_ppn);
+  c.message_sizes = power_of_two_sizes(n_sizes);
+  return c;
+}
+
+std::vector<ClusterSpec> build_all() {
+  using I = Interconnect;
+  std::vector<ClusterSpec> cs;
+  // Table I, row by row. Hardware-feature values follow the published
+  // specifications of each processor/platform.
+  cs.push_back(make_cluster("RI2", "Intel Xeon E5-2680 v4 @ 2.40GHz",
+                            I::kInfinibandEdr,
+                            make_hw(3.3, 70.0, 76.8, 28, 2, 2, 2, 16, 3, I::kInfinibandEdr),
+                            5, 6, 21));
+  cs.push_back(make_cluster("RI", "Intel Xeon E5630 @ 2.53GHz",
+                            I::kInfinibandQdr,
+                            make_hw(2.8, 24.0, 25.6, 8, 2, 2, 2, 8, 2, I::kInfinibandQdr),
+                            1, 2, 21));
+  cs.push_back(make_cluster("Haswell", "Intel Xeon E5-2687W v3",
+                            I::kInfinibandHdr,
+                            make_hw(3.5, 50.0, 68.0, 20, 2, 2, 2, 16, 3, I::kInfinibandHdr),
+                            3, 6, 21));
+  cs.push_back(make_cluster("Catalyst", "Fujitsu A64FX",
+                            I::kInfinibandEdr,
+                            make_hw(2.2, 32.0, 1024.0, 48, 1, 1, 4, 16, 3, I::kInfinibandEdr),
+                            4, 6, 21));
+  cs.push_back(make_cluster("Spock", "AMD EPYC 7763 64-Core",
+                            I::kInfinibandHdr,
+                            make_hw(3.5, 256.0, 204.8, 64, 2, 1, 4, 16, 4, I::kInfinibandHdr),
+                            5, 8, 21));
+  cs.push_back(make_cluster("Rome", "AMD EPYC 7601 32-Core",
+                            I::kInfinibandEdr,
+                            make_hw(3.2, 128.0, 170.7, 64, 2, 2, 8, 16, 3, I::kInfinibandEdr),
+                            4, 10, 21));
+  cs.push_back(make_cluster("Frontera", "Intel Xeon Platinum 8280 @ 2.70GHz",
+                            I::kInfinibandEdr,
+                            make_hw(4.0, 77.0, 140.8, 56, 1, 2, 2, 16, 3, I::kInfinibandEdr),
+                            5, 8, 21));
+  cs.push_back(make_cluster("LLNL", "AMD EPYC 7401 48-Core",
+                            I::kInfinibandEdr,
+                            make_hw(3.0, 128.0, 170.7, 48, 2, 2, 8, 16, 3, I::kInfinibandEdr),
+                            5, 6, 21));
+  cs.push_back(make_cluster("FronteraRTX", "Intel Xeon E5-2620 v4 @ 2.10GHz",
+                            I::kInfinibandFdr,
+                            make_hw(3.0, 40.0, 68.3, 16, 2, 2, 2, 16, 3, I::kInfinibandFdr),
+                            5, 5, 21));
+  cs.push_back(make_cluster("Hartree", "Cavium ThunderX2 CN9975",
+                            I::kInfinibandFdr,
+                            make_hw(2.5, 64.0, 160.0, 56, 4, 2, 2, 16, 3, I::kInfinibandFdr),
+                            3, 5, 21));
+  cs.push_back(make_cluster("Mayer", "Cavium ThunderX2 CN9975",
+                            I::kInfinibandEdr,
+                            make_hw(2.5, 64.0, 160.0, 56, 4, 2, 2, 16, 3, I::kInfinibandEdr),
+                            4, 7, 21));
+  cs.push_back(make_cluster("Ray", "IBM POWER8 S822LC",
+                            I::kInfinibandEdr,
+                            make_hw(4.0, 160.0, 230.0, 20, 8, 2, 2, 16, 3, I::kInfinibandEdr),
+                            4, 3, 21));
+  cs.push_back(make_cluster("Sierra", "IBM POWER9 AC922",
+                            I::kInfinibandEdr,
+                            make_hw(4.0, 220.0, 270.0, 44, 4, 2, 2, 16, 4, I::kInfinibandEdr),
+                            5, 8, 21));
+  cs.push_back(make_cluster("Bridges", "Intel Xeon E5-2695 v3 @ 2.30GHz",
+                            I::kOmniPath,
+                            make_hw(3.3, 70.0, 68.3, 28, 2, 2, 2, 16, 3, I::kOmniPath),
+                            5, 6, 21));
+  cs.push_back(make_cluster("Bebop", "Intel Xeon E5-2695 v4 @ 2.10GHz",
+                            I::kOmniPath,
+                            make_hw(3.3, 90.0, 76.8, 36, 2, 2, 2, 16, 3, I::kOmniPath),
+                            6, 5, 21));
+  cs.push_back(make_cluster("TACC-KNL", "Intel Xeon Phi 7250 @ 1.40GHz",
+                            I::kOmniPath,
+                            make_hw(1.6, 34.0, 400.0, 68, 4, 1, 4, 16, 3, I::kOmniPath),
+                            6, 6, 21));
+  cs.push_back(make_cluster("TACC-Skylake", "Intel Xeon Platinum 8170",
+                            I::kOmniPath,
+                            make_hw(3.7, 71.5, 119.2, 52, 2, 2, 2, 16, 3, I::kOmniPath),
+                            5, 8, 21));
+  cs.push_back(make_cluster("MRI", "AMD EPYC 7713 64-Core",
+                            I::kInfinibandHdr,
+                            make_hw(3.67, 512.0, 409.6, 128, 2, 2, 8, 16, 4, I::kInfinibandHdr),
+                            4, 8, 16));
+  return cs;
+}
+
+}  // namespace
+
+const std::vector<ClusterSpec>& builtin_clusters() {
+  static const std::vector<ClusterSpec> clusters = build_all();
+  return clusters;
+}
+
+const ClusterSpec& cluster_by_name(const std::string& name) {
+  for (const auto& c : builtin_clusters()) {
+    if (c.name == name) return c;
+  }
+  throw Error("unknown cluster: " + name);
+}
+
+}  // namespace pml::sim

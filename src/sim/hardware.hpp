@@ -1,0 +1,87 @@
+// Hardware descriptions for the simulated clusters.
+//
+// The paper trains on tuning data from 18 clusters (Table I) spanning Intel,
+// AMD, ARM and POWER CPUs and five interconnect generations. Since we do not
+// have the physical machines, each cluster is encoded as a HardwareSpec whose
+// fields are exactly the hardware features the paper's feature-extraction
+// script collects: CPU max clock, L3 cache size, memory bandwidth, core
+// count, thread count, sockets, NUMA nodes, PCIe lanes & version, and HCA
+// link speed & width. The simulator's cost model (network.hpp) is a function
+// of these fields, so the learning problem retains the paper's structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace pml::sim {
+
+/// Interconnect families present in Table I.
+enum class Interconnect : std::uint8_t {
+  kInfinibandQdr,
+  kInfinibandFdr,
+  kInfinibandEdr,
+  kInfinibandHdr,
+  kOmniPath,
+};
+
+/// Human-readable name, e.g. "InfiniBand (EDR)".
+std::string to_string(Interconnect ic);
+
+/// Per-lane signalling rate in Gbit/s for an interconnect generation.
+double lane_speed_gbps(Interconnect ic);
+
+/// Default link width (number of lanes; 4X links throughout Table I).
+int default_link_width(Interconnect ic);
+
+/// Base one-way MPI latency in microseconds for the generation.
+double base_latency_us(Interconnect ic);
+
+/// Per-node hardware features — the 11 hardware features of the paper.
+struct HardwareSpec {
+  double cpu_max_clock_ghz = 0.0;  ///< max (turbo) clock; paper §V-A rationale
+  double l3_cache_mb = 0.0;        ///< total last-level cache per node
+  double mem_bw_gbs = 0.0;         ///< aggregate memory bandwidth (GB/s)
+  int cores = 0;                   ///< physical cores per node
+  int threads = 0;                 ///< hardware threads per node
+  int sockets = 0;
+  int numa_nodes = 0;
+  int pcie_lanes = 0;              ///< lanes feeding the HCA
+  int pcie_version = 0;            ///< 2, 3 or 4
+  double hca_link_speed_gbps = 0.0;  ///< per-lane signalling rate
+  int hca_link_width = 0;            ///< number of lanes (4X = 4)
+
+  /// Achievable NIC bandwidth in GB/s: the link rate capped by what the
+  /// PCIe slot can feed, derated for protocol efficiency.
+  double nic_bandwidth_gbs() const;
+
+  Json to_json() const;
+  static HardwareSpec from_json(const Json& j);
+};
+
+/// A named cluster: hardware plus the sweep used when benchmarking it.
+struct ClusterSpec {
+  std::string name;
+  std::string processor;     ///< marketing name, e.g. "AMD EPYC 7713"
+  Interconnect interconnect = Interconnect::kInfinibandEdr;
+  HardwareSpec hw;
+  std::vector<int> node_counts;   ///< #nodes values benchmarked (Table I)
+  std::vector<int> ppn_values;    ///< process-per-node values benchmarked
+  std::vector<std::uint64_t> message_sizes;  ///< bytes, powers of two
+
+  Json to_json() const;
+  static ClusterSpec from_json(const Json& j);
+};
+
+/// All 18 clusters of Table I, in table order.
+const std::vector<ClusterSpec>& builtin_clusters();
+
+/// Look up a builtin cluster by name; throws pml::Error if unknown.
+const ClusterSpec& cluster_by_name(const std::string& name);
+
+/// Message-size sweep 2^0 .. 2^(count-1) bytes (Table I uses 21 sizes).
+std::vector<std::uint64_t> power_of_two_sizes(int count);
+
+}  // namespace pml::sim

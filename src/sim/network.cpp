@@ -1,0 +1,75 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pml::sim {
+
+NetworkModel::NetworkModel(const ClusterSpec& cluster, Topology topo)
+    : topo_(topo) {
+  if (topo.nodes < 1 || topo.ppn < 1) {
+    throw SimError("topology must have >= 1 node and >= 1 ppn");
+  }
+  if (topo.ppn > cluster.hw.threads) {
+    throw SimError("ppn " + std::to_string(topo.ppn) + " exceeds " +
+                   cluster.name + " thread count " +
+                   std::to_string(cluster.hw.threads));
+  }
+  const HardwareSpec& hw = cluster.hw;
+
+  // Software stack adds a clock-dependent component on top of the wire
+  // latency of the interconnect generation.
+  const double sw_us = 0.25 / hw.cpu_max_clock_ghz;
+  inter_alpha_ = (base_latency_us(cluster.interconnect) + sw_us) * 1e-6;
+  inter_bw_ = hw.nic_bandwidth_gbs() * 1e9;
+
+  intra_alpha_ = (0.15 + 0.35 / hw.cpu_max_clock_ghz) * 1e-6;
+  overhead_ = 0.20e-6 / hw.cpu_max_clock_ghz;
+
+  l3_share_bytes_ = hw.l3_cache_mb * 1024.0 * 1024.0 /
+                    std::max(1, std::min(topo.ppn, hw.cores));
+  // Cache-resident copies stream at a rate proportional to clock.
+  l3_bw_ = hw.cpu_max_clock_ghz * 14.0e9;
+  // DRAM copies share the memory controllers across active ranks; a single
+  // stream rarely exceeds ~60% of one socket's bandwidth.
+  const int active = std::max(1, std::min(topo.ppn, hw.cores));
+  dram_share_bw_ =
+      std::max(hw.mem_bw_gbs * 1e9 * 0.8 / active, 0.8e9);
+  dram_share_bw_ = std::min(dram_share_bw_, 0.6 * hw.mem_bw_gbs * 1e9);
+  dram_share_bw_ = std::min(dram_share_bw_, l3_bw_);
+
+  // Cross-socket / cross-NUMA traffic pays an interconnect (UPI/xGMI) tax.
+  if (hw.sockets > 1 || hw.numa_nodes > hw.sockets) {
+    numa_penalty_ = 1.0 + 0.08 * hw.sockets +
+                    0.02 * std::max(0, hw.numa_nodes - hw.sockets);
+  }
+}
+
+double NetworkModel::copy_bandwidth(std::uint64_t bytes) const noexcept {
+  const double bw = (static_cast<double>(bytes) <= 0.8 * l3_share_bytes_)
+                        ? l3_bw_
+                        : dram_share_bw_;
+  return bw / numa_penalty_;
+}
+
+double NetworkModel::memcpy_time(std::uint64_t bytes,
+                                 std::uint64_t working_set) const noexcept {
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(bytes) / copy_bandwidth(working_set);
+}
+
+double NetworkModel::p2p_time(std::uint64_t bytes, int src, int dst,
+                              int concurrent_flows) const noexcept {
+  if (src == dst) return memcpy_time(bytes, bytes);
+  if (internode(src, dst)) {
+    const double flows = std::max(1, concurrent_flows);
+    return inter_alpha_ +
+           static_cast<double>(bytes) * flows / inter_bw_;
+  }
+  // Shared-memory transport: one CMA copy at the (L3-aware) copy bandwidth.
+  return intra_alpha_ + static_cast<double>(bytes) / copy_bandwidth(bytes);
+}
+
+}  // namespace pml::sim

@@ -1,0 +1,113 @@
+#include "apps/proxies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pml::apps {
+namespace {
+
+const sim::ClusterSpec& frontera() { return sim::cluster_by_name("Frontera"); }
+
+TEST(Proxies, BreakdownSumsToTotal) {
+  core::OracleSelector oracle;
+  for (const bool gromacs : {false, true}) {
+    const ProxyResult r =
+        gromacs
+            ? run_gromacs_proxy(frontera(), sim::Topology{2, 28}, oracle)
+            : run_minife_proxy(frontera(), sim::Topology{2, 28}, oracle);
+    EXPECT_GT(r.total_seconds, 0.0);
+    EXPECT_NEAR(r.total_seconds,
+                r.compute_seconds + r.allgather_seconds + r.alltoall_seconds,
+                1e-12);
+  }
+}
+
+TEST(Proxies, MiniFeUsesOnlyAllgather) {
+  core::OracleSelector oracle;
+  const ProxyResult r =
+      run_minife_proxy(frontera(), sim::Topology{2, 28}, oracle);
+  EXPECT_DOUBLE_EQ(r.alltoall_seconds, 0.0);
+  EXPECT_GT(r.allgather_seconds, 0.0);
+}
+
+TEST(Proxies, GromacsIsAlltoallHeavy) {
+  core::OracleSelector oracle;
+  const ProxyResult r =
+      run_gromacs_proxy(frontera(), sim::Topology{4, 56}, oracle);
+  EXPECT_GT(r.alltoall_seconds, r.allgather_seconds);
+}
+
+TEST(Proxies, StrongScalingShrinksComputePerStep) {
+  core::OracleSelector oracle;
+  const ProxyResult small =
+      run_minife_proxy(frontera(), sim::Topology{1, 28}, oracle);
+  const ProxyResult large =
+      run_minife_proxy(frontera(), sim::Topology{8, 56}, oracle);
+  EXPECT_LT(large.compute_seconds, small.compute_seconds);
+}
+
+TEST(Proxies, GromacsScalabilityForfeitsAtHighProcessCounts) {
+  // Paper §VII-E: runtime shrinks with processes until ~224, then the
+  // alltoall term stops it improving.
+  core::OracleSelector oracle;
+  const double t56 =
+      run_gromacs_proxy(frontera(), sim::Topology{1, 56}, oracle).total_seconds;
+  const double t448 =
+      run_gromacs_proxy(frontera(), sim::Topology{8, 56}, oracle).total_seconds;
+  EXPECT_GT(t448, 0.5 * t56);  // nowhere near 8x speedup
+}
+
+TEST(Proxies, BetterSelectorNeverSlower) {
+  // The oracle lower-bounds any other strategy on the same proxy (no
+  // noise in the analytic app path).
+  core::OracleSelector oracle;
+  core::MvapichDefaultSelector mvapich;
+  core::RandomSelector random_sel(7);
+  for (const bool gromacs : {false, true}) {
+    const sim::Topology topo{4, 56};
+    auto run = [&](core::Selector& s) {
+      return gromacs ? run_gromacs_proxy(frontera(), topo, s).total_seconds
+                     : run_minife_proxy(frontera(), topo, s).total_seconds;
+    };
+    const double t_oracle = run(oracle);
+    EXPECT_LE(t_oracle, run(mvapich) + 1e-12);
+    EXPECT_LE(t_oracle, run(random_sel) + 1e-12);
+  }
+}
+
+TEST(Proxies, SelectorChoiceOnlyAffectsCommunication) {
+  core::OracleSelector oracle;
+  core::RandomSelector random_sel(9);
+  const sim::Topology topo{4, 28};
+  const ProxyResult a = run_gromacs_proxy(frontera(), topo, oracle);
+  const ProxyResult b = run_gromacs_proxy(frontera(), topo, random_sel);
+  EXPECT_DOUBLE_EQ(a.compute_seconds, b.compute_seconds);
+}
+
+TEST(Proxies, RejectInvalidConfigs) {
+  core::OracleSelector oracle;
+  GromacsConfig bad_g;
+  bad_g.steps = 0;
+  EXPECT_THROW(run_gromacs_proxy(frontera(), sim::Topology{1, 2}, oracle, bad_g),
+               TuningError);
+  MiniFeConfig bad_m;
+  bad_m.grid = 1;
+  EXPECT_THROW(run_minife_proxy(frontera(), sim::Topology{1, 2}, oracle, bad_m),
+               TuningError);
+}
+
+TEST(Proxies, HigherPpnCongestsCommunication) {
+  core::OracleSelector oracle;
+  const ProxyResult half =
+      run_gromacs_proxy(frontera(), sim::Topology{4, 28}, oracle);
+  const ProxyResult full =
+      run_gromacs_proxy(frontera(), sim::Topology{4, 56}, oracle);
+  // Full subscription halves compute but cannot halve the alltoall time
+  // (the NIC is shared by twice as many ranks).
+  EXPECT_LT(full.compute_seconds, half.compute_seconds);
+  EXPECT_GT(full.alltoall_seconds, 0.45 * half.alltoall_seconds);
+}
+
+}  // namespace
+}  // namespace pml::apps

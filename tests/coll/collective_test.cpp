@@ -1,0 +1,84 @@
+#include "coll/collective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pml::coll {
+namespace {
+
+TEST(Collective, AlgorithmRegistryCounts) {
+  EXPECT_EQ(algorithms_for(Collective::kAllgather).size(), 4u);
+  EXPECT_EQ(algorithms_for(Collective::kAlltoall).size(), 5u);
+}
+
+TEST(Collective, CollectiveOfIsConsistentWithRegistry) {
+  for (const auto c : {Collective::kAllgather, Collective::kAlltoall}) {
+    for (const Algorithm a : algorithms_for(c)) {
+      EXPECT_EQ(collective_of(a), c);
+    }
+  }
+}
+
+TEST(Collective, NamesRoundTripQualified) {
+  for (const auto c : {Collective::kAllgather, Collective::kAlltoall}) {
+    for (const Algorithm a : algorithms_for(c)) {
+      const std::string qualified = to_string(c) + ":" + to_string(a);
+      EXPECT_EQ(algorithm_from_string(qualified), a);
+    }
+  }
+}
+
+TEST(Collective, UnambiguousShortNamesResolve) {
+  EXPECT_EQ(algorithm_from_string("scatter_dest"), Algorithm::kAaScatterDest);
+  EXPECT_EQ(algorithm_from_string("pairwise"), Algorithm::kAaPairwise);
+  EXPECT_EQ(algorithm_from_string("inplace"), Algorithm::kAaInplace);
+  EXPECT_EQ(algorithm_from_string("rd_comm"), Algorithm::kAgRdComm);
+}
+
+TEST(Collective, AmbiguousShortNamesThrow) {
+  EXPECT_THROW(algorithm_from_string("rd"), Error);      // ag, aa, ar
+  EXPECT_THROW(algorithm_from_string("bruck"), Error);   // ag, aa
+  EXPECT_THROW(algorithm_from_string("ring"), Error);    // ag, ar
+  EXPECT_THROW(algorithm_from_string("nonsense"), Error);
+}
+
+TEST(Collective, CollectiveNamesRoundTrip) {
+  EXPECT_EQ(collective_from_string("allgather"), Collective::kAllgather);
+  EXPECT_EQ(collective_from_string("alltoall"), Collective::kAlltoall);
+  EXPECT_THROW(collective_from_string("broadcast"), Error);
+}
+
+TEST(Collective, SupportsConstraints) {
+  // Neighbor exchange wants even worlds.
+  EXPECT_TRUE(algorithm_supports(Algorithm::kAgRdComm, 8));
+  EXPECT_TRUE(algorithm_supports(Algorithm::kAgRdComm, 6));
+  EXPECT_FALSE(algorithm_supports(Algorithm::kAgRdComm, 7));
+  EXPECT_TRUE(algorithm_supports(Algorithm::kAgRdComm, 1));
+  // Alltoall RD wants a power of two.
+  EXPECT_TRUE(algorithm_supports(Algorithm::kAaRecursiveDoubling, 16));
+  EXPECT_FALSE(algorithm_supports(Algorithm::kAaRecursiveDoubling, 12));
+  // Allgather RD handles any world (generalised schedule).
+  EXPECT_TRUE(algorithm_supports(Algorithm::kAgRecursiveDoubling, 12));
+}
+
+TEST(Collective, ValidAlgorithmsNeverEmpty) {
+  for (int p = 1; p <= 40; ++p) {
+    EXPECT_FALSE(valid_algorithms(Collective::kAllgather, p).empty()) << p;
+    EXPECT_FALSE(valid_algorithms(Collective::kAlltoall, p).empty()) << p;
+  }
+}
+
+TEST(Collective, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(31), 4);
+  EXPECT_EQ(floor_log2(32), 5);
+}
+
+}  // namespace
+}  // namespace pml::coll

@@ -1,0 +1,140 @@
+#include "coll/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/hardware.hpp"
+
+namespace pml::coll {
+namespace {
+
+using sim::NetworkModel;
+using sim::Topology;
+
+const sim::ClusterSpec& frontera() { return sim::cluster_by_name("Frontera"); }
+const sim::ClusterSpec& mri() { return sim::cluster_by_name("MRI"); }
+
+TEST(RoundCost, ZeroDistanceIsFree) {
+  const NetworkModel m(frontera(), Topology{2, 4});
+  EXPECT_DOUBLE_EQ(round_cost(m, 1024, 0), 0.0);
+  EXPECT_DOUBLE_EQ(round_cost(m, 1024, 8), 0.0);  // full wrap, p = 8
+}
+
+TEST(RoundCost, SingleNodeUsesIntraPath) {
+  const NetworkModel m(frontera(), Topology{1, 8});
+  const double t = round_cost(m, 1024, 3);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, m.inter_alpha());  // cheaper than any network round
+}
+
+TEST(RoundCost, LongDistanceCongestsNic) {
+  const NetworkModel m(frontera(), Topology{4, 8});
+  // Distance >= ppn: all 8 ranks/node hit the NIC; distance 1: only one.
+  const double near = round_cost(m, 64 << 10, 1);
+  const double far = round_cost(m, 64 << 10, 8);
+  EXPECT_GT(far, 3.0 * near);
+}
+
+TEST(RoundCost, MonotonicInBytes) {
+  const NetworkModel m(frontera(), Topology{4, 8});
+  double prev = 0.0;
+  for (std::uint64_t b = 1; b <= (1u << 20); b <<= 1) {
+    const double t = round_cost(m, b, 4);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(AnalyticCost, PositiveForAllValidAlgorithms) {
+  const NetworkModel m(frontera(), Topology{2, 8});
+  for (const auto c : {Collective::kAllgather, Collective::kAlltoall}) {
+    for (const Algorithm a : valid_algorithms(c, 16)) {
+      EXPECT_GT(analytic_cost(m, a, 256), 0.0) << display_name(a);
+    }
+  }
+}
+
+TEST(AnalyticCost, UnsupportedWorldThrows) {
+  const NetworkModel m(frontera(), Topology{3, 4});  // p = 12
+  EXPECT_THROW(analytic_cost(m, Algorithm::kAaRecursiveDoubling, 64),
+               SimError);
+}
+
+TEST(AnalyticCost, SingleRankFree) {
+  const NetworkModel m(frontera(), Topology{1, 1});
+  for (const auto c : {Collective::kAllgather, Collective::kAlltoall}) {
+    for (const Algorithm a : valid_algorithms(c, 1)) {
+      EXPECT_DOUBLE_EQ(analytic_cost(m, a, 4096), 0.0) << display_name(a);
+    }
+  }
+}
+
+TEST(AnalyticCost, AllgatherCrossoverSmallVsLarge) {
+  const NetworkModel m(frontera(), Topology{4, 8});
+  // Small: log-step algorithms beat ring.
+  EXPECT_LT(analytic_cost(m, Algorithm::kAgRecursiveDoubling, 4),
+            analytic_cost(m, Algorithm::kAgRing, 4));
+  // Large: ring's once-per-node NIC usage wins.
+  EXPECT_LT(analytic_cost(m, Algorithm::kAgRing, 512 << 10),
+            analytic_cost(m, Algorithm::kAgRecursiveDoubling, 512 << 10));
+}
+
+TEST(AnalyticCost, AlltoallCrossoverSmallVsLarge) {
+  const NetworkModel m(frontera(), Topology{4, 8});
+  EXPECT_LT(analytic_cost(m, Algorithm::kAaBruck, 1),
+            analytic_cost(m, Algorithm::kAaPairwise, 1));
+  EXPECT_LT(analytic_cost(m, Algorithm::kAaPairwise, 256 << 10),
+            analytic_cost(m, Algorithm::kAaBruck, 256 << 10));
+}
+
+TEST(AnalyticCost, HardwareChangesTheWinner) {
+  // The central premise (paper Fig. 2): the best algorithm at a fixed
+  // (nodes, ppn, size) differs across clusters. Scan the sweep and require
+  // at least one point where Frontera and MRI disagree.
+  const Topology topo{2, 16};
+  const NetworkModel f(frontera(), topo);
+  const NetworkModel m(mri(), topo);
+  bool disagreement = false;
+  for (std::uint64_t n = 1; n <= (1u << 16); n <<= 1) {
+    auto best = [&](const NetworkModel& model) {
+      Algorithm arg = Algorithm::kAaBruck;
+      double lo = 1e300;
+      for (const Algorithm a : valid_algorithms(Collective::kAlltoall, 32)) {
+        const double t = analytic_cost(model, a, n);
+        if (t < lo) {
+          lo = t;
+          arg = a;
+        }
+      }
+      return arg;
+    };
+    if (best(f) != best(m)) disagreement = true;
+  }
+  EXPECT_TRUE(disagreement);
+}
+
+TEST(MeasuredCost, AveragesTowardAnalytic) {
+  const NetworkModel m(frontera(), Topology{2, 8});
+  const double base = analytic_cost(m, Algorithm::kAaPairwise, 1024);
+  Rng rng(99);
+  const double avg =
+      measured_cost(m, Algorithm::kAaPairwise, 1024, 200, rng, 0.1);
+  EXPECT_NEAR(avg / base, 1.0, 0.05);
+}
+
+TEST(MeasuredCost, ZeroSigmaIsExact) {
+  const NetworkModel m(frontera(), Topology{2, 8});
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(measured_cost(m, Algorithm::kAgRing, 512, 3, rng, 0.0),
+                   analytic_cost(m, Algorithm::kAgRing, 512));
+}
+
+TEST(MeasuredCost, RejectsBadIterationCount) {
+  const NetworkModel m(frontera(), Topology{2, 8});
+  Rng rng(1);
+  EXPECT_THROW(measured_cost(m, Algorithm::kAgRing, 512, 0, rng, 0.1),
+               SimError);
+}
+
+}  // namespace
+}  // namespace pml::coll

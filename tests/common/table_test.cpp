@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pml {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, TitleAppearsFirst) {
+  TextTable t({"c"});
+  t.set_title("Table I");
+  t.add_row({"x"});
+  EXPECT_EQ(t.str().rfind("Table I", 0), 0u);
+}
+
+TEST(TextTable, RowArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), Error);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"x", "longheader"});
+  t.add_row({"aaaa", "1"});
+  const std::string out = t.str();
+  // Every rendered line has the same length.
+  std::size_t expected = out.find('\n');
+  std::size_t start = expected + 1;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    EXPECT_EQ(end - start, expected);
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t({"metric"});
+  t.add_row({"5"});
+  const std::string out = t.str();
+  // "metric" is 6 wide; the value row should pad the number to the right.
+  EXPECT_NE(out.find("|      5 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pml

@@ -1,0 +1,150 @@
+#include "core/dataset_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace pml::core {
+namespace {
+
+const sim::ClusterSpec& ri() { return sim::cluster_by_name("RI"); }
+
+TEST(DatasetBuilder, RecordCountMatchesSweep) {
+  // RI: 1 node count x 2 ppn values x 21 sizes = 42 records (Table I).
+  const auto records =
+      build_cluster_records(ri(), coll::Collective::kAllgather, {});
+  EXPECT_EQ(records.size(), 42u);
+}
+
+TEST(DatasetBuilder, RecordsHaveValidLabelsAndTimes) {
+  const auto records =
+      build_cluster_records(ri(), coll::Collective::kAlltoall, {});
+  const auto n_algos =
+      coll::algorithms_for(coll::Collective::kAlltoall).size();
+  for (const auto& rec : records) {
+    ASSERT_EQ(rec.times.size(), n_algos);
+    ASSERT_GE(rec.label, 0);
+    ASSERT_LT(rec.label, static_cast<int>(n_algos));
+    // The label is the argmin of the times.
+    const double best = rec.times[static_cast<std::size_t>(rec.label)];
+    ASSERT_TRUE(std::isfinite(best));
+    for (const double t : rec.times) EXPECT_GE(t, best);
+    EXPECT_EQ(rec.features.size(), feature_count());
+  }
+}
+
+TEST(DatasetBuilder, DeterministicForSeed) {
+  const BuildOptions options;
+  const auto a = build_cluster_records(ri(), coll::Collective::kAllgather, options);
+  const auto b = build_cluster_records(ri(), coll::Collective::kAllgather, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].times, b[i].times);
+  }
+}
+
+TEST(DatasetBuilder, SeedChangesNoisyMeasurements) {
+  BuildOptions opts_a;
+  BuildOptions opts_b;
+  opts_b.seed = opts_a.seed + 1;
+  const auto a = build_cluster_records(ri(), coll::Collective::kAllgather, opts_a);
+  const auto b = build_cluster_records(ri(), coll::Collective::kAllgather, opts_b);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference = any_difference || a[i].times != b[i].times;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DatasetBuilder, InvalidAlgorithmsMarkedInfinite) {
+  // RI ppn values are {4, 8}; with 1 node, p=4 and p=8 are powers of two,
+  // so use a cluster/ppn giving non-pow2 worlds: Frontera ppn includes 28.
+  const auto records = build_cluster_records(
+      sim::cluster_by_name("Frontera"), coll::Collective::kAlltoall, {});
+  bool found_invalid = false;
+  const auto& algos = coll::algorithms_for(coll::Collective::kAlltoall);
+  for (const auto& rec : records) {
+    const int p = rec.nodes * rec.ppn;
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      if (!coll::algorithm_supports(algos[a], p)) {
+        EXPECT_TRUE(std::isinf(rec.times[a]));
+        found_invalid = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_invalid);
+}
+
+TEST(DatasetBuilder, ToMlDatasetShapes) {
+  const auto records =
+      build_cluster_records(ri(), coll::Collective::kAllgather, {});
+  const auto data = to_ml_dataset(records, coll::Collective::kAllgather);
+  EXPECT_EQ(data.size(), records.size());
+  EXPECT_EQ(data.x.cols(), feature_count());
+  EXPECT_EQ(data.num_classes, 4);
+  EXPECT_EQ(data.class_names.size(), 4u);
+  EXPECT_NO_THROW(data.validate());
+}
+
+TEST(DatasetBuilder, ToMlDatasetColumnSubset) {
+  const auto records =
+      build_cluster_records(ri(), coll::Collective::kAllgather, {});
+  const auto data =
+      to_ml_dataset(records, coll::Collective::kAllgather, {0, 2, 4});
+  EXPECT_EQ(data.x.cols(), 3u);
+  EXPECT_EQ(data.feature_names,
+            (std::vector<std::string>{"num_nodes", "msg_size", "l3_cache_mb"}));
+}
+
+TEST(DatasetBuilder, ToMlDatasetRejectsMixedCollectives) {
+  auto records = build_cluster_records(ri(), coll::Collective::kAllgather, {});
+  EXPECT_THROW(to_ml_dataset(records, coll::Collective::kAlltoall),
+               TuningError);
+}
+
+TEST(DatasetBuilder, RowFilters) {
+  std::vector<TuningRecord> records(4);
+  records[0].cluster = "A";
+  records[0].nodes = 1;
+  records[1].cluster = "A";
+  records[1].nodes = 8;
+  records[2].cluster = "B";
+  records[2].nodes = 2;
+  records[3].cluster = "C";
+  records[3].nodes = 16;
+
+  const std::vector<std::string> names = {"A", "C"};
+  EXPECT_EQ(rows_in_clusters(records, names),
+            (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(rows_with_nodes_at_most(records, 2),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(rows_with_nodes_above(records, 2),
+            (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(DatasetBuilder, MultiClusterBuildConcatenates) {
+  const std::vector<sim::ClusterSpec> clusters = {
+      ri(), sim::cluster_by_name("Haswell")};
+  const auto records =
+      build_records(clusters, coll::Collective::kAllgather, {});
+  const auto solo_ri =
+      build_cluster_records(ri(), coll::Collective::kAllgather, {});
+  const auto solo_haswell = build_cluster_records(
+      sim::cluster_by_name("Haswell"), coll::Collective::kAllgather, {});
+  EXPECT_EQ(records.size(), solo_ri.size() + solo_haswell.size());
+}
+
+TEST(DatasetBuilder, LabelsAreDiverseAcrossSweep) {
+  // Over a full sweep of a multi-node cluster, more than one algorithm
+  // must win somewhere (otherwise there is nothing to learn).
+  const auto records = build_cluster_records(
+      sim::cluster_by_name("Frontera"), coll::Collective::kAllgather, {});
+  std::set<int> labels;
+  for (const auto& rec : records) labels.insert(rec.label);
+  EXPECT_GE(labels.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pml::core

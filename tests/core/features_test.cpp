@@ -1,0 +1,63 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pml::core {
+namespace {
+
+TEST(Features, FourteenFeaturesInFixedOrder) {
+  EXPECT_EQ(feature_count(), 14u);  // paper: 14 features (§V-C)
+  EXPECT_EQ(feature_names()[0], "num_nodes");
+  EXPECT_EQ(feature_names()[1], "ppn");
+  EXPECT_EQ(feature_names()[2], "msg_size");
+  EXPECT_EQ(feature_names().back(), "hca_link_width");
+}
+
+TEST(Features, IndexLookup) {
+  EXPECT_EQ(feature_index("msg_size"), 2u);
+  EXPECT_EQ(feature_index("l3_cache_mb"), 4u);
+  EXPECT_THROW(feature_index("no_such_feature"), TuningError);
+}
+
+TEST(Features, ExtractionMatchesSpec) {
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const auto row = extract_features(frontera, 16, 56, 4096);
+  ASSERT_EQ(row.size(), 14u);
+  EXPECT_DOUBLE_EQ(row[0], 16.0);
+  EXPECT_DOUBLE_EQ(row[1], 56.0);
+  EXPECT_DOUBLE_EQ(row[2], 4096.0);
+  EXPECT_DOUBLE_EQ(row[feature_index("cpu_max_clock_ghz")],
+                   frontera.hw.cpu_max_clock_ghz);
+  EXPECT_DOUBLE_EQ(row[feature_index("l3_cache_mb")], frontera.hw.l3_cache_mb);
+  EXPECT_DOUBLE_EQ(row[feature_index("hca_link_speed_gbps")],
+                   frontera.hw.hca_link_speed_gbps);
+}
+
+TEST(Features, ExtractionRejectsBadJobShape) {
+  const auto& c = sim::cluster_by_name("RI");
+  EXPECT_THROW(extract_features(c, 0, 4, 64), TuningError);
+  EXPECT_THROW(extract_features(c, 2, 0, 64), TuningError);
+}
+
+TEST(Features, DifferentClustersDifferOnlyInHardwareColumns) {
+  const auto a = extract_features(sim::cluster_by_name("Frontera"), 4, 8, 256);
+  const auto b = extract_features(sim::cluster_by_name("MRI"), 4, 8, 256);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  bool any_hw_differs = false;
+  for (std::size_t i = 3; i < a.size(); ++i) {
+    any_hw_differs = any_hw_differs || a[i] != b[i];
+  }
+  EXPECT_TRUE(any_hw_differs);
+}
+
+TEST(Features, ProjectSelectsColumns) {
+  const std::vector<double> full = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  const auto projected = project_features(full, {2, 4, 13});
+  EXPECT_EQ(projected, (std::vector<double>{2, 4, 13}));
+  EXPECT_THROW(project_features(full, {14}), TuningError);
+}
+
+}  // namespace
+}  // namespace pml::core

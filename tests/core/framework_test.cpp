@@ -1,0 +1,204 @@
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coll/cost.hpp"
+#include "common/error.hpp"
+
+namespace pml::core {
+namespace {
+
+/// Small, fast training configuration for tests: a handful of clusters and
+/// a compact forest (still enough signal to be meaningfully better than
+/// chance on unseen hardware).
+TrainOptions fast_options() {
+  TrainOptions options;
+  options.forest.n_trees = 25;
+  return options;
+}
+
+std::vector<sim::ClusterSpec> small_training_set() {
+  // Architecturally diverse subset (Intel/AMD/ARM, QDR..HDR, OPA).
+  std::vector<sim::ClusterSpec> out;
+  for (const char* name :
+       {"RI", "RI2", "Rome", "Haswell", "Catalyst", "Bridges", "Spock"}) {
+    out.push_back(sim::cluster_by_name(name));
+  }
+  return out;
+}
+
+const PmlFramework& shared_framework() {
+  static const PmlFramework fw =
+      PmlFramework::train(small_training_set(), fast_options());
+  return fw;
+}
+
+TEST(Framework, SelectsValidAlgorithmsOnUnseenCluster) {
+  auto fw = shared_framework();  // copy: select() is non-const
+  const auto& mri = sim::cluster_by_name("MRI");
+  for (const auto collective :
+       {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+    for (const int ppn : {7, 16, 28}) {  // includes non-pow2 worlds
+      const sim::Topology topo{3, ppn};
+      for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 3) {
+        const coll::Algorithm a = fw.select(collective, mri, topo, msg);
+        EXPECT_TRUE(coll::algorithm_supports(a, topo.world_size()));
+        EXPECT_EQ(coll::collective_of(a), collective);
+      }
+    }
+  }
+}
+
+TEST(Framework, BeatsRandomSelectionOnUnseenCluster) {
+  auto fw = shared_framework();
+  RandomSelector random_sel(3);
+  const auto& mri = sim::cluster_by_name("MRI");
+  const sim::Topology topo{4, 64};
+  const sim::NetworkModel model(mri, topo);
+  double log_ratio = 0.0;
+  int n = 0;
+  for (const auto collective :
+       {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+    for (std::uint64_t msg = 1; msg <= (1u << 15); msg <<= 1) {
+      const double t_fw = coll::analytic_cost(
+          model, fw.select(collective, mri, topo, msg), msg);
+      double t_rand = 0.0;
+      for (int i = 0; i < 8; ++i) {
+        t_rand += coll::analytic_cost(
+            model, random_sel.select(collective, mri, topo, msg), msg);
+      }
+      t_rand /= 8.0;
+      log_ratio += std::log(t_rand / t_fw);
+      ++n;
+    }
+  }
+  EXPECT_GT(std::exp(log_ratio / n), 1.3);  // well above parity
+}
+
+TEST(Framework, NearOracleOnTrainingCluster) {
+  auto fw = shared_framework();
+  OracleSelector oracle;
+  const auto& rome = sim::cluster_by_name("Rome");  // in the training set
+  const sim::Topology topo{4, 32};
+  const sim::NetworkModel model(rome, topo);
+  double log_ratio = 0.0;
+  int n = 0;
+  for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 1) {
+    const double t_fw = coll::analytic_cost(
+        model, fw.select(coll::Collective::kAlltoall, rome, topo, msg), msg);
+    const double t_orc = coll::analytic_cost(
+        model, oracle.select(coll::Collective::kAlltoall, rome, topo, msg),
+        msg);
+    log_ratio += std::log(t_fw / t_orc);
+    ++n;
+  }
+  EXPECT_LT(std::exp(log_ratio / n), 1.15);  // within 15% of optimal
+}
+
+TEST(Framework, CompileForProducesCompleteTable) {
+  auto fw = shared_framework();
+  const auto& mri = sim::cluster_by_name("MRI");
+  const std::vector<int> nodes = {1, 2, 4};
+  const std::vector<int> ppns = {64, 128};
+  const auto sizes = sim::power_of_two_sizes(16);
+  const TuningTable table = fw.compile_for(mri, nodes, ppns, sizes);
+  EXPECT_EQ(table.cluster_name(), "MRI");
+  EXPECT_EQ(table.job_count(), 2u * 3u * 2u);  // collectives x nodes x ppns
+  EXPECT_GT(fw.inference_seconds(), 0.0);
+  EXPECT_LT(fw.inference_seconds(), 1.0);  // paper: "less than a second"
+  // Table answers must match direct inference.
+  for (std::uint64_t msg = 1; msg <= (1u << 15); msg <<= 2) {
+    EXPECT_EQ(table.lookup(coll::Collective::kAlltoall, 4, 64, msg),
+              fw.select(coll::Collective::kAlltoall, mri,
+                        sim::Topology{4, 64}, msg));
+  }
+}
+
+TEST(Framework, CompileOrCachedReusesExistingTable) {
+  auto fw = shared_framework();
+  const auto& mri = sim::cluster_by_name("MRI");
+  const std::vector<int> nodes = {1, 2};
+  const std::vector<int> ppns = {64};
+  const auto sizes = sim::power_of_two_sizes(8);
+
+  TuningTable cache;
+  const TuningTable& first =
+      fw.compile_or_cached(mri, nodes, ppns, sizes, cache);
+  EXPECT_EQ(first.cluster_name(), "MRI");
+  const double first_inference = fw.inference_seconds();
+
+  // Second call: the cached table short-circuits the ML path (Fig. 4).
+  const TuningTable& second =
+      fw.compile_or_cached(mri, nodes, ppns, sizes, cache);
+  EXPECT_EQ(&second, &cache);
+  EXPECT_EQ(fw.inference_seconds(), first_inference);  // no new inference
+
+  // A different cluster invalidates the cache.
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const TuningTable& third =
+      fw.compile_or_cached(frontera, nodes, ppns, sizes, cache);
+  EXPECT_EQ(third.cluster_name(), "Frontera");
+}
+
+TEST(Framework, JsonRoundTripPreservesSelections) {
+  auto fw = shared_framework();
+  const Json bundle = fw.to_json();
+  auto restored = PmlFramework::load(Json::parse(bundle.dump()));
+  const auto& mri = sim::cluster_by_name("MRI");
+  const sim::Topology topo{2, 16};
+  for (const auto collective :
+       {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+    for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 1) {
+      EXPECT_EQ(restored.select(collective, mri, topo, msg),
+                fw.select(collective, mri, topo, msg));
+    }
+  }
+}
+
+TEST(Framework, LoadRejectsMalformedBundles) {
+  EXPECT_THROW(PmlFramework::load(Json::object()), Error);
+  Json j = Json::object();
+  j["format"] = "pml-mpi-model-v1";
+  j["collectives"] = Json::object();
+  EXPECT_THROW(PmlFramework::load(j), TuningError);
+}
+
+TEST(Framework, FeatureImportancesCoverFullLayout) {
+  const auto& fw = shared_framework();
+  const auto imp =
+      fw.full_feature_importances(coll::Collective::kAllgather);
+  ASSERT_EQ(imp.size(), feature_count());
+  double sum = 0.0;
+  for (const double v : imp) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Framework, TopFeatureSelectionShrinksModelInput) {
+  TrainOptions options = fast_options();
+  options.top_features = 5;
+  const auto fw = PmlFramework::train(small_training_set(), options);
+  EXPECT_EQ(fw.selected_columns(coll::Collective::kAllgather).size(), 5u);
+  EXPECT_EQ(fw.selected_columns(coll::Collective::kAlltoall).size(), 5u);
+  // Importances of dropped columns are zero, and the kept ones sum to 1.
+  const auto imp = fw.full_feature_importances(coll::Collective::kAlltoall);
+  int nonzero = 0;
+  for (const double v : imp) nonzero += v > 0.0 ? 1 : 0;
+  EXPECT_LE(nonzero, 5);
+}
+
+TEST(Framework, MsgSizeAmongTopSelectedFeatures) {
+  TrainOptions options = fast_options();
+  options.top_features = 5;
+  const auto fw = PmlFramework::train(small_training_set(), options);
+  const auto& cols = fw.selected_columns(coll::Collective::kAlltoall);
+  EXPECT_NE(std::find(cols.begin(), cols.end(), feature_index("msg_size")),
+            cols.end());
+}
+
+}  // namespace
+}  // namespace pml::core

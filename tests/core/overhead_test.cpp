@@ -1,0 +1,62 @@
+#include "core/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pml::core {
+namespace {
+
+const sim::ClusterSpec& frontera() { return sim::cluster_by_name("Frontera"); }
+
+TEST(Overhead, OmbIterationScheduleMatchesOmbDefaults) {
+  EXPECT_EQ(omb_iterations(1), omb_iterations(8192));
+  EXPECT_GT(omb_iterations(8192), omb_iterations(16384));
+  EXPECT_EQ(omb_iterations(1 << 20), omb_iterations(16384));
+}
+
+TEST(Overhead, MicrobenchmarkGrowsWithNodes) {
+  const auto sizes = sim::power_of_two_sizes(21);
+  double prev = 0.0;
+  for (const int nodes : {2, 8, 32}) {
+    const double hours = microbenchmark_core_hours(
+        frontera(), coll::Collective::kAllgather, nodes, 56, sizes);
+    EXPECT_GT(hours, prev);
+    prev = hours;
+  }
+}
+
+TEST(Overhead, MicrobenchmarkIsExpensiveAtModestScale) {
+  // Paper Fig. 1: already at 32 nodes the exhaustive sweep costs thousands
+  // of core-hours — the motivating pain point.
+  const auto sizes = sim::power_of_two_sizes(21);
+  const double hours = microbenchmark_core_hours(
+      frontera(), coll::Collective::kAllgather, 32, 56, sizes);
+  EXPECT_GT(hours, 100.0);
+}
+
+TEST(Overhead, AcclaimScalesLinearlyInProcesses) {
+  const double at128 = acclaim_core_hours(128, 56);
+  const double at256 = acclaim_core_hours(256, 56);
+  EXPECT_NEAR(at256 / at128, 2.0, 1e-9);
+  // 5.62 minutes on 128 x 56 processes.
+  EXPECT_NEAR(at128, 5.62 / 60.0 * 128 * 56, 1e-6);
+}
+
+TEST(Overhead, PmlIsOrdersOfMagnitudeCheaper) {
+  const auto sizes = sim::power_of_two_sizes(21);
+  const double micro = microbenchmark_core_hours(
+      frontera(), coll::Collective::kAllgather, 32, 56, sizes);
+  const double pml = pml_core_hours(1.0);  // a full second of inference
+  EXPECT_GT(micro / pml, 1e6);             // paper: ~1e6x at 32 nodes
+  const double acclaim = acclaim_core_hours(128, 56);
+  EXPECT_GT(acclaim / pml, 1e4);  // paper: ~1e4x at 128 nodes
+}
+
+TEST(Overhead, RejectsInvalidInputs) {
+  EXPECT_THROW(acclaim_core_hours(0, 56), TuningError);
+  EXPECT_THROW(pml_core_hours(-0.1), TuningError);
+}
+
+}  // namespace
+}  // namespace pml::core

@@ -1,0 +1,144 @@
+#include "core/selectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coll/cost.hpp"
+#include "common/error.hpp"
+
+namespace pml::core {
+namespace {
+
+const sim::ClusterSpec& frontera() { return sim::cluster_by_name("Frontera"); }
+
+/// Every selector must return a valid algorithm across a broad sweep.
+class SelectorContract : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectorContract, AlwaysReturnsSupportedAlgorithm) {
+  const int world = GetParam();
+  MvapichDefaultSelector mvapich;
+  OpenMpiDefaultSelector ompi;
+  RandomSelector random_sel(1);
+  OracleSelector oracle;
+  Selector* selectors[] = {&mvapich, &ompi, &random_sel, &oracle};
+  const sim::Topology topo{1, world};
+  for (Selector* s : selectors) {
+    for (const auto collective :
+         {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+      for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 4) {
+        const coll::Algorithm a =
+            s->select(collective, frontera(), topo, msg);
+        EXPECT_TRUE(coll::algorithm_supports(a, world))
+            << s->name() << " " << coll::display_name(a) << " p=" << world;
+        EXPECT_EQ(coll::collective_of(a), collective) << s->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, SelectorContract,
+                         ::testing::Values(1, 2, 3, 7, 8, 12, 16, 28, 56));
+
+TEST(FirstSupported, PrefersEarlierEntries) {
+  EXPECT_EQ(first_supported({coll::Algorithm::kAaRecursiveDoubling,
+                             coll::Algorithm::kAaPairwise},
+                            16),
+            coll::Algorithm::kAaRecursiveDoubling);
+  // p=12 is not a power of two: RD is skipped.
+  EXPECT_EQ(first_supported({coll::Algorithm::kAaRecursiveDoubling,
+                             coll::Algorithm::kAaPairwise},
+                            12),
+            coll::Algorithm::kAaPairwise);
+}
+
+TEST(FirstSupported, ThrowsWhenNothingFits) {
+  EXPECT_THROW(first_supported({coll::Algorithm::kAaRecursiveDoubling}, 12),
+               TuningError);
+}
+
+TEST(MvapichDefault, MessageSizeThresholdsMonotone) {
+  // Small alltoall -> Bruck; large -> Pairwise (never back to Bruck).
+  MvapichDefaultSelector s;
+  const sim::Topology topo{4, 8};
+  bool seen_pairwise = false;
+  for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 1) {
+    const auto a = s.select(coll::Collective::kAlltoall, frontera(), topo, msg);
+    if (a == coll::Algorithm::kAaPairwise) seen_pairwise = true;
+    if (seen_pairwise) {
+      EXPECT_NE(a, coll::Algorithm::kAaBruck);
+    }
+  }
+  EXPECT_TRUE(seen_pairwise);
+}
+
+TEST(MvapichDefault, IgnoresHardware) {
+  // The static table gives identical answers on different clusters — its
+  // defining weakness (paper §VII-C).
+  MvapichDefaultSelector s;
+  const sim::Topology topo{2, 16};
+  for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 2) {
+    EXPECT_EQ(s.select(coll::Collective::kAlltoall, frontera(), topo, msg),
+              s.select(coll::Collective::kAlltoall,
+                       sim::cluster_by_name("MRI"), topo, msg));
+  }
+}
+
+TEST(OpenMpiDefault, DiffersFromMvapichSomewhere) {
+  MvapichDefaultSelector mv;
+  OpenMpiDefaultSelector om;
+  const sim::Topology topo{4, 14};
+  bool differ = false;
+  for (const auto collective :
+       {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+    for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 1) {
+      differ = differ || mv.select(collective, frontera(), topo, msg) !=
+                             om.select(collective, frontera(), topo, msg);
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RandomSelectorTest, CoversAllValidAlgorithms) {
+  RandomSelector s(5);
+  const sim::Topology topo{2, 8};
+  std::set<coll::Algorithm> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(s.select(coll::Collective::kAlltoall, frontera(), topo, 64));
+  }
+  EXPECT_EQ(seen.size(),
+            coll::valid_algorithms(coll::Collective::kAlltoall, 16).size());
+}
+
+TEST(OracleSelectorTest, MatchesExhaustiveArgmin) {
+  OracleSelector s;
+  const sim::Topology topo{2, 8};
+  const sim::NetworkModel model(frontera(), topo);
+  for (std::uint64_t msg = 1; msg <= (1u << 18); msg <<= 3) {
+    const auto choice =
+        s.select(coll::Collective::kAllgather, frontera(), topo, msg);
+    const double chosen = coll::analytic_cost(model, choice, msg);
+    for (const auto a :
+         coll::valid_algorithms(coll::Collective::kAllgather, 16)) {
+      EXPECT_LE(chosen, coll::analytic_cost(model, a, msg) + 1e-15);
+    }
+  }
+}
+
+TEST(OracleSelectorTest, AdaptsToHardware) {
+  // Unlike the static defaults, the oracle must change its answer across
+  // clusters somewhere in the sweep (it sees the actual cost model).
+  OracleSelector s;
+  const sim::Topology topo{2, 16};
+  bool differ = false;
+  for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 1) {
+    differ = differ ||
+             s.select(coll::Collective::kAlltoall, frontera(), topo, msg) !=
+                 s.select(coll::Collective::kAlltoall,
+                          sim::cluster_by_name("MRI"), topo, msg);
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace pml::core

@@ -1,0 +1,156 @@
+#include "core/tuning_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pml::core {
+namespace {
+
+using coll::Algorithm;
+using coll::Collective;
+
+JobTable simple_job(Collective c, int nodes, int ppn) {
+  JobTable job;
+  job.collective = c;
+  job.nodes = nodes;
+  job.ppn = ppn;
+  job.entries = {
+      TuningEntry{1024, Algorithm::kAgBruck},
+      TuningEntry{65536, Algorithm::kAgRecursiveDoubling},
+      TuningEntry{1 << 20, Algorithm::kAgRing},
+  };
+  return job;
+}
+
+TEST(TuningTable, LookupBySizeRange) {
+  TuningTable t("X");
+  t.add(simple_job(Collective::kAllgather, 4, 8));
+  EXPECT_EQ(t.lookup(Collective::kAllgather, 4, 8, 1), Algorithm::kAgBruck);
+  EXPECT_EQ(t.lookup(Collective::kAllgather, 4, 8, 1024), Algorithm::kAgBruck);
+  EXPECT_EQ(t.lookup(Collective::kAllgather, 4, 8, 1025),
+            Algorithm::kAgRecursiveDoubling);
+  EXPECT_EQ(t.lookup(Collective::kAllgather, 4, 8, 1 << 19),
+            Algorithm::kAgRing);
+  // Beyond the last boundary: the final range is open-ended.
+  EXPECT_EQ(t.lookup(Collective::kAllgather, 4, 8, 1u << 30),
+            Algorithm::kAgRing);
+}
+
+TEST(TuningTable, NearestJobShapeFallback) {
+  TuningTable t("X");
+  t.add(simple_job(Collective::kAllgather, 4, 8));
+  JobTable big = simple_job(Collective::kAllgather, 16, 32);
+  big.entries = {TuningEntry{1 << 20, Algorithm::kAgRing}};
+  t.add(std::move(big));
+  // (8, 16) is geometrically nearer to (4,8) than (16,32)? log-distance:
+  // (1,1) vs (1,1) — tie broken by first match; just verify no throw and a
+  // valid result.
+  EXPECT_NO_THROW(t.lookup(Collective::kAllgather, 8, 16, 64));
+  // (15, 30) is clearly nearest (16, 32).
+  EXPECT_EQ(t.lookup(Collective::kAllgather, 15, 30, 64), Algorithm::kAgRing);
+}
+
+TEST(TuningTable, MissingCollectiveThrows) {
+  TuningTable t("X");
+  t.add(simple_job(Collective::kAllgather, 4, 8));
+  EXPECT_THROW(t.lookup(Collective::kAlltoall, 4, 8, 64), TuningError);
+}
+
+TEST(TuningTable, RejectsMalformedJobTables) {
+  TuningTable t("X");
+  JobTable empty;
+  empty.collective = Collective::kAllgather;
+  empty.nodes = 1;
+  empty.ppn = 1;
+  EXPECT_THROW(t.add(empty), TuningError);
+
+  JobTable unsorted = simple_job(Collective::kAllgather, 1, 1);
+  std::swap(unsorted.entries[0], unsorted.entries[2]);
+  EXPECT_THROW(t.add(std::move(unsorted)), TuningError);
+
+  t.add(simple_job(Collective::kAllgather, 2, 2));
+  EXPECT_THROW(t.add(simple_job(Collective::kAllgather, 2, 2)), TuningError);
+}
+
+TEST(TuningTable, HasChecksExactShape) {
+  TuningTable t("X");
+  t.add(simple_job(Collective::kAllgather, 4, 8));
+  EXPECT_TRUE(t.has(Collective::kAllgather, 4, 8));
+  EXPECT_FALSE(t.has(Collective::kAllgather, 4, 16));
+  EXPECT_FALSE(t.has(Collective::kAlltoall, 4, 8));
+}
+
+TEST(TuningTable, JsonRoundTrip) {
+  TuningTable t("ClusterY");
+  t.add(simple_job(Collective::kAllgather, 4, 8));
+  JobTable aa;
+  aa.collective = Collective::kAlltoall;
+  aa.nodes = 2;
+  aa.ppn = 16;
+  aa.entries = {TuningEntry{512, Algorithm::kAaBruck},
+                TuningEntry{1 << 20, Algorithm::kAaPairwise}};
+  t.add(std::move(aa));
+
+  const TuningTable restored =
+      TuningTable::from_json(Json::parse(t.to_json().dump(2)));
+  EXPECT_EQ(restored.cluster_name(), "ClusterY");
+  EXPECT_EQ(restored.job_count(), 2u);
+  EXPECT_EQ(restored.lookup(Collective::kAllgather, 4, 8, 2048),
+            Algorithm::kAgRecursiveDoubling);
+  EXPECT_EQ(restored.lookup(Collective::kAlltoall, 2, 16, 100),
+            Algorithm::kAaBruck);
+  EXPECT_EQ(restored.lookup(Collective::kAlltoall, 2, 16, 4096),
+            Algorithm::kAaPairwise);
+}
+
+TEST(TuningTable, FromJsonRejectsWrongFormat) {
+  Json j = Json::object();
+  j["format"] = "something-else";
+  EXPECT_THROW(TuningTable::from_json(j), TuningError);
+  EXPECT_THROW(TuningTable::from_json(Json::object()), TuningError);
+}
+
+TEST(TuningTable, GenerateCompressesRanges) {
+  // A selector with one crossover must yield exactly two entries per job.
+  class TwoRange final : public Selector {
+   public:
+    std::string name() const override { return "two-range"; }
+    coll::Algorithm select(Collective c, const sim::ClusterSpec&,
+                           sim::Topology, std::uint64_t msg) override {
+      if (c == Collective::kAllgather) {
+        return msg <= 4096 ? Algorithm::kAgBruck : Algorithm::kAgRing;
+      }
+      return msg <= 4096 ? Algorithm::kAaBruck : Algorithm::kAaPairwise;
+    }
+  };
+  TwoRange selector;
+  const auto& cluster = sim::cluster_by_name("RI");
+  const std::vector<int> nodes = {1};
+  const std::vector<int> ppns = {4};
+  const auto sizes = sim::power_of_two_sizes(21);
+  const TuningTable t =
+      TuningTable::generate(selector, cluster, nodes, ppns, sizes);
+  EXPECT_EQ(t.job_count(), 2u);  // one per collective
+  EXPECT_EQ(t.lookup(Collective::kAllgather, 1, 4, 4096),
+            Algorithm::kAgBruck);
+  EXPECT_EQ(t.lookup(Collective::kAllgather, 1, 4, 8192), Algorithm::kAgRing);
+
+  const Json j = t.to_json();
+  // Two compressed entries, not 21.
+  EXPECT_EQ(j.at("jobs").as_array()[0].at("entries").as_array().size(), 2u);
+}
+
+TEST(TuningTable, GenerateSkipsOversubscribedPpn) {
+  OracleSelector oracle;
+  const auto& ri = sim::cluster_by_name("RI");  // 8 cores, 16 threads
+  const std::vector<int> nodes = {1};
+  const std::vector<int> ppns = {8, 1024};  // 1024 is not runnable
+  const auto sizes = sim::power_of_two_sizes(4);
+  const TuningTable t =
+      TuningTable::generate(oracle, ri, nodes, ppns, sizes);
+  EXPECT_EQ(t.job_count(), 2u);  // only ppn=8, for each collective
+}
+
+}  // namespace
+}  // namespace pml::core

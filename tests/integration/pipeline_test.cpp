@@ -1,0 +1,128 @@
+// End-to-end integration: offline training -> serialized bundle -> online
+// compile on an unseen cluster -> tuning table -> the chosen algorithm
+// actually executed on the event-driven simulator with verified payloads.
+// This is the whole Fig. 3 + Fig. 4 lifecycle in one test binary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "coll/cost.hpp"
+#include "coll/runner.hpp"
+#include "common/strings.hpp"
+#include "core/framework.hpp"
+
+namespace pml {
+namespace {
+
+core::TrainOptions fast_options() {
+  core::TrainOptions options;
+  options.forest.n_trees = 25;
+  return options;
+}
+
+std::vector<sim::ClusterSpec> training_without(const std::string& name) {
+  std::vector<sim::ClusterSpec> out;
+  for (const auto& c : sim::builtin_clusters()) {
+    if (c.name != name) out.push_back(c);
+  }
+  return out;
+}
+
+TEST(Pipeline, TrainShipCompileRunOnUnseenCluster) {
+  // Offline stage.
+  auto fw = core::PmlFramework::train(training_without("MRI"), fast_options());
+
+  // Ship: serialize to disk, load back (the artefact an MPI library
+  // would bundle).
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pml_it_model.json").string();
+  write_file(path, fw.to_json().dump());
+  auto shipped = core::PmlFramework::load(Json::parse(read_file(path)));
+  std::filesystem::remove(path);
+
+  // Online stage on the unseen cluster.
+  const auto& mri = sim::cluster_by_name("MRI");
+  const std::vector<int> nodes = {1, 2};
+  const std::vector<int> ppns = {4, 8};
+  const auto sizes = sim::power_of_two_sizes(12);
+  const core::TuningTable table =
+      shipped.compile_for(mri, nodes, ppns, sizes);
+
+  // Runtime: execute the selected algorithms on the event engine with
+  // payload verification at several job shapes.
+  for (const auto collective :
+       {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+    for (const std::uint64_t msg : {16ull, 2048ull}) {
+      const sim::Topology topo{2, 8};
+      const coll::Algorithm choice =
+          table.lookup(collective, topo.nodes, topo.ppn, msg);
+      const auto result = coll::run_collective(mri, topo, choice, msg);
+      EXPECT_TRUE(result.verified)
+          << coll::to_string(collective) << " " << coll::display_name(choice);
+      EXPECT_GT(result.seconds, 0.0);
+    }
+  }
+}
+
+TEST(Pipeline, TableChoicesNearOptimalOnEventEngine) {
+  // The framework trains on analytic labels; verify its choices hold up on
+  // the *event-driven* simulator too (independent cost path).
+  auto fw = core::PmlFramework::train(training_without("Frontera"),
+                                      fast_options());
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const sim::Topology topo{2, 8};
+
+  double log_ratio = 0.0;
+  int n = 0;
+  for (const auto collective :
+       {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+    for (const std::uint64_t msg : {8ull, 256ull, 8192ull, 131072ull}) {
+      const coll::Algorithm choice =
+          fw.select(collective, frontera, topo, msg);
+      const double t_choice =
+          coll::run_collective(frontera, topo, choice, msg).seconds;
+      double t_best = t_choice;
+      for (const auto a :
+           coll::valid_algorithms(collective, topo.world_size())) {
+        t_best = std::min(
+            t_best, coll::run_collective(frontera, topo, a, msg).seconds);
+      }
+      log_ratio += std::log(t_choice / t_best);
+      ++n;
+    }
+  }
+  // Geomean within 35% of the event-engine optimum across the sweep.
+  EXPECT_LT(std::exp(log_ratio / n), 1.35);
+}
+
+TEST(Pipeline, LeaveClusterOutBeatsStaticDefaultOnAverage) {
+  // The headline claim, verified end-to-end at test scale: on a cluster
+  // the model never saw, PML's selections are at least as good as the
+  // static MVAPICH-style table on geometric average.
+  auto fw = core::PmlFramework::train(training_without("MRI"), fast_options());
+  core::MvapichDefaultSelector mvapich;
+  const auto& mri = sim::cluster_by_name("MRI");
+
+  double log_ratio = 0.0;
+  int n = 0;
+  for (const int ppn : {64, 128}) {
+    const sim::Topology topo{4, ppn};
+    const sim::NetworkModel model(mri, topo);
+    for (const auto collective :
+         {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+      for (std::uint64_t msg = 1; msg <= (1u << 15); msg <<= 1) {
+        const double t_fw = coll::analytic_cost(
+            model, fw.select(collective, mri, topo, msg), msg);
+        const double t_def = coll::analytic_cost(
+            model, mvapich.select(collective, mri, topo, msg), msg);
+        log_ratio += std::log(t_def / t_fw);
+        ++n;
+      }
+    }
+  }
+  EXPECT_GT(std::exp(log_ratio / n), 1.0);
+}
+
+}  // namespace
+}  // namespace pml

@@ -1,0 +1,103 @@
+#include "ml/cv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/factory.hpp"
+
+namespace pml::ml {
+namespace {
+
+Dataset blobs2(int per_class, std::uint64_t seed) {
+  Dataset d;
+  d.num_classes = 2;
+  Rng rng(seed);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      const double cx = c == 0 ? 0.0 : 4.0;
+      const std::vector<double> row = {rng.normal(cx, 0.8),
+                                       rng.normal(cx, 0.8)};
+      d.x.push_row(row);
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+TEST(ParamGrid, CartesianProduct) {
+  const auto grid = param_grid({{"a", {Json(1), Json(2)}},
+                                {"b", {Json("x"), Json("y"), Json("z")}}});
+  EXPECT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].at("a").as_int(), 1);
+  EXPECT_EQ(grid[5].at("a").as_int(), 2);
+  EXPECT_EQ(grid[5].at("b").as_string(), "z");
+}
+
+TEST(ParamGrid, EmptyAxesGiveSingleEmptyCandidate) {
+  const auto grid = param_grid({});
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(grid[0].as_object().empty());
+}
+
+TEST(ParamGrid, RejectsEmptyAxis) {
+  EXPECT_THROW(param_grid({{"a", {}}}), MlError);
+}
+
+TEST(CrossValScore, HighForSeparableData) {
+  const Dataset d = blobs2(60, 1);
+  Rng rng(2);
+  const double auc = cross_val_score(factory_for("RandomForest"),
+                                     Json::object(), d, 3, rng, "auc");
+  EXPECT_GT(auc, 0.95);
+  Rng rng2(2);
+  const double acc = cross_val_score(factory_for("KNN"), Json::object(), d, 3,
+                                     rng2, "accuracy");
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(CrossValScore, RejectsUnknownMetric) {
+  const Dataset d = blobs2(20, 3);
+  Rng rng(4);
+  EXPECT_THROW(cross_val_score(factory_for("KNN"), Json::object(), d, 3, rng,
+                               "f1"),
+               MlError);
+}
+
+TEST(GridSearch, PicksBetterCandidate) {
+  const Dataset d = blobs2(60, 5);
+  // k=1 overfits less gracefully than k=7 on noisy blobs; both valid, the
+  // search must return the higher-scoring candidate coherently.
+  Json k1 = Json::object();
+  k1["k"] = 1;
+  Json k7 = Json::object();
+  k7["k"] = 7;
+  Rng rng(6);
+  const auto result =
+      grid_search(factory_for("KNN"), {k1, k7}, d, 3, rng, "accuracy");
+  ASSERT_EQ(result.all_scores.size(), 2u);
+  EXPECT_GE(result.best_score, result.all_scores[0].second);
+  EXPECT_GE(result.best_score, result.all_scores[1].second);
+  EXPECT_TRUE(result.best_params == k1 || result.best_params == k7);
+}
+
+TEST(GridSearch, RejectsEmptyCandidates) {
+  const Dataset d = blobs2(20, 7);
+  Rng rng(8);
+  EXPECT_THROW(grid_search(factory_for("KNN"), {}, d, 3, rng), MlError);
+}
+
+TEST(GridSearch, DeterministicForSeed) {
+  const Dataset d = blobs2(40, 9);
+  Json k3 = Json::object();
+  k3["k"] = 3;
+  Json k5 = Json::object();
+  k5["k"] = 5;
+  auto run = [&] {
+    Rng rng(10);
+    return grid_search(factory_for("KNN"), {k3, k5}, d, 3, rng, "accuracy")
+        .best_score;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pml::ml

@@ -1,0 +1,93 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pml::ml {
+namespace {
+
+TEST(Accuracy, KnownValues) {
+  const std::vector<int> truth = {0, 1, 2, 1};
+  const std::vector<int> pred = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy(truth, pred), 0.75);
+}
+
+TEST(Accuracy, RejectsMismatchedOrEmpty) {
+  const std::vector<int> a = {0};
+  const std::vector<int> b = {0, 1};
+  const std::vector<int> empty;
+  EXPECT_THROW(accuracy(a, b), MlError);
+  EXPECT_THROW(accuracy(empty, empty), MlError);
+}
+
+TEST(ConfusionMatrix, CountsPerCell) {
+  const std::vector<int> truth = {0, 0, 1, 1, 1};
+  const std::vector<int> pred = {0, 1, 1, 1, 0};
+  const auto m = confusion_matrix(truth, pred, 2);
+  EXPECT_EQ(m[0][0], 1u);
+  EXPECT_EQ(m[0][1], 1u);
+  EXPECT_EQ(m[1][0], 1u);
+  EXPECT_EQ(m[1][1], 2u);
+}
+
+TEST(BinaryAuc, PerfectSeparation) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<char> pos = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(binary_auc(scores, pos), 1.0);
+}
+
+TEST(BinaryAuc, ReversedScoresGiveZero) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<char> pos = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(binary_auc(scores, pos), 0.0);
+}
+
+TEST(BinaryAuc, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<double> scores(2000);
+  std::vector<char> pos(2000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.uniform();
+    pos[i] = rng.bernoulli(0.4) ? 1 : 0;
+  }
+  EXPECT_NEAR(binary_auc(scores, pos), 0.5, 0.05);
+}
+
+TEST(BinaryAuc, TiesCountHalf) {
+  // All scores equal: AUC must be exactly 0.5 regardless of labels.
+  const std::vector<double> scores = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<char> pos = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(binary_auc(scores, pos), 0.5);
+}
+
+TEST(BinaryAuc, RequiresBothClasses) {
+  const std::vector<double> scores = {0.1, 0.9};
+  const std::vector<char> all_pos = {1, 1};
+  EXPECT_THROW(binary_auc(scores, all_pos), MlError);
+}
+
+TEST(MacroOvrAuc, PerfectClassifier) {
+  // predict_proba puts all mass on the true class.
+  std::vector<std::vector<double>> proba = {
+      {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const std::vector<int> truth = {0, 1, 2, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(macro_ovr_auc(proba, truth, 3), 1.0);
+}
+
+TEST(MacroOvrAuc, SkipsAbsentClasses) {
+  // Class 2 never appears; the macro average covers classes 0 and 1 only.
+  std::vector<std::vector<double>> proba = {{0.9, 0.1, 0.0},
+                                            {0.2, 0.8, 0.0},
+                                            {0.7, 0.3, 0.0},
+                                            {0.1, 0.9, 0.0}};
+  const std::vector<int> truth = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(macro_ovr_auc(proba, truth, 3), 1.0);
+}
+
+TEST(MacroOvrAuc, RejectsSingleClassInput) {
+  std::vector<std::vector<double>> proba = {{1.0}, {1.0}};
+  const std::vector<int> truth = {0, 0};
+  EXPECT_THROW(macro_ovr_auc(proba, truth, 1), MlError);
+}
+
+}  // namespace
+}  // namespace pml::ml

@@ -1,0 +1,180 @@
+#include "ml/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pml::ml {
+namespace {
+
+/// Two well-separated 2-D blobs.
+Dataset blobs(int per_class, double gap, std::uint64_t seed) {
+  Dataset d;
+  d.num_classes = 2;
+  Rng rng(seed);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      const double cx = c == 0 ? 0.0 : gap;
+      const std::vector<double> row = {rng.normal(cx, 0.5),
+                                       rng.normal(cx, 0.5)};
+      d.x.push_row(row);
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+TEST(GiniImpurity, KnownValues) {
+  EXPECT_DOUBLE_EQ(gini_impurity(std::vector<double>{10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(gini_impurity(std::vector<double>{5, 5}), 0.5);
+  EXPECT_NEAR(gini_impurity(std::vector<double>{1, 1, 1}), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(gini_impurity(std::vector<double>{}), 0.0);
+}
+
+TEST(DecisionTree, PerfectlySeparableDataFitsExactly) {
+  const Dataset d = blobs(50, 10.0, 1);
+  DecisionTree tree;
+  Rng rng(2);
+  tree.fit(d.x, d.y, 2, rng);
+  for (std::size_t r = 0; r < d.x.rows(); ++r) {
+    EXPECT_EQ(tree.predict(d.x.row(r)), d.y[r]);
+  }
+}
+
+TEST(DecisionTree, ProbabilitiesSumToOne) {
+  const Dataset d = blobs(30, 2.0, 3);
+  DecisionTree tree(TreeParams{.max_depth = 3});
+  Rng rng(4);
+  tree.fit(d.x, d.y, 2, rng);
+  const auto p = tree.predict_proba(d.x.row(0));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(DecisionTree, MaxDepthZeroIsMajorityVote) {
+  Dataset d = blobs(10, 10.0, 5);
+  d.y.assign(d.y.size(), 0);
+  d.y[0] = 1;
+  DecisionTree tree(TreeParams{.max_depth = 0});
+  Rng rng(6);
+  tree.fit(d.x, d.y, 2, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(d.x.row(0)), 0);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const Dataset d = blobs(40, 4.0, 7);
+  DecisionTree tree(TreeParams{.min_samples_leaf = 10});
+  Rng rng(8);
+  tree.fit(d.x, d.y, 2, rng);
+  // With 80 samples and >=10 per leaf, at most 8 leaves -> at most 15 nodes.
+  EXPECT_LE(tree.node_count(), 15u);
+}
+
+TEST(DecisionTree, ImportancesConcentrateOnInformativeFeature) {
+  // Feature 0 is informative, feature 1 is noise.
+  Dataset d;
+  d.num_classes = 2;
+  Rng data_rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = data_rng.uniform(-1.0, 1.0);
+    const std::vector<double> row = {x0, data_rng.uniform(-1.0, 1.0)};
+    d.x.push_row(row);
+    d.y.push_back(x0 > 0.0 ? 1 : 0);
+  }
+  DecisionTree tree;
+  Rng rng(12);
+  tree.fit(d.x, d.y, 2, rng);
+  const auto imp = tree.feature_importances();
+  EXPECT_GT(imp[0], 10.0 * std::max(imp[1], 1e-12));
+}
+
+TEST(DecisionTree, FitWithExplicitSampleIndices) {
+  const Dataset d = blobs(20, 10.0, 13);
+  // Train only on class-0 rows: the tree must always predict class 0.
+  std::vector<std::size_t> samples;
+  for (std::size_t i = 0; i < 20; ++i) samples.push_back(i);
+  DecisionTree tree;
+  Rng rng(14);
+  tree.fit(d.x, d.y, 2, rng, samples);
+  for (std::size_t r = 20; r < 40; ++r) {
+    EXPECT_EQ(tree.predict(d.x.row(r)), 0);
+  }
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), MlError);
+}
+
+TEST(DecisionTree, BadInputsThrow) {
+  DecisionTree tree;
+  Rng rng(1);
+  Matrix empty;
+  std::vector<int> y;
+  EXPECT_THROW(tree.fit(empty, y, 2, rng), MlError);
+}
+
+TEST(DecisionTree, JsonRoundTripPreservesPredictions) {
+  const Dataset d = blobs(50, 3.0, 15);
+  DecisionTree tree;
+  Rng rng(16);
+  tree.fit(d.x, d.y, 2, rng);
+  const DecisionTree restored = DecisionTree::from_json(
+      Json::parse(tree.to_json().dump()));
+  for (std::size_t r = 0; r < d.x.rows(); ++r) {
+    EXPECT_EQ(restored.predict(d.x.row(r)), tree.predict(d.x.row(r)));
+    EXPECT_EQ(restored.predict_proba(d.x.row(r)),
+              tree.predict_proba(d.x.row(r)));
+  }
+}
+
+TEST(RegressionTree, FitsStepFunction) {
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x.at(i, 0) = static_cast<double>(i);
+    y[i] = i < 50 ? -1.0 : 3.0;
+  }
+  RegressionTree tree(TreeParams{.max_depth = 2});
+  Rng rng(17);
+  tree.fit(x, y, rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{10.0}), -1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{90.0}), 3.0, 1e-9);
+}
+
+TEST(RegressionTree, LeafMembersPartitionSamples) {
+  Matrix x(60, 1);
+  std::vector<double> y(60);
+  Rng data_rng(18);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x.at(i, 0) = data_rng.uniform();
+    y[i] = x.at(i, 0) * 2.0;
+  }
+  RegressionTree tree(TreeParams{.max_depth = 3});
+  Rng rng(19);
+  tree.fit(x, y, rng);
+  std::size_t total = 0;
+  for (const auto& members : tree.leaf_members()) total += members.size();
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(RegressionTree, SetLeafValueChangesPrediction) {
+  Matrix x(10, 1);
+  std::vector<double> y(10, 1.0);
+  for (std::size_t i = 0; i < 10; ++i) x.at(i, 0) = static_cast<double>(i);
+  RegressionTree tree;
+  Rng rng(20);
+  tree.fit(x, y, rng);
+  const int leaf = tree.apply(std::vector<double>{4.0});
+  tree.set_leaf_value(leaf, -7.5);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{4.0}), -7.5);
+}
+
+TEST(RegressionTree, ApplyBeforeFitThrows) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.apply(std::vector<double>{0.0}), MlError);
+}
+
+}  // namespace
+}  // namespace pml::ml

@@ -1,0 +1,132 @@
+#include "sim/hardware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace pml::sim {
+namespace {
+
+TEST(Hardware, EighteenBuiltinClusters) {
+  EXPECT_EQ(builtin_clusters().size(), 18u);  // Table I
+}
+
+TEST(Hardware, ClusterNamesUnique) {
+  std::set<std::string> names;
+  for (const auto& c : builtin_clusters()) names.insert(c.name);
+  EXPECT_EQ(names.size(), builtin_clusters().size());
+}
+
+TEST(Hardware, LookupByName) {
+  const auto& frontera = cluster_by_name("Frontera");
+  EXPECT_EQ(frontera.hw.cores, 56);
+  EXPECT_EQ(frontera.interconnect, Interconnect::kInfinibandEdr);
+  EXPECT_THROW(cluster_by_name("NoSuchCluster"), Error);
+}
+
+TEST(Hardware, TableOneSweepCounts) {
+  // Paper Table I: counts of distinct #nodes / #ppn / #msg-size values.
+  const auto& ri2 = cluster_by_name("RI2");
+  EXPECT_EQ(ri2.node_counts.size(), 5u);
+  EXPECT_EQ(ri2.ppn_values.size(), 6u);
+  EXPECT_EQ(ri2.message_sizes.size(), 21u);
+
+  const auto& ri = cluster_by_name("RI");
+  EXPECT_EQ(ri.node_counts.size(), 1u);
+  EXPECT_EQ(ri.ppn_values.size(), 2u);
+
+  const auto& mri = cluster_by_name("MRI");
+  EXPECT_EQ(mri.node_counts.size(), 4u);
+  EXPECT_EQ(mri.ppn_values.size(), 8u);
+  EXPECT_EQ(mri.message_sizes.size(), 16u);
+}
+
+TEST(Hardware, PpnValuesDoNotExceedCores) {
+  for (const auto& c : builtin_clusters()) {
+    for (const int ppn : c.ppn_values) {
+      EXPECT_LE(ppn, c.hw.cores) << c.name;
+      EXPECT_GE(ppn, 1) << c.name;
+    }
+  }
+}
+
+TEST(Hardware, FullSubscriptionIncluded) {
+  // The largest PPN value benchmarked equals the core count
+  // (full-subscription runs, as in the paper's evaluation).
+  for (const auto& c : builtin_clusters()) {
+    EXPECT_EQ(c.ppn_values.back(), c.hw.cores) << c.name;
+  }
+}
+
+TEST(Hardware, SpecValuesPlausible) {
+  for (const auto& c : builtin_clusters()) {
+    EXPECT_GT(c.hw.cpu_max_clock_ghz, 1.0) << c.name;
+    EXPECT_LT(c.hw.cpu_max_clock_ghz, 5.0) << c.name;
+    EXPECT_GT(c.hw.l3_cache_mb, 0.0) << c.name;
+    EXPECT_GT(c.hw.mem_bw_gbs, 10.0) << c.name;
+    EXPECT_GE(c.hw.threads, c.hw.cores) << c.name;
+    EXPECT_GE(c.hw.numa_nodes, 1) << c.name;
+    EXPECT_GE(c.hw.sockets, 1) << c.name;
+  }
+}
+
+TEST(Hardware, NicBandwidthCappedByLinkAndPcie) {
+  // HDR 4X = 200 Gb/s = 25 GB/s; PCIe3 x16 ~ 15.8 GB/s caps it.
+  HardwareSpec hw;
+  hw.hca_link_speed_gbps = 50.0;
+  hw.hca_link_width = 4;
+  hw.pcie_lanes = 16;
+  hw.pcie_version = 3;
+  const double capped = hw.nic_bandwidth_gbs();
+  EXPECT_LT(capped, 15.8);
+
+  hw.pcie_version = 4;
+  const double uncapped = hw.nic_bandwidth_gbs();
+  EXPECT_GT(uncapped, capped);
+  EXPECT_LE(uncapped, 25.0);
+}
+
+TEST(Hardware, InterconnectGenerationsOrdered) {
+  // Later generations: more bandwidth per lane, less latency.
+  EXPECT_LT(lane_speed_gbps(Interconnect::kInfinibandQdr),
+            lane_speed_gbps(Interconnect::kInfinibandFdr));
+  EXPECT_LT(lane_speed_gbps(Interconnect::kInfinibandFdr),
+            lane_speed_gbps(Interconnect::kInfinibandEdr));
+  EXPECT_LT(lane_speed_gbps(Interconnect::kInfinibandEdr),
+            lane_speed_gbps(Interconnect::kInfinibandHdr));
+  EXPECT_GT(base_latency_us(Interconnect::kInfinibandQdr),
+            base_latency_us(Interconnect::kInfinibandHdr));
+}
+
+TEST(Hardware, PowerOfTwoSizes) {
+  const auto sizes = power_of_two_sizes(21);
+  ASSERT_EQ(sizes.size(), 21u);
+  EXPECT_EQ(sizes.front(), 1u);
+  EXPECT_EQ(sizes.back(), 1u << 20);
+}
+
+TEST(Hardware, ClusterSpecJsonRoundTrip) {
+  const auto& orig = cluster_by_name("Spock");
+  const ClusterSpec parsed = ClusterSpec::from_json(
+      pml::Json::parse(orig.to_json().dump(2)));
+  EXPECT_EQ(parsed.name, orig.name);
+  EXPECT_EQ(parsed.interconnect, orig.interconnect);
+  EXPECT_EQ(parsed.hw.cores, orig.hw.cores);
+  EXPECT_EQ(parsed.hw.l3_cache_mb, orig.hw.l3_cache_mb);
+  EXPECT_EQ(parsed.node_counts, orig.node_counts);
+  EXPECT_EQ(parsed.ppn_values, orig.ppn_values);
+  EXPECT_EQ(parsed.message_sizes, orig.message_sizes);
+}
+
+TEST(Hardware, InterconnectNamesRoundTrip) {
+  for (const auto& c : builtin_clusters()) {
+    const ClusterSpec parsed =
+        ClusterSpec::from_json(pml::Json::parse(c.to_json().dump()));
+    EXPECT_EQ(parsed.interconnect, c.interconnect) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace pml::sim

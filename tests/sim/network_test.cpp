@@ -1,0 +1,106 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/hardware.hpp"
+
+namespace pml::sim {
+namespace {
+
+const ClusterSpec& frontera() { return cluster_by_name("Frontera"); }
+const ClusterSpec& mri() { return cluster_by_name("MRI"); }
+
+TEST(Topology, NodeMajorLayout) {
+  const Topology t{4, 8};
+  EXPECT_EQ(t.world_size(), 32);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_EQ(t.node_of(8), 1);
+  EXPECT_EQ(t.node_of(31), 3);
+  EXPECT_TRUE(t.same_node(0, 7));
+  EXPECT_FALSE(t.same_node(7, 8));
+}
+
+TEST(NetworkModel, RejectsBadTopology) {
+  EXPECT_THROW(NetworkModel(frontera(), Topology{0, 4}), SimError);
+  EXPECT_THROW(NetworkModel(frontera(), Topology{2, 0}), SimError);
+  // Frontera has 56 cores / 56 threads: ppn 57 is not runnable.
+  EXPECT_THROW(NetworkModel(frontera(), Topology{2, 57}), SimError);
+}
+
+TEST(NetworkModel, InterAlphaAboveIntraAlpha) {
+  const NetworkModel m(frontera(), Topology{2, 4});
+  EXPECT_GT(m.inter_alpha(), m.intra_alpha());
+  EXPECT_GT(m.intra_alpha(), 0.0);
+}
+
+TEST(NetworkModel, BandwidthTracksInterconnect) {
+  // MRI: HDR + PCIe4 -> much higher NIC bandwidth than Frontera (EDR/PCIe3).
+  const NetworkModel f(frontera(), Topology{2, 4});
+  const NetworkModel m(mri(), Topology{2, 4});
+  EXPECT_GT(m.inter_bandwidth(), 1.5 * f.inter_bandwidth());
+}
+
+TEST(NetworkModel, P2pTimeMonotonicInSize) {
+  const NetworkModel m(frontera(), Topology{2, 8});
+  double prev = 0.0;
+  for (std::uint64_t bytes = 1; bytes <= (1u << 20); bytes <<= 2) {
+    const double t = m.p2p_time(bytes, 0, 8);
+    EXPECT_GT(t, 0.0);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NetworkModel, InterSlowerThanIntraSmall) {
+  const NetworkModel m(frontera(), Topology{2, 8});
+  EXPECT_GT(m.p2p_time(8, 0, 8), m.p2p_time(8, 0, 1));
+}
+
+TEST(NetworkModel, FlowsScaleInterTime) {
+  const NetworkModel m(frontera(), Topology{2, 8});
+  const double one = m.p2p_time(1 << 20, 0, 8, 1);
+  const double eight = m.p2p_time(1 << 20, 0, 8, 8);
+  EXPECT_GT(eight, 4.0 * one);  // bandwidth term dominates at 1 MiB
+}
+
+TEST(NetworkModel, L3CacheBoostsSmallCopies) {
+  const NetworkModel m(frontera(), Topology{1, 8});
+  // Small working sets fit the per-rank L3 share and copy faster.
+  EXPECT_GT(m.copy_bandwidth(1024), m.copy_bandwidth(1u << 26));
+}
+
+TEST(NetworkModel, L3ShareShrinksWithPpn) {
+  const NetworkModel wide(frontera(), Topology{1, 56});
+  const NetworkModel narrow(frontera(), Topology{1, 2});
+  EXPECT_LT(wide.l3_share_bytes(), narrow.l3_share_bytes());
+}
+
+TEST(NetworkModel, BigL3ClusterKeepsCacheSpeedLonger) {
+  // MRI (512 MB L3) stays cache-resident at sizes where Frontera (77 MB)
+  // has spilled to DRAM, at the same PPN.
+  const NetworkModel f(frontera(), Topology{1, 16});
+  const NetworkModel m(mri(), Topology{1, 16});
+  const std::uint64_t ws = 8ull << 20;  // 8 MiB per rank
+  EXPECT_GT(m.copy_bandwidth(ws), f.copy_bandwidth(ws));
+}
+
+TEST(NetworkModel, SelfMessageIsMemcpy) {
+  const NetworkModel m(frontera(), Topology{2, 4});
+  EXPECT_DOUBLE_EQ(m.p2p_time(4096, 3, 3), m.memcpy_time(4096, 4096));
+}
+
+TEST(NetworkModel, ZeroByteMemcpyFree) {
+  const NetworkModel m(frontera(), Topology{1, 1});
+  EXPECT_DOUBLE_EQ(m.memcpy_time(0, 0), 0.0);
+}
+
+TEST(NetworkModel, OverheadScalesInverseWithClock) {
+  const NetworkModel slow(cluster_by_name("TACC-KNL"), Topology{2, 4});
+  const NetworkModel fast(frontera(), Topology{2, 4});
+  EXPECT_GT(slow.per_message_overhead(), fast.per_message_overhead());
+}
+
+}  // namespace
+}  // namespace pml::sim

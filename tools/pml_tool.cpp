@@ -1,0 +1,201 @@
+// pml — command-line front end to the PML-MPI framework.
+//
+//   pml train   --out model.json [--exclude Frontera,MRI] [--trees N]
+//               [--top-features K] [--collectives allgather,alltoall,...]
+//       Offline stage: build the tuning dataset from the built-in Table-I
+//       clusters (minus exclusions) and write the pre-trained bundle.
+//
+//   pml compile --model model.json --cluster NAME|spec.json
+//               --out table.json [--nodes 1,2,4,8,16] [--ppn 28,56]
+//       Online stage: one inference sweep for a cluster, emitting its
+//       JSON tuning table. Prints the measured inference time.
+//
+//   pml query   --table table.json --collective alltoall --nodes 16
+//               --ppn 56 --bytes 4096
+//       Runtime lookup: print the selected algorithm.
+//
+//   pml inspect --model model.json
+//       Show per-collective model shape and feature importances.
+//
+//   pml clusters
+//       List the built-in Table-I cluster specifications.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/framework.hpp"
+
+namespace {
+
+using namespace pml;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: pml <train|compile|query|inspect|clusters> [options]\n"
+               "Run `pml <command>` with missing options to see what it "
+               "needs; see the header of tools/pml_tool.cpp for details.\n");
+  std::exit(error == nullptr ? 0 : 2);
+}
+
+/// --key value argument map (flags must all take a value).
+std::map<std::string, std::string> parse_args(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> args;
+  for (int i = start; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage(("unexpected argument: " + key).c_str());
+    if (i + 1 >= argc) usage(("missing value for " + key).c_str());
+    args[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string require(const std::map<std::string, std::string>& args,
+                    const std::string& key) {
+  const auto it = args.find(key);
+  if (it == args.end()) usage(("missing required --" + key).c_str());
+  return it->second;
+}
+
+std::vector<int> parse_ints(const std::string& csv) {
+  std::vector<int> out;
+  for (const auto& part : split(csv, ',')) out.push_back(std::stoi(part));
+  return out;
+}
+
+sim::ClusterSpec load_cluster(const std::string& name_or_path) {
+  if (name_or_path.size() > 5 &&
+      name_or_path.substr(name_or_path.size() - 5) == ".json") {
+    return sim::ClusterSpec::from_json(Json::parse(read_file(name_or_path)));
+  }
+  return sim::cluster_by_name(name_or_path);
+}
+
+int cmd_train(const std::map<std::string, std::string>& args) {
+  const std::string out = require(args, "out");
+  std::vector<std::string> excluded;
+  if (args.contains("exclude")) excluded = split(args.at("exclude"), ',');
+
+  std::vector<sim::ClusterSpec> training;
+  for (const auto& c : sim::builtin_clusters()) {
+    bool skip = false;
+    for (const auto& name : excluded) skip = skip || c.name == name;
+    if (!skip) training.push_back(c);
+  }
+
+  core::TrainOptions options;
+  if (args.contains("trees")) {
+    options.forest.n_trees = std::stoi(args.at("trees"));
+  }
+  if (args.contains("top-features")) {
+    options.top_features = std::stoi(args.at("top-features"));
+  }
+  if (args.contains("collectives")) {
+    options.collectives.clear();
+    for (const auto& name : split(args.at("collectives"), ',')) {
+      options.collectives.push_back(coll::collective_from_string(name));
+    }
+  }
+
+  std::printf("training on %zu clusters...\n", training.size());
+  const auto fw = core::PmlFramework::train(training, options);
+  write_file(out, fw.to_json().dump());
+  std::printf("model bundle written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_compile(const std::map<std::string, std::string>& args) {
+  auto fw = core::PmlFramework::load(
+      Json::parse(read_file(require(args, "model"))));
+  const sim::ClusterSpec cluster = load_cluster(require(args, "cluster"));
+  const std::string out = require(args, "out");
+
+  const std::vector<int> nodes =
+      args.contains("nodes") ? parse_ints(args.at("nodes"))
+                             : cluster.node_counts;
+  const std::vector<int> ppns =
+      args.contains("ppn") ? parse_ints(args.at("ppn")) : cluster.ppn_values;
+  const auto sizes = cluster.message_sizes.empty()
+                         ? sim::power_of_two_sizes(21)
+                         : cluster.message_sizes;
+
+  const core::TuningTable table = fw.compile_for(cluster, nodes, ppns, sizes);
+  write_file(out, table.to_json().dump(2));
+  std::printf("tuning table for '%s' written to %s (inference: %s)\n",
+              cluster.name.c_str(), out.c_str(),
+              format_time(fw.inference_seconds()).c_str());
+  return 0;
+}
+
+int cmd_query(const std::map<std::string, std::string>& args) {
+  const core::TuningTable table = core::TuningTable::from_json(
+      Json::parse(read_file(require(args, "table"))));
+  const auto collective =
+      coll::collective_from_string(require(args, "collective"));
+  const int nodes = std::stoi(require(args, "nodes"));
+  const int ppn = std::stoi(require(args, "ppn"));
+  const auto bytes =
+      static_cast<std::uint64_t>(std::stoull(require(args, "bytes")));
+  const coll::Algorithm a = table.lookup(collective, nodes, ppn, bytes);
+  std::printf("%s\n", coll::display_name(a).c_str());
+  return 0;
+}
+
+int cmd_inspect(const std::map<std::string, std::string>& args) {
+  const auto fw = core::PmlFramework::load(
+      Json::parse(read_file(require(args, "model"))));
+  for (const auto collective : coll::all_collectives()) {
+    std::vector<double> importances;
+    try {
+      importances = fw.full_feature_importances(collective);
+    } catch (const TuningError&) {
+      continue;  // bundle has no model for this collective
+    }
+    const auto& forest = fw.model(collective);
+    std::printf("MPI_%s: %zu trees over %zu features\n",
+                coll::to_string(collective).c_str(), forest.tree_count(),
+                fw.selected_columns(collective).size());
+    TextTable t({"feature", "importance"});
+    for (std::size_t f = 0; f < importances.size(); ++f) {
+      if (importances[f] <= 0.0) continue;
+      t.add_row({core::feature_names()[f], format_double(importances[f], 4)});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  return 0;
+}
+
+int cmd_clusters() {
+  TextTable t({"name", "processor", "interconnect", "cores", "L3 (MB)",
+               "mem BW (GB/s)"});
+  for (const auto& c : sim::builtin_clusters()) {
+    t.add_row({c.name, c.processor, sim::to_string(c.interconnect),
+               std::to_string(c.hw.cores), format_double(c.hw.l3_cache_mb, 0),
+               format_double(c.hw.mem_bw_gbs, 0)});
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const auto args = parse_args(argc, argv, 2);
+    if (command == "train") return cmd_train(args);
+    if (command == "compile") return cmd_compile(args);
+    if (command == "query") return cmd_query(args);
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "clusters") return cmd_clusters();
+    usage(("unknown command: " + command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
