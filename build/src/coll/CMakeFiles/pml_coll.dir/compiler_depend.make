@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pml_coll.
+# This may be replaced when dependencies are built.
