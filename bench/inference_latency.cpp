@@ -1,8 +1,10 @@
 // Micro-benchmark (google-benchmark) of the online-inference path: the
 // paper claims "less than a second of model inference overhead during the
 // compilation time" and constant-time selection at application runtime.
-// Measures (a) one model inference, (b) a full tuning-table compile sweep,
-// and (c) one runtime table lookup.
+// Measures (a) one model inference, (b) a full tuning-table compile sweep
+// at several thread counts, (c) one runtime table lookup, and (d) the
+// offline training stage at several thread counts. The threads=1 variants
+// are the historical serial paths; threads=0 uses every hardware thread.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
@@ -32,6 +34,7 @@ BENCHMARK(BM_SingleInference);
 
 void BM_CompileTuningTable(benchmark::State& state) {
   auto& fw = framework();
+  fw.set_threads(static_cast<int>(state.range(0)));
   const auto& frontera = sim::cluster_by_name("Frontera");
   const std::vector<int> nodes = {1, 2, 4, 8, 16};
   const std::vector<int> ppns = {28, 56};
@@ -39,8 +42,27 @@ void BM_CompileTuningTable(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(fw.compile_for(frontera, nodes, ppns, sizes));
   }
+  fw.set_threads(0);
 }
-BENCHMARK(BM_CompileTuningTable)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompileTuningTable)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrainFramework(benchmark::State& state) {
+  auto options = bench::default_train_options();
+  options.threads = static_cast<int>(state.range(0));
+  const auto clusters = bench::clusters_except({"Frontera"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PmlFramework::train(clusters, options));
+  }
+}
+BENCHMARK(BM_TrainFramework)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgName("threads")
+    ->Unit(benchmark::kSecond);
 
 void BM_RuntimeTableLookup(benchmark::State& state) {
   auto& fw = framework();

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/pml_common.dir/json.cpp.o"
   "CMakeFiles/pml_common.dir/json.cpp.o.d"
+  "CMakeFiles/pml_common.dir/parallel.cpp.o"
+  "CMakeFiles/pml_common.dir/parallel.cpp.o.d"
   "CMakeFiles/pml_common.dir/strings.cpp.o"
   "CMakeFiles/pml_common.dir/strings.cpp.o.d"
   "CMakeFiles/pml_common.dir/table.cpp.o"

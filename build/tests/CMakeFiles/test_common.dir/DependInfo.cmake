@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/json_test.cpp" "tests/CMakeFiles/test_common.dir/common/json_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/json_test.cpp.o.d"
+  "/root/repo/tests/common/parallel_test.cpp" "tests/CMakeFiles/test_common.dir/common/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/parallel_test.cpp.o.d"
   "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
   "/root/repo/tests/common/strings_test.cpp" "tests/CMakeFiles/test_common.dir/common/strings_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/strings_test.cpp.o.d"
   "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_common.dir/common/json_test.cpp.o"
   "CMakeFiles/test_common.dir/common/json_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/parallel_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/parallel_test.cpp.o.d"
   "CMakeFiles/test_common.dir/common/rng_test.cpp.o"
   "CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
   "CMakeFiles/test_common.dir/common/strings_test.cpp.o"

@@ -1,0 +1,90 @@
+// Bounded thread pool with a blocking parallel_for.
+//
+// The hot offline/online paths (forest fitting, framework training, tuning
+// table compilation) are embarrassingly parallel but must stay bit-for-bit
+// deterministic: callers pre-split RNG streams and pre-size output slots, so
+// the pool only has to distribute independent indices. The design is
+// deliberately work-stealing-free: one shared index counter per job, caller
+// participation, and serial fallback for nested calls.
+//
+// Semantics:
+//  - parallel_for(threads, n, body) runs body(i) for every i in [0, n) and
+//    blocks until all iterations finished. `threads` caps the concurrency of
+//    this call (caller included); <= 0 means hardware_threads().
+//  - threads == 1 (or n <= 1, or a nested call from inside a pool worker)
+//    executes the plain serial loop on the calling thread — exactly the
+//    historical code path.
+//  - The first exception thrown by any iteration is re-thrown in the caller;
+//    iterations not yet started are skipped after a failure.
+//  - With threads > 1 the iteration bodies run concurrently, so they must
+//    not mutate shared state without synchronisation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pml {
+
+/// std::thread::hardware_concurrency with a floor of 1.
+int hardware_threads() noexcept;
+
+/// Resolve a threads knob: values <= 0 mean "use all hardware threads".
+int resolve_threads(int threads) noexcept;
+
+class ThreadPool {
+ public:
+  using Body = std::function<void(std::size_t)>;
+
+  /// Spawns `workers` background threads (0 is valid: every parallel_for
+  /// then runs serially on the caller).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// See the file header for the contract. Blocks until every iteration
+  /// completed (or was skipped after a failure), then re-throws the first
+  /// captured exception, if any.
+  void parallel_for(int threads, std::size_t n, const Body& body);
+
+  /// Process-wide pool shared by all library hot paths. Sized so that the
+  /// pool plus a caller saturate the machine.
+  static ThreadPool& shared();
+
+ private:
+  /// One parallel_for invocation; lives on the caller's stack.
+  struct Job {
+    const Body* body = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};  ///< next index to claim
+    std::atomic<bool> failed{false};
+    int slots = 0;   ///< workers still allowed to join (guarded by mutex_)
+    int active = 0;  ///< workers currently running it (guarded by mutex_)
+    std::exception_ptr error;  ///< first failure (guarded by mutex_)
+  };
+
+  void worker_loop();
+  void run(Job& job);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers wait for queued jobs
+  std::condition_variable done_cv_;  ///< callers wait for job completion
+  std::deque<Job*> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::shared().
+void parallel_for(int threads, std::size_t n, const ThreadPool::Body& body);
+
+}  // namespace pml

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <numeric>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace pml::core {
 
@@ -12,20 +14,44 @@ using coll::Collective;
 
 namespace {
 
+/// Whether the top-K feature-selection probe fit runs for these options.
+bool probes_features(const TrainOptions& options) {
+  return options.top_features > 0 &&
+         static_cast<std::size_t>(options.top_features) < feature_count();
+}
+
+/// The RNG streams one collective's training consumes. Split off the master
+/// RNG sequentially, in collective order, before any parallel dispatch —
+/// this reproduces the serial split() sequence exactly, so the trained
+/// bundle is bit-identical at any thread count.
+struct PartSeeds {
+  Rng probe;
+  Rng fit;
+};
+
+std::vector<PartSeeds> split_seeds(Rng& rng, std::size_t parts,
+                                   const TrainOptions& options) {
+  std::vector<PartSeeds> seeds(parts);
+  for (PartSeeds& s : seeds) {
+    if (probes_features(options)) s.probe = rng.split();
+    s.fit = rng.split();
+  }
+  return seeds;
+}
+
 /// Train one collective's model, with optional top-K feature selection.
 PmlFramework::PerCollective train_part(std::span<const TuningRecord> records,
                                        Collective collective,
-                                       const TrainOptions& options, Rng& rng) {
+                                       const TrainOptions& options,
+                                       PartSeeds seeds) {
   std::vector<std::size_t> columns(feature_count());
   std::iota(columns.begin(), columns.end(), 0u);
 
-  if (options.top_features > 0 &&
-      static_cast<std::size_t>(options.top_features) < columns.size()) {
+  if (probes_features(options)) {
     // Preliminary fit on all features ranks them by Gini importance.
     const ml::Dataset full = to_ml_dataset(records, collective);
     ml::RandomForest probe(options.forest);
-    Rng probe_rng = rng.split();
-    probe.fit(full, probe_rng);
+    probe.fit(full, seeds.probe);
     const auto importances = probe.feature_importances();
     std::sort(columns.begin(), columns.end(),
               [&](std::size_t a, std::size_t b) {
@@ -39,9 +65,15 @@ PmlFramework::PerCollective train_part(std::span<const TuningRecord> records,
   part.columns = columns;
   const ml::Dataset data = to_ml_dataset(records, collective, columns);
   part.forest = ml::RandomForest(options.forest);
-  Rng fit_rng = rng.split();
-  part.forest.fit(data, fit_rng);
+  part.forest.fit(data, seeds.fit);
   return part;
+}
+
+/// Propagate the framework-level threads knob down to the forest fits.
+TrainOptions with_forest_threads(const TrainOptions& options) {
+  TrainOptions local = options;
+  local.forest.threads = options.threads;
+  return local;
 }
 
 }  // namespace
@@ -49,11 +81,21 @@ PmlFramework::PerCollective train_part(std::span<const TuningRecord> records,
 PmlFramework PmlFramework::train(std::span<const sim::ClusterSpec> clusters,
                                  const TrainOptions& options) {
   PmlFramework fw;
+  fw.threads_ = options.threads;
+  const TrainOptions local = with_forest_threads(options);
   Rng rng(options.seed);
-  for (const Collective collective : options.collectives) {
+  auto seeds = split_seeds(rng, options.collectives.size(), options);
+
+  // Per-collective dataset builds and probe/final fits run concurrently;
+  // results land in pre-sized slots and are registered in collective order.
+  std::vector<PerCollective> parts(options.collectives.size());
+  parallel_for(options.threads, parts.size(), [&](std::size_t i) {
+    const Collective collective = options.collectives[i];
     const auto records = build_records(clusters, collective, options.build);
-    fw.parts_.emplace(collective,
-                      train_part(records, collective, options, rng));
+    parts[i] = train_part(records, collective, local, std::move(seeds[i]));
+  });
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    fw.parts_.emplace(options.collectives[i], std::move(parts[i]));
   }
   if (fw.parts_.empty()) throw TuningError("train: no collectives requested");
   return fw;
@@ -64,13 +106,23 @@ PmlFramework PmlFramework::train_on_records(
     std::span<const TuningRecord> alltoall_records,
     const TrainOptions& options) {
   PmlFramework fw;
+  fw.threads_ = options.threads;
+  const TrainOptions local = with_forest_threads(options);
   Rng rng(options.seed);
-  fw.parts_.emplace(Collective::kAllgather,
-                    train_part(allgather_records, Collective::kAllgather,
-                               options, rng));
-  fw.parts_.emplace(Collective::kAlltoall,
-                    train_part(alltoall_records, Collective::kAlltoall,
-                               options, rng));
+  auto seeds = split_seeds(rng, 2, options);
+
+  const Collective collectives[2] = {Collective::kAllgather,
+                                     Collective::kAlltoall};
+  const std::span<const TuningRecord> records[2] = {allgather_records,
+                                                    alltoall_records};
+  std::vector<PerCollective> parts(2);
+  parallel_for(options.threads, 2, [&](std::size_t i) {
+    parts[i] =
+        train_part(records[i], collectives[i], local, std::move(seeds[i]));
+  });
+  for (std::size_t i = 0; i < 2; ++i) {
+    fw.parts_.emplace(collectives[i], std::move(parts[i]));
+  }
   return fw;
 }
 
@@ -116,8 +168,9 @@ TuningTable PmlFramework::compile_for(
   std::vector<coll::Collective> trained;
   for (const auto& [collective, part] : parts_) trained.push_back(collective);
   const auto start = std::chrono::steady_clock::now();
-  TuningTable table = TuningTable::generate(*this, cluster, node_counts,
-                                            ppn_values, msg_sizes, trained);
+  // select() only reads the trained forests, so the sweep can fan out.
+  TuningTable table = TuningTable::generate(
+      *this, cluster, node_counts, ppn_values, msg_sizes, trained, threads_);
   const auto end = std::chrono::steady_clock::now();
   inference_seconds_ =
       std::chrono::duration<double>(end - start).count();
@@ -128,8 +181,12 @@ const TuningTable& PmlFramework::compile_or_cached(
     const sim::ClusterSpec& cluster, std::span<const int> node_counts,
     std::span<const int> ppn_values, std::span<const std::uint64_t> msg_sizes,
     TuningTable& cache) {
-  if (cache.cluster_name() == cluster.name && !cache.empty()) {
-    return cache;  // Fig. 4: an existing table bypasses ML tuning
+  // Fig. 4: an existing table bypasses ML tuning — but only if it was
+  // generated over the same sweep grids; a cluster-name match alone would
+  // silently serve a table compiled for different node/ppn/message sweeps.
+  if (cache.cluster_name() == cluster.name && !cache.empty() &&
+      cache.matches_sweep(node_counts, ppn_values, msg_sizes)) {
+    return cache;
   }
   cache = compile_for(cluster, node_counts, ppn_values, msg_sizes);
   return cache;

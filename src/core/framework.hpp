@@ -36,6 +36,11 @@ struct TrainOptions {
   /// selected ... to avoid overfitting"); -1 keeps all 14.
   int top_features = -1;
   std::uint64_t seed = 13;
+  /// Threads for training (per-collective dataset builds + forest fits) and
+  /// for compile_for sweeps of the resulting framework; <= 0 = all hardware
+  /// threads, 1 = serial. RNG streams are pre-split sequentially, so the
+  /// trained bundle is bit-identical at any thread count.
+  int threads = 0;
   /// Collectives to train models for. Defaults to the paper's pair;
   /// include kAllreduce/kBcast to enable the future-work extensions.
   std::vector<coll::Collective> collectives = coll::paper_collectives();
@@ -89,6 +94,12 @@ class PmlFramework final : public Selector {
   /// "less than a second of model inference overhead").
   double inference_seconds() const noexcept { return inference_seconds_; }
 
+  /// Threads used by compile_for sweeps; <= 0 = all hardware threads.
+  /// Inherited from TrainOptions::threads at train time, default for
+  /// loaded bundles.
+  void set_threads(int threads) noexcept { threads_ = threads; }
+  int threads() const noexcept { return threads_; }
+
   // --- Introspection ---------------------------------------------------------
 
   const ml::RandomForest& model(coll::Collective collective) const;
@@ -111,6 +122,7 @@ class PmlFramework final : public Selector {
 
   std::map<coll::Collective, PerCollective> parts_;
   double inference_seconds_ = 0.0;
+  int threads_ = 0;
 };
 
 }  // namespace pml::core

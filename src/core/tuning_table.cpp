@@ -1,9 +1,11 @@
 #include "core/tuning_table.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace pml::core {
 
@@ -70,6 +72,23 @@ coll::Algorithm TuningTable::lookup(coll::Collective collective, int nodes,
   return job->entries.back().algorithm;  // open-ended final range
 }
 
+void TuningTable::set_sweep(std::span<const int> node_counts,
+                            std::span<const int> ppn_values,
+                            std::span<const std::uint64_t> msg_sizes) {
+  sweep_nodes_.assign(node_counts.begin(), node_counts.end());
+  sweep_ppn_.assign(ppn_values.begin(), ppn_values.end());
+  sweep_msgs_.assign(msg_sizes.begin(), msg_sizes.end());
+}
+
+bool TuningTable::matches_sweep(
+    std::span<const int> node_counts, std::span<const int> ppn_values,
+    std::span<const std::uint64_t> msg_sizes) const noexcept {
+  return !sweep_nodes_.empty() &&
+         std::ranges::equal(sweep_nodes_, node_counts) &&
+         std::ranges::equal(sweep_ppn_, ppn_values) &&
+         std::ranges::equal(sweep_msgs_, msg_sizes);
+}
+
 TuningTable TuningTable::generate(Selector& selector,
                                   const sim::ClusterSpec& cluster,
                                   std::span<const int> node_counts,
@@ -84,30 +103,49 @@ TuningTable TuningTable::generate(Selector& selector,
                                   std::span<const int> node_counts,
                                   std::span<const int> ppn_values,
                                   std::span<const std::uint64_t> msg_sizes,
-                                  std::span<const coll::Collective> collectives) {
+                                  std::span<const coll::Collective> collectives,
+                                  int threads) {
   if (msg_sizes.empty()) throw TuningError("generate: empty size sweep");
   TuningTable table(cluster.name);
+  table.set_sweep(node_counts, ppn_values, msg_sizes);
+
+  // Enumerate the job cells up front and fill them into pre-sized slots, so
+  // the parallel sweep registers jobs in exactly the serial order.
+  struct Cell {
+    coll::Collective collective;
+    int nodes;
+    int ppn;
+  };
+  std::vector<Cell> cells;
   for (const auto collective : collectives) {
     for (const int nodes : node_counts) {
       for (const int ppn : ppn_values) {
         if (ppn > cluster.hw.threads) continue;
-        JobTable job;
-        job.collective = collective;
-        job.nodes = nodes;
-        job.ppn = ppn;
-        for (const std::uint64_t msg : msg_sizes) {
-          const coll::Algorithm a = selector.select(
-              collective, cluster, sim::Topology{nodes, ppn}, msg);
-          if (!job.entries.empty() && job.entries.back().algorithm == a) {
-            job.entries.back().max_bytes = msg;  // extend the range
-          } else {
-            job.entries.push_back(TuningEntry{msg, a});
-          }
-        }
-        table.add(std::move(job));
+        cells.push_back(Cell{collective, nodes, ppn});
       }
     }
   }
+
+  std::vector<JobTable> jobs(cells.size());
+  parallel_for(threads, cells.size(), [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    JobTable job;
+    job.collective = cell.collective;
+    job.nodes = cell.nodes;
+    job.ppn = cell.ppn;
+    for (const std::uint64_t msg : msg_sizes) {
+      const coll::Algorithm a = selector.select(
+          cell.collective, cluster, sim::Topology{cell.nodes, cell.ppn}, msg);
+      if (!job.entries.empty() && job.entries.back().algorithm == a) {
+        job.entries.back().max_bytes = msg;  // extend the range
+      } else {
+        job.entries.push_back(TuningEntry{msg, a});
+      }
+    }
+    jobs[i] = std::move(job);
+  });
+
+  for (JobTable& job : jobs) table.add(std::move(job));
   return table;
 }
 
@@ -115,6 +153,19 @@ Json TuningTable::to_json() const {
   Json j = Json::object();
   j["format"] = "pml-mpi-tuning-table-v1";
   j["cluster"] = cluster_name_;
+  if (!sweep_nodes_.empty()) {
+    Json sweep = Json::object();
+    Json nodes = Json::array();
+    for (const int n : sweep_nodes_) nodes.push_back(n);
+    sweep["nodes"] = std::move(nodes);
+    Json ppn = Json::array();
+    for (const int p : sweep_ppn_) ppn.push_back(p);
+    sweep["ppn"] = std::move(ppn);
+    Json msgs = Json::array();
+    for (const std::uint64_t m : sweep_msgs_) msgs.push_back(m);
+    sweep["msg_sizes"] = std::move(msgs);
+    j["sweep"] = std::move(sweep);
+  }
   Json jobs = Json::array();
   for (const JobTable& job : jobs_) {
     Json jj = Json::object();
@@ -141,6 +192,18 @@ TuningTable TuningTable::from_json(const Json& j) {
     throw TuningError("not a pml-mpi tuning table");
   }
   TuningTable table(j.at("cluster").as_string());
+  if (j.contains("sweep")) {  // absent in pre-provenance tables
+    const Json& sweep = j.at("sweep");
+    for (const Json& n : sweep.at("nodes").as_array()) {
+      table.sweep_nodes_.push_back(static_cast<int>(n.as_int()));
+    }
+    for (const Json& p : sweep.at("ppn").as_array()) {
+      table.sweep_ppn_.push_back(static_cast<int>(p.as_int()));
+    }
+    for (const Json& m : sweep.at("msg_sizes").as_array()) {
+      table.sweep_msgs_.push_back(static_cast<std::uint64_t>(m.as_int()));
+    }
+  }
   for (const Json& jj : j.at("jobs").as_array()) {
     JobTable job;
     job.collective = coll::collective_from_string(jj.at("collective").as_string());

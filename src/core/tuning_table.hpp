@@ -58,7 +58,11 @@ class TuningTable {
 
   /// Build a table by querying a selector over a sweep (used both for the
   /// ML path and for baking baseline heuristics into table form).
-  /// `collectives` defaults to the two the paper evaluates.
+  /// `collectives` defaults to the two the paper evaluates. With
+  /// threads > 1 the (collective, nodes, ppn) job cells are filled
+  /// concurrently — the selector's select() must then be thread-safe
+  /// (stateless selectors and PmlFramework qualify; RandomSelector does
+  /// not) — and the output ordering is identical to the serial sweep.
   static TuningTable generate(Selector& selector,
                               const sim::ClusterSpec& cluster,
                               std::span<const int> node_counts,
@@ -69,7 +73,25 @@ class TuningTable {
                               std::span<const int> node_counts,
                               std::span<const int> ppn_values,
                               std::span<const std::uint64_t> msg_sizes,
-                              std::span<const coll::Collective> collectives);
+                              std::span<const coll::Collective> collectives,
+                              int threads = 1);
+
+  // --- Sweep provenance ------------------------------------------------------
+  // generate() records the grids it swept so cache layers can tell whether
+  // an existing table actually covers a requested sweep (hand-built tables
+  // have empty grids and never match).
+
+  void set_sweep(std::span<const int> node_counts,
+                 std::span<const int> ppn_values,
+                 std::span<const std::uint64_t> msg_sizes);
+  bool matches_sweep(std::span<const int> node_counts,
+                     std::span<const int> ppn_values,
+                     std::span<const std::uint64_t> msg_sizes) const noexcept;
+  const std::vector<int>& sweep_nodes() const noexcept { return sweep_nodes_; }
+  const std::vector<int>& sweep_ppn() const noexcept { return sweep_ppn_; }
+  const std::vector<std::uint64_t>& sweep_msg_sizes() const noexcept {
+    return sweep_msgs_;
+  }
 
   Json to_json() const;
   static TuningTable from_json(const Json& j);
@@ -81,6 +103,9 @@ class TuningTable {
 
   std::string cluster_name_;
   std::vector<JobTable> jobs_;
+  std::vector<int> sweep_nodes_;
+  std::vector<int> sweep_ppn_;
+  std::vector<std::uint64_t> sweep_msgs_;
 };
 
 }  // namespace pml::core

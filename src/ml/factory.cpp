@@ -34,13 +34,14 @@ std::unique_ptr<Classifier> make_classifier(const std::string& family,
                                             const Json& params) {
   if (family == "RandomForest") {
     check_keys(params, {"n_trees", "max_depth", "min_samples_leaf",
-                        "max_features", "bootstrap"});
+                        "max_features", "bootstrap", "threads"});
     RandomForestParams p;
     p.n_trees = get_int(params, "n_trees", p.n_trees);
     p.max_depth = get_int(params, "max_depth", p.max_depth);
     p.min_samples_leaf = get_int(params, "min_samples_leaf", p.min_samples_leaf);
     p.max_features = get_int(params, "max_features", p.max_features);
     p.bootstrap = get_bool(params, "bootstrap", p.bootstrap);
+    p.threads = get_int(params, "threads", p.threads);
     return std::make_unique<RandomForest>(p);
   }
   if (family == "GradientBoost") {

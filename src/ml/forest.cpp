@@ -2,16 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "common/parallel.hpp"
 
 namespace pml::ml {
 
 void RandomForest::fit(const Dataset& train, Rng& rng) {
   train.validate();
   if (params_.n_trees < 1) throw MlError("forest: n_trees must be >= 1");
-  trees_.clear();
-  trees_.reserve(static_cast<std::size_t>(params_.n_trees));
   num_classes_ = train.num_classes;
   n_features_ = train.x.cols();
+  oob_score_.reset();
 
   TreeParams tp;
   tp.max_depth = params_.max_depth;
@@ -23,37 +25,50 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
                             std::sqrt(static_cast<double>(n_features_)))));
 
   const std::size_t n = train.size();
-  // OOB vote accumulation: votes[i][c] over trees where i was out of bag.
-  std::vector<std::vector<double>> oob_votes;
-  if (params_.bootstrap) {
-    oob_votes.assign(n, std::vector<double>(
-                            static_cast<std::size_t>(num_classes_), 0.0));
-  }
-  std::vector<char> in_bag(n);
-  std::vector<std::size_t> sample(n);
+  const auto n_trees = static_cast<std::size_t>(params_.n_trees);
 
-  for (int t = 0; t < params_.n_trees; ++t) {
-    Rng tree_rng = rng.split();
-    DecisionTree tree(tp);
+  // Pre-split the per-tree RNG streams sequentially: tree t sees exactly the
+  // stream the serial loop would hand it, so the fitted forest is
+  // bit-identical to the threads=1 build at any thread count.
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) tree_rngs.push_back(rng.split());
+
+  trees_.assign(n_trees, DecisionTree(tp));
+  // Per-tree OOB contributions (row index, class distribution), merged in
+  // tree order after the barrier so the floating-point accumulation order
+  // matches the serial loop exactly.
+  std::vector<std::vector<std::pair<std::size_t, std::vector<double>>>>
+      oob_parts(params_.bootstrap ? n_trees : 0);
+
+  parallel_for(params_.threads, n_trees, [&](std::size_t t) {
+    Rng& tree_rng = tree_rngs[t];
     if (params_.bootstrap) {
-      std::fill(in_bag.begin(), in_bag.end(), 0);
+      std::vector<char> in_bag(n, 0);
+      std::vector<std::size_t> sample(n);
       for (std::size_t i = 0; i < n; ++i) {
         sample[i] = static_cast<std::size_t>(tree_rng.uniform_index(n));
         in_bag[sample[i]] = 1;
       }
-      tree.fit(train.x, train.y, num_classes_, tree_rng, sample);
+      trees_[t].fit(train.x, train.y, num_classes_, tree_rng, sample);
       for (std::size_t i = 0; i < n; ++i) {
         if (in_bag[i]) continue;
-        const auto p = tree.predict_proba(train.x.row(i));
-        for (std::size_t c = 0; c < p.size(); ++c) oob_votes[i][c] += p[c];
+        oob_parts[t].emplace_back(i, trees_[t].predict_proba(train.x.row(i)));
       }
     } else {
-      tree.fit(train.x, train.y, num_classes_, tree_rng);
+      trees_[t].fit(train.x, train.y, num_classes_, tree_rng);
     }
-    trees_.push_back(std::move(tree));
-  }
+  });
 
   if (params_.bootstrap) {
+    // OOB vote accumulation: votes[i][c] over trees where i was out of bag.
+    std::vector<std::vector<double>> oob_votes(
+        n, std::vector<double>(static_cast<std::size_t>(num_classes_), 0.0));
+    for (std::size_t t = 0; t < n_trees; ++t) {
+      for (const auto& [i, p] : oob_parts[t]) {
+        for (std::size_t c = 0; c < p.size(); ++c) oob_votes[i][c] += p[c];
+      }
+    }
     std::size_t scored = 0;
     std::size_t correct = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -89,7 +104,10 @@ std::vector<double> RandomForest::feature_importances() const {
   std::vector<double> total(n_features_, 0.0);
   for (const DecisionTree& tree : trees_) {
     const auto imp = tree.feature_importances();
-    for (std::size_t f = 0; f < total.size(); ++f) total[f] += imp[f];
+    // Loaded pre-importances bundles may carry fewer entries than
+    // n_features_ (trailing unused features): missing entries are zero.
+    const std::size_t m = std::min(total.size(), imp.size());
+    for (std::size_t f = 0; f < m; ++f) total[f] += imp[f];
   }
   double sum = 0.0;
   for (const double v : total) sum += v;

@@ -19,6 +19,11 @@ struct RandomForestParams {
   /// Features tried per split; -1 = floor(sqrt(total)) (sklearn default).
   int max_features = -1;
   bool bootstrap = true;
+  /// Threads used by fit(); <= 0 = all hardware threads, 1 = serial. Purely
+  /// a runtime knob: per-tree RNG streams are pre-split sequentially before
+  /// dispatch, so the fitted model (and its JSON) is bit-identical at any
+  /// thread count. Not serialized with the model.
+  int threads = 0;
 };
 
 class RandomForest final : public Classifier {

@@ -52,6 +52,13 @@ void DecisionTree::fit(const Matrix& x, std::span<const int> y,
     throw MlError("tree: bad training shape");
   }
   if (num_classes < 1) throw MlError("tree: num_classes must be >= 1");
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0 || y[i] >= num_classes) {
+      throw MlError("tree: label " + std::to_string(y[i]) + " at row " +
+                    std::to_string(i) + " outside [0, " +
+                    std::to_string(num_classes) + ")");
+    }
+  }
   nodes_.clear();
   depth_ = 0;
   num_classes_ = num_classes;
@@ -184,6 +191,9 @@ Json DecisionTree::to_json() const {
   Json j = Json::object();
   j["num_classes"] = num_classes_;
   j["depth"] = depth_;
+  Json importances = Json::array();
+  for (const double v : importances_) importances.push_back(v);
+  j["importances"] = std::move(importances);
   Json nodes = Json::array();
   for (const Node& n : nodes_) {
     Json nj = Json::object();
@@ -206,6 +216,9 @@ Json DecisionTree::to_json() const {
 DecisionTree DecisionTree::from_json(const Json& j) {
   DecisionTree tree;
   tree.num_classes_ = static_cast<int>(j.at("num_classes").as_int());
+  if (tree.num_classes_ < 1) {
+    throw MlError("tree: serialized num_classes must be >= 1");
+  }
   tree.depth_ = static_cast<int>(j.at("depth").as_int());
   for (const Json& nj : j.at("nodes").as_array()) {
     Node n;
@@ -222,6 +235,47 @@ DecisionTree DecisionTree::from_json(const Json& j) {
     tree.nodes_.push_back(std::move(n));
   }
   if (tree.nodes_.empty()) throw MlError("tree: empty serialized model");
+
+  // A hand-edited or truncated bundle must fail loudly, not crash
+  // predict_proba. The serializer allocates node ids in pre-order, so every
+  // child index points strictly forward — enforcing that also guarantees
+  // the node graph terminates (no cycles are reachable).
+  const int count = static_cast<int>(tree.nodes_.size());
+  std::size_t max_feature = 0;
+  bool any_split = false;
+  for (int k = 0; k < count; ++k) {
+    const Node& n = tree.nodes_[static_cast<std::size_t>(k)];
+    if (n.feature >= 0) {
+      any_split = true;
+      max_feature = std::max(max_feature, static_cast<std::size_t>(n.feature));
+      if (n.left <= k || n.left >= count || n.right <= k || n.right >= count) {
+        throw MlError("tree: node " + std::to_string(k) +
+                      " has child index outside (" + std::to_string(k) + ", " +
+                      std::to_string(count) + ")");
+      }
+    } else if (n.proba.size() !=
+               static_cast<std::size_t>(tree.num_classes_)) {
+      throw MlError("tree: leaf node " + std::to_string(k) + " has " +
+                    std::to_string(n.proba.size()) + " probabilities, want " +
+                    std::to_string(tree.num_classes_));
+    }
+  }
+
+  if (j.contains("importances")) {
+    for (const Json& v : j.at("importances").as_array()) {
+      tree.importances_.push_back(v.as_number());
+    }
+    if (any_split && tree.importances_.size() <= max_feature) {
+      throw MlError("tree: importances cover " +
+                    std::to_string(tree.importances_.size()) +
+                    " features but splits reference feature " +
+                    std::to_string(max_feature));
+    }
+  } else {
+    // Pre-importances bundles: fall back to zeros wide enough for every
+    // feature the splits reference.
+    tree.importances_.assign(any_split ? max_feature + 1 : 0, 0.0);
+  }
   return tree;
 }
 

@@ -142,6 +142,51 @@ TEST(Framework, CompileOrCachedReusesExistingTable) {
   EXPECT_EQ(third.cluster_name(), "Frontera");
 }
 
+TEST(Framework, CompileOrCachedRecompilesWhenSweepChanges) {
+  // Regression: the cache hit used to key on cluster name only, so a call
+  // with different node/ppn/message sweeps silently returned a stale table.
+  auto fw = shared_framework();
+  const auto& mri = sim::cluster_by_name("MRI");
+  const std::vector<int> nodes = {1, 2};
+  const std::vector<int> ppns = {64};
+  const auto sizes = sim::power_of_two_sizes(8);
+
+  TuningTable cache;
+  fw.compile_or_cached(mri, nodes, ppns, sizes, cache);
+  EXPECT_EQ(cache.job_count(), 2u * 2u * 1u);
+
+  const std::vector<int> more_nodes = {1, 2, 4, 8};
+  const TuningTable& recompiled =
+      fw.compile_or_cached(mri, more_nodes, ppns, sizes, cache);
+  EXPECT_EQ(recompiled.job_count(), 2u * 4u * 1u);
+  EXPECT_TRUE(recompiled.has(coll::Collective::kAllgather, 8, 64));
+
+  // Changing only the message sweep also invalidates the cache.
+  const double before = fw.inference_seconds();
+  const auto more_sizes = sim::power_of_two_sizes(12);
+  fw.compile_or_cached(mri, more_nodes, ppns, more_sizes, cache);
+  EXPECT_NE(fw.inference_seconds(), before);
+  EXPECT_TRUE(cache.matches_sweep(more_nodes, ppns, more_sizes));
+
+  // And an identical sweep still hits.
+  const double after = fw.inference_seconds();
+  fw.compile_or_cached(mri, more_nodes, ppns, more_sizes, cache);
+  EXPECT_EQ(fw.inference_seconds(), after);
+}
+
+TEST(Framework, ParallelTrainingIsByteIdenticalToSerial) {
+  TrainOptions serial_options = fast_options();
+  serial_options.forest.n_trees = 8;
+  serial_options.threads = 1;
+  TrainOptions parallel_options = serial_options;
+  parallel_options.threads = 4;
+  std::vector<sim::ClusterSpec> clusters = {sim::cluster_by_name("RI"),
+                                            sim::cluster_by_name("Rome")};
+  const auto serial_fw = PmlFramework::train(clusters, serial_options);
+  const auto parallel_fw = PmlFramework::train(clusters, parallel_options);
+  EXPECT_EQ(serial_fw.to_json().dump(), parallel_fw.to_json().dump());
+}
+
 TEST(Framework, JsonRoundTripPreservesSelections) {
   auto fw = shared_framework();
   const Json bundle = fw.to_json();
@@ -176,6 +221,22 @@ TEST(Framework, FeatureImportancesCoverFullLayout) {
     sum += v;
   }
   EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Framework, LoadedBundlePreservesFeatureImportances) {
+  // Regression: full_feature_importances on a loaded bundle was undefined
+  // behaviour (per-tree importances were never restored from JSON).
+  const auto& fw = shared_framework();
+  const auto restored = PmlFramework::load(Json::parse(fw.to_json().dump()));
+  for (const auto collective :
+       {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+    const auto original = fw.full_feature_importances(collective);
+    const auto loaded = restored.full_feature_importances(collective);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t f = 0; f < original.size(); ++f) {
+      EXPECT_DOUBLE_EQ(loaded[f], original[f]);
+    }
+  }
 }
 
 TEST(Framework, TopFeatureSelectionShrinksModelInput) {

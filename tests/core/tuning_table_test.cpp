@@ -141,6 +141,48 @@ TEST(TuningTable, GenerateCompressesRanges) {
   EXPECT_EQ(j.at("jobs").as_array()[0].at("entries").as_array().size(), 2u);
 }
 
+TEST(TuningTable, ParallelGenerateMatchesSerialByteForByte) {
+  OracleSelector oracle;  // stateless -> thread-safe select()
+  const auto& ri = sim::cluster_by_name("RI");
+  const std::vector<int> nodes = {1, 2, 4};
+  const std::vector<int> ppns = {2, 4, 8};
+  const auto sizes = sim::power_of_two_sizes(12);
+  const auto collectives = coll::paper_collectives();
+  const TuningTable serial = TuningTable::generate(oracle, ri, nodes, ppns,
+                                                   sizes, collectives, 1);
+  for (const int threads : {2, 4, 8}) {
+    const TuningTable parallel_table = TuningTable::generate(
+        oracle, ri, nodes, ppns, sizes, collectives, threads);
+    EXPECT_EQ(parallel_table.to_json().dump(), serial.to_json().dump())
+        << "threads=" << threads;
+  }
+}
+
+TEST(TuningTable, GenerateRecordsSweepAndJsonRoundTripsIt) {
+  OracleSelector oracle;
+  const auto& ri = sim::cluster_by_name("RI");
+  const std::vector<int> nodes = {1, 2};
+  const std::vector<int> ppns = {4};
+  const auto sizes = sim::power_of_two_sizes(6);
+  const TuningTable t =
+      TuningTable::generate(oracle, ri, nodes, ppns, sizes);
+  EXPECT_TRUE(t.matches_sweep(nodes, ppns, sizes));
+  EXPECT_FALSE(t.matches_sweep(std::vector<int>{1}, ppns, sizes));
+  EXPECT_FALSE(t.matches_sweep(nodes, ppns, sim::power_of_two_sizes(7)));
+
+  const TuningTable restored =
+      TuningTable::from_json(Json::parse(t.to_json().dump()));
+  EXPECT_TRUE(restored.matches_sweep(nodes, ppns, sizes));
+  EXPECT_EQ(restored.sweep_nodes(), nodes);
+  EXPECT_EQ(restored.sweep_ppn(), ppns);
+  EXPECT_EQ(restored.sweep_msg_sizes(), sizes);
+
+  // Hand-built tables carry no sweep and never match one.
+  TuningTable manual("X");
+  manual.add(simple_job(Collective::kAllgather, 4, 8));
+  EXPECT_FALSE(manual.matches_sweep(nodes, ppns, sizes));
+}
+
 TEST(TuningTable, GenerateSkipsOversubscribedPpn) {
   OracleSelector oracle;
   const auto& ri = sim::cluster_by_name("RI");  // 8 cores, 16 threads

@@ -126,6 +126,44 @@ TEST(RandomForestModel, DeterministicForSeed) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(RandomForestModel, ParallelFitIsByteIdenticalToSerial) {
+  // The tentpole determinism contract: per-tree RNG streams are pre-split
+  // sequentially, so the fitted model serializes byte-identically at any
+  // thread count (threads=1 is the historical serial path).
+  const Dataset d = three_blobs(50, 41);
+  auto fit_with = [&](int threads) {
+    RandomForest rf(RandomForestParams{.n_trees = 16, .threads = threads});
+    Rng rng(42);
+    rf.fit(d, rng);
+    return rf;
+  };
+  const RandomForest serial = fit_with(1);
+  for (const int threads : {2, 4, 8}) {
+    const RandomForest parallel_fit = fit_with(threads);
+    EXPECT_EQ(parallel_fit.to_json().dump(), serial.to_json().dump())
+        << "threads=" << threads;
+    ASSERT_TRUE(parallel_fit.oob_score().has_value());
+    EXPECT_DOUBLE_EQ(*parallel_fit.oob_score(), *serial.oob_score());
+  }
+}
+
+TEST(RandomForestModel, JsonRoundTripPreservesImportances) {
+  // Regression: a loaded forest used to read tree importances out of
+  // bounds because from_json never restored them.
+  const Dataset d = three_blobs(40, 43);
+  RandomForest rf(RandomForestParams{.n_trees = 10});
+  Rng rng(44);
+  rf.fit(d, rng);
+  const RandomForest restored =
+      RandomForest::from_json(Json::parse(rf.to_json().dump()));
+  const auto original = rf.feature_importances();
+  const auto loaded = restored.feature_importances();
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t f = 0; f < original.size(); ++f) {
+    EXPECT_DOUBLE_EQ(loaded[f], original[f]);
+  }
+}
+
 TEST(RandomForestModel, JsonRoundTripPreservesPredictions) {
   const Dataset d = three_blobs(40, 19);
   RandomForest rf(RandomForestParams{.n_trees = 12});

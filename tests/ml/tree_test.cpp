@@ -129,6 +129,118 @@ TEST(DecisionTree, JsonRoundTripPreservesPredictions) {
   }
 }
 
+TEST(DecisionTree, JsonRoundTripPreservesImportances) {
+  // Regression: from_json used to drop importances_, so a loaded tree
+  // returned an empty span and downstream forest code read out of bounds.
+  const Dataset d = blobs(50, 3.0, 21);
+  DecisionTree tree;
+  Rng rng(22);
+  tree.fit(d.x, d.y, 2, rng);
+  const DecisionTree restored = DecisionTree::from_json(
+      Json::parse(tree.to_json().dump()));
+  const auto original = tree.feature_importances();
+  const auto loaded = restored.feature_importances();
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t f = 0; f < original.size(); ++f) {
+    EXPECT_DOUBLE_EQ(loaded[f], original[f]);
+  }
+}
+
+TEST(DecisionTree, FromJsonWithoutImportancesFallsBackToZeros) {
+  // Old bundles (pre-importances) must still load: zeros wide enough to
+  // cover every feature the splits reference.
+  const Dataset d = blobs(30, 5.0, 23);
+  DecisionTree tree;
+  Rng rng(24);
+  tree.fit(d.x, d.y, 2, rng);
+  Json j = tree.to_json();
+  Json stripped = Json::object();
+  stripped["num_classes"] = j.at("num_classes");
+  stripped["depth"] = j.at("depth");
+  stripped["nodes"] = j.at("nodes");
+  const DecisionTree restored = DecisionTree::from_json(stripped);
+  for (const double v : restored.feature_importances()) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  // Predictions are unaffected by the missing field.
+  EXPECT_EQ(restored.predict(d.x.row(0)), tree.predict(d.x.row(0)));
+}
+
+/// Minimal valid serialized stump: root split on feature 0, two leaves.
+Json stump_json() {
+  Json j = Json::object();
+  j["num_classes"] = 2;
+  j["depth"] = 1;
+  Json nodes = Json::array();
+  Json root = Json::object();
+  root["feature"] = 0;
+  root["threshold"] = 0.5;
+  root["left"] = 1;
+  root["right"] = 2;
+  nodes.push_back(std::move(root));
+  for (const double p0 : {1.0, 0.0}) {
+    Json leaf = Json::object();
+    leaf["feature"] = -1;
+    Json proba = Json::array();
+    proba.push_back(p0);
+    proba.push_back(1.0 - p0);
+    leaf["proba"] = std::move(proba);
+    nodes.push_back(std::move(leaf));
+  }
+  j["nodes"] = std::move(nodes);
+  return j;
+}
+
+TEST(DecisionTree, FromJsonRejectsOutOfRangeChildIndex) {
+  // Regression: an out-of-range child index used to crash predict_proba
+  // with an OOB read instead of failing at load time.
+  Json j = stump_json();
+  j["nodes"].as_array()[0]["right"] = 99;
+  EXPECT_THROW(DecisionTree::from_json(j), MlError);
+  Json neg = stump_json();
+  neg["nodes"].as_array()[0]["left"] = -3;
+  EXPECT_THROW(DecisionTree::from_json(neg), MlError);
+}
+
+TEST(DecisionTree, FromJsonRejectsNonTerminatingNodeGraph) {
+  // A self/backward edge used to make predict_proba loop forever.
+  Json j = stump_json();
+  j["nodes"].as_array()[0]["left"] = 0;
+  EXPECT_THROW(DecisionTree::from_json(j), MlError);
+}
+
+TEST(DecisionTree, FromJsonRejectsWrongProbaArity) {
+  Json j = stump_json();
+  j["nodes"].as_array()[1]["proba"].as_array().pop_back();
+  EXPECT_THROW(DecisionTree::from_json(j), MlError);
+}
+
+TEST(DecisionTree, FromJsonRejectsUndersizedImportances) {
+  Json j = stump_json();
+  Json imp = Json::array();  // splits reference feature 0; empty is too short
+  j["importances"] = std::move(imp);
+  EXPECT_THROW(DecisionTree::from_json(j), MlError);
+}
+
+TEST(DecisionTree, FromJsonAcceptsValidStump) {
+  const DecisionTree tree = DecisionTree::from_json(stump_json());
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0}), 1);
+}
+
+TEST(DecisionTree, FitRejectsOutOfRangeLabels) {
+  // Regression: counts[y[i]] was a silent OOB write for bad labels.
+  const Dataset d = blobs(10, 5.0, 25);
+  DecisionTree tree;
+  Rng rng(26);
+  std::vector<int> too_big = d.y;
+  too_big[3] = 2;  // == num_classes
+  EXPECT_THROW(tree.fit(d.x, too_big, 2, rng), MlError);
+  std::vector<int> negative = d.y;
+  negative[0] = -1;
+  EXPECT_THROW(tree.fit(d.x, negative, 2, rng), MlError);
+}
+
 TEST(RegressionTree, FitsStepFunction) {
   Matrix x(100, 1);
   std::vector<double> y(100);

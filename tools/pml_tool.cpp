@@ -2,11 +2,15 @@
 //
 //   pml train   --out model.json [--exclude Frontera,MRI] [--trees N]
 //               [--top-features K] [--collectives allgather,alltoall,...]
+//               [--threads N]
 //       Offline stage: build the tuning dataset from the built-in Table-I
 //       clusters (minus exclusions) and write the pre-trained bundle.
+//       --threads caps training parallelism (0 = all hardware threads,
+//       1 = serial); the bundle is bit-identical at any thread count.
 //
 //   pml compile --model model.json --cluster NAME|spec.json
 //               --out table.json [--nodes 1,2,4,8,16] [--ppn 28,56]
+//               [--threads N]
 //       Online stage: one inference sweep for a cluster, emitting its
 //       JSON tuning table. Prints the measured inference time.
 //
@@ -100,6 +104,9 @@ int cmd_train(const std::map<std::string, std::string>& args) {
       options.collectives.push_back(coll::collective_from_string(name));
     }
   }
+  if (args.contains("threads")) {
+    options.threads = std::stoi(args.at("threads"));
+  }
 
   std::printf("training on %zu clusters...\n", training.size());
   const auto fw = core::PmlFramework::train(training, options);
@@ -111,6 +118,9 @@ int cmd_train(const std::map<std::string, std::string>& args) {
 int cmd_compile(const std::map<std::string, std::string>& args) {
   auto fw = core::PmlFramework::load(
       Json::parse(read_file(require(args, "model"))));
+  if (args.contains("threads")) {
+    fw.set_threads(std::stoi(args.at("threads")));
+  }
   const sim::ClusterSpec cluster = load_cluster(require(args, "cluster"));
   const std::string out = require(args, "out");
 
