@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mri_cluster_based.dir/fig10_mri_cluster_based.cpp.o"
+  "CMakeFiles/fig10_mri_cluster_based.dir/fig10_mri_cluster_based.cpp.o.d"
+  "fig10_mri_cluster_based"
+  "fig10_mri_cluster_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mri_cluster_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vs_openmpi.dir/fig11_vs_openmpi.cpp.o"
+  "CMakeFiles/fig11_vs_openmpi.dir/fig11_vs_openmpi.cpp.o.d"
+  "fig11_vs_openmpi"
+  "fig11_vs_openmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vs_openmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_node_based.dir/fig12_node_based.cpp.o"
+  "CMakeFiles/fig12_node_based.dir/fig12_node_based.cpp.o.d"
+  "fig12_node_based"
+  "fig12_node_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_node_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

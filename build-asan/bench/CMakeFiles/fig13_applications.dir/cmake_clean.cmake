@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_applications.dir/fig13_applications.cpp.o"
+  "CMakeFiles/fig13_applications.dir/fig13_applications.cpp.o.d"
+  "fig13_applications"
+  "fig13_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fig7_core_hours.dir/fig1_fig7_core_hours.cpp.o"
+  "CMakeFiles/fig1_fig7_core_hours.dir/fig1_fig7_core_hours.cpp.o.d"
+  "fig1_fig7_core_hours"
+  "fig1_fig7_core_hours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fig7_core_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_fig7_core_hours.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cluster_variation.dir/fig2_cluster_variation.cpp.o"
+  "CMakeFiles/fig2_cluster_variation.dir/fig2_cluster_variation.cpp.o.d"
+  "fig2_cluster_variation"
+  "fig2_cluster_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cluster_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

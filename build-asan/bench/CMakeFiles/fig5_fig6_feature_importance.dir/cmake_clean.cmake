@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fig6_feature_importance.dir/fig5_fig6_feature_importance.cpp.o"
+  "CMakeFiles/fig5_fig6_feature_importance.dir/fig5_fig6_feature_importance.cpp.o.d"
+  "fig5_fig6_feature_importance"
+  "fig5_fig6_feature_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fig6_feature_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

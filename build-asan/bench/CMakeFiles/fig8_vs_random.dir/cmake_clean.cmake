@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vs_random.dir/fig8_vs_random.cpp.o"
+  "CMakeFiles/fig8_vs_random.dir/fig8_vs_random.cpp.o.d"
+  "fig8_vs_random"
+  "fig8_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

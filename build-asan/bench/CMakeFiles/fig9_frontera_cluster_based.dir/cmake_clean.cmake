@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_frontera_cluster_based.dir/fig9_frontera_cluster_based.cpp.o"
+  "CMakeFiles/fig9_frontera_cluster_based.dir/fig9_frontera_cluster_based.cpp.o.d"
+  "fig9_frontera_cluster_based"
+  "fig9_frontera_cluster_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_frontera_cluster_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_frontera_cluster_based.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_frontera_cluster_based.
+# This may be replaced when dependencies are built.

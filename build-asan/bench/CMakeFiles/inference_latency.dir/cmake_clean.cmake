@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_latency.dir/inference_latency.cpp.o"
+  "CMakeFiles/inference_latency.dir/inference_latency.cpp.o.d"
+  "inference_latency"
+  "inference_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

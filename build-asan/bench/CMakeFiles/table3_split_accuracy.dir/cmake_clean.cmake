@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_split_accuracy.dir/table3_split_accuracy.cpp.o"
+  "CMakeFiles/table3_split_accuracy.dir/table3_split_accuracy.cpp.o.d"
+  "table3_split_accuracy"
+  "table3_split_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_split_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

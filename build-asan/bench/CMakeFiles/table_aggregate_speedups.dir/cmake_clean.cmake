@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_aggregate_speedups.dir/table_aggregate_speedups.cpp.o"
+  "CMakeFiles/table_aggregate_speedups.dir/table_aggregate_speedups.cpp.o.d"
+  "table_aggregate_speedups"
+  "table_aggregate_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_aggregate_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

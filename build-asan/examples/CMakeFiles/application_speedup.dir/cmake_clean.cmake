@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_speedup.dir/application_speedup.cpp.o"
+  "CMakeFiles/application_speedup.dir/application_speedup.cpp.o.d"
+  "application_speedup"
+  "application_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

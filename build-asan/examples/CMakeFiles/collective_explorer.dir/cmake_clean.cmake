@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_explorer.dir/collective_explorer.cpp.o"
+  "CMakeFiles/collective_explorer.dir/collective_explorer.cpp.o.d"
+  "collective_explorer"
+  "collective_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unseen_cluster.dir/unseen_cluster.cpp.o"
+  "CMakeFiles/unseen_cluster.dir/unseen_cluster.cpp.o.d"
+  "unseen_cluster"
+  "unseen_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unseen_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pml_apps.dir/proxies.cpp.o"
+  "CMakeFiles/pml_apps.dir/proxies.cpp.o.d"
+  "libpml_apps.a"
+  "libpml_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pml_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

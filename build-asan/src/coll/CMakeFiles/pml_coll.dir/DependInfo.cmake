@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/allgather.cpp" "src/coll/CMakeFiles/pml_coll.dir/allgather.cpp.o" "gcc" "src/coll/CMakeFiles/pml_coll.dir/allgather.cpp.o.d"
+  "/root/repo/src/coll/allreduce.cpp" "src/coll/CMakeFiles/pml_coll.dir/allreduce.cpp.o" "gcc" "src/coll/CMakeFiles/pml_coll.dir/allreduce.cpp.o.d"
+  "/root/repo/src/coll/alltoall.cpp" "src/coll/CMakeFiles/pml_coll.dir/alltoall.cpp.o" "gcc" "src/coll/CMakeFiles/pml_coll.dir/alltoall.cpp.o.d"
+  "/root/repo/src/coll/bcast.cpp" "src/coll/CMakeFiles/pml_coll.dir/bcast.cpp.o" "gcc" "src/coll/CMakeFiles/pml_coll.dir/bcast.cpp.o.d"
+  "/root/repo/src/coll/collective.cpp" "src/coll/CMakeFiles/pml_coll.dir/collective.cpp.o" "gcc" "src/coll/CMakeFiles/pml_coll.dir/collective.cpp.o.d"
+  "/root/repo/src/coll/cost.cpp" "src/coll/CMakeFiles/pml_coll.dir/cost.cpp.o" "gcc" "src/coll/CMakeFiles/pml_coll.dir/cost.cpp.o.d"
+  "/root/repo/src/coll/runner.cpp" "src/coll/CMakeFiles/pml_coll.dir/runner.cpp.o" "gcc" "src/coll/CMakeFiles/pml_coll.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/pml_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/pml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pml_coll.dir/allgather.cpp.o"
+  "CMakeFiles/pml_coll.dir/allgather.cpp.o.d"
+  "CMakeFiles/pml_coll.dir/allreduce.cpp.o"
+  "CMakeFiles/pml_coll.dir/allreduce.cpp.o.d"
+  "CMakeFiles/pml_coll.dir/alltoall.cpp.o"
+  "CMakeFiles/pml_coll.dir/alltoall.cpp.o.d"
+  "CMakeFiles/pml_coll.dir/bcast.cpp.o"
+  "CMakeFiles/pml_coll.dir/bcast.cpp.o.d"
+  "CMakeFiles/pml_coll.dir/collective.cpp.o"
+  "CMakeFiles/pml_coll.dir/collective.cpp.o.d"
+  "CMakeFiles/pml_coll.dir/cost.cpp.o"
+  "CMakeFiles/pml_coll.dir/cost.cpp.o.d"
+  "CMakeFiles/pml_coll.dir/runner.cpp.o"
+  "CMakeFiles/pml_coll.dir/runner.cpp.o.d"
+  "libpml_coll.a"
+  "libpml_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pml_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

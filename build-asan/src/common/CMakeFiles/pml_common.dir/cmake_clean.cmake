@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pml_common.dir/json.cpp.o"
+  "CMakeFiles/pml_common.dir/json.cpp.o.d"
+  "CMakeFiles/pml_common.dir/parallel.cpp.o"
+  "CMakeFiles/pml_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/pml_common.dir/strings.cpp.o"
+  "CMakeFiles/pml_common.dir/strings.cpp.o.d"
+  "CMakeFiles/pml_common.dir/table.cpp.o"
+  "CMakeFiles/pml_common.dir/table.cpp.o.d"
+  "libpml_common.a"
+  "libpml_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pml_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

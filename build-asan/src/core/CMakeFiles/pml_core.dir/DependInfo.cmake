@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset_builder.cpp" "src/core/CMakeFiles/pml_core.dir/dataset_builder.cpp.o" "gcc" "src/core/CMakeFiles/pml_core.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/pml_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/pml_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/pml_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/pml_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/overhead.cpp" "src/core/CMakeFiles/pml_core.dir/overhead.cpp.o" "gcc" "src/core/CMakeFiles/pml_core.dir/overhead.cpp.o.d"
+  "/root/repo/src/core/selectors.cpp" "src/core/CMakeFiles/pml_core.dir/selectors.cpp.o" "gcc" "src/core/CMakeFiles/pml_core.dir/selectors.cpp.o.d"
+  "/root/repo/src/core/tuning_table.cpp" "src/core/CMakeFiles/pml_core.dir/tuning_table.cpp.o" "gcc" "src/core/CMakeFiles/pml_core.dir/tuning_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/coll/CMakeFiles/pml_coll.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/pml_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pml_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/pml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

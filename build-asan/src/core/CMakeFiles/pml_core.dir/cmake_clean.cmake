@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pml_core.dir/dataset_builder.cpp.o"
+  "CMakeFiles/pml_core.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/pml_core.dir/features.cpp.o"
+  "CMakeFiles/pml_core.dir/features.cpp.o.d"
+  "CMakeFiles/pml_core.dir/framework.cpp.o"
+  "CMakeFiles/pml_core.dir/framework.cpp.o.d"
+  "CMakeFiles/pml_core.dir/overhead.cpp.o"
+  "CMakeFiles/pml_core.dir/overhead.cpp.o.d"
+  "CMakeFiles/pml_core.dir/selectors.cpp.o"
+  "CMakeFiles/pml_core.dir/selectors.cpp.o.d"
+  "CMakeFiles/pml_core.dir/tuning_table.cpp.o"
+  "CMakeFiles/pml_core.dir/tuning_table.cpp.o.d"
+  "libpml_core.a"
+  "libpml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

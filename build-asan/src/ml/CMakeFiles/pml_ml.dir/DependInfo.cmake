@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/boosting.cpp" "src/ml/CMakeFiles/pml_ml.dir/boosting.cpp.o" "gcc" "src/ml/CMakeFiles/pml_ml.dir/boosting.cpp.o.d"
+  "/root/repo/src/ml/cv.cpp" "src/ml/CMakeFiles/pml_ml.dir/cv.cpp.o" "gcc" "src/ml/CMakeFiles/pml_ml.dir/cv.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/pml_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/pml_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/factory.cpp" "src/ml/CMakeFiles/pml_ml.dir/factory.cpp.o" "gcc" "src/ml/CMakeFiles/pml_ml.dir/factory.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/pml_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/pml_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/pml_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/pml_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/pml_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/pml_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/pml_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/pml_ml.dir/svm.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/pml_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/pml_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/pml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pml_ml.dir/boosting.cpp.o"
+  "CMakeFiles/pml_ml.dir/boosting.cpp.o.d"
+  "CMakeFiles/pml_ml.dir/cv.cpp.o"
+  "CMakeFiles/pml_ml.dir/cv.cpp.o.d"
+  "CMakeFiles/pml_ml.dir/dataset.cpp.o"
+  "CMakeFiles/pml_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/pml_ml.dir/factory.cpp.o"
+  "CMakeFiles/pml_ml.dir/factory.cpp.o.d"
+  "CMakeFiles/pml_ml.dir/forest.cpp.o"
+  "CMakeFiles/pml_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/pml_ml.dir/knn.cpp.o"
+  "CMakeFiles/pml_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/pml_ml.dir/metrics.cpp.o"
+  "CMakeFiles/pml_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/pml_ml.dir/svm.cpp.o"
+  "CMakeFiles/pml_ml.dir/svm.cpp.o.d"
+  "CMakeFiles/pml_ml.dir/tree.cpp.o"
+  "CMakeFiles/pml_ml.dir/tree.cpp.o.d"
+  "libpml_ml.a"
+  "libpml_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pml_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

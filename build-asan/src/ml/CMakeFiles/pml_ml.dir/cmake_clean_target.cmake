@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpml_ml.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pml_sim.dir/comm.cpp.o"
+  "CMakeFiles/pml_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/pml_sim.dir/engine.cpp.o"
+  "CMakeFiles/pml_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pml_sim.dir/hardware.cpp.o"
+  "CMakeFiles/pml_sim.dir/hardware.cpp.o.d"
+  "CMakeFiles/pml_sim.dir/network.cpp.o"
+  "CMakeFiles/pml_sim.dir/network.cpp.o.d"
+  "libpml_sim.a"
+  "libpml_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pml_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

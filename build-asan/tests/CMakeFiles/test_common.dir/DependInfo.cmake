@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/json_test.cpp" "tests/CMakeFiles/test_common.dir/common/json_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/json_test.cpp.o.d"
+  "/root/repo/tests/common/parallel_test.cpp" "tests/CMakeFiles/test_common.dir/common/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/parallel_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/strings_test.cpp" "tests/CMakeFiles/test_common.dir/common/strings_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/strings_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/pml_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/apps/CMakeFiles/pml_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/coll/CMakeFiles/pml_coll.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/pml_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pml_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/pml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dataset_builder_test.cpp" "tests/CMakeFiles/test_core.dir/core/dataset_builder_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dataset_builder_test.cpp.o.d"
+  "/root/repo/tests/core/features_test.cpp" "tests/CMakeFiles/test_core.dir/core/features_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/features_test.cpp.o.d"
+  "/root/repo/tests/core/framework_test.cpp" "tests/CMakeFiles/test_core.dir/core/framework_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/framework_test.cpp.o.d"
+  "/root/repo/tests/core/overhead_test.cpp" "tests/CMakeFiles/test_core.dir/core/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/overhead_test.cpp.o.d"
+  "/root/repo/tests/core/selectors_test.cpp" "tests/CMakeFiles/test_core.dir/core/selectors_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/selectors_test.cpp.o.d"
+  "/root/repo/tests/core/tuning_table_test.cpp" "tests/CMakeFiles/test_core.dir/core/tuning_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tuning_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/pml_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/apps/CMakeFiles/pml_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/coll/CMakeFiles/pml_coll.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/pml_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pml_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/pml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

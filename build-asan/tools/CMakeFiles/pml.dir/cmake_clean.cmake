@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pml.dir/pml_tool.cpp.o"
+  "CMakeFiles/pml.dir/pml_tool.cpp.o.d"
+  "pml"
+  "pml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
