@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "core/features.hpp"
 
 namespace {
 
@@ -63,6 +64,23 @@ BENCHMARK(BM_TrainFramework)
     ->Arg(0)
     ->ArgName("threads")
     ->Unit(benchmark::kSecond);
+
+void BM_ForestPredictProba(benchmark::State& state) {
+  // The forest alone (flattened SoA walk), separating model time from the
+  // feature-extraction + ranking work BM_SingleInference also includes.
+  auto& fw = framework();
+  const auto& forest = fw.model(coll::Collective::kAlltoall);
+  const auto& columns = fw.selected_columns(coll::Collective::kAlltoall);
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const auto full = core::extract_features(frontera, 16, 56, 1u << 16);
+  const auto row = core::project_features(full, columns);
+  std::vector<double> proba(static_cast<std::size_t>(forest.num_classes()));
+  for (auto _ : state) {
+    forest.predict_proba_into(row, proba);
+    benchmark::DoNotOptimize(proba.data());
+  }
+}
+BENCHMARK(BM_ForestPredictProba);
 
 void BM_RuntimeTableLookup(benchmark::State& state) {
   auto& fw = framework();

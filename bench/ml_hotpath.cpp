@@ -1,0 +1,238 @@
+// Micro-benchmarks of the ML training and inference hot paths, with a
+// heap-allocation counter wired through global operator new so the
+// zero-allocation claim of the flattened inference path is *measured*, not
+// asserted. Emits machine-readable JSON via the standard google-benchmark
+// flags; the repo's recorded trajectory lives in BENCH_ml_hotpath.json:
+//
+//   build/bench/ml_hotpath --benchmark_out_format=json
+//                          --benchmark_out=BENCH_ml_hotpath.json
+//
+// The headline series tracked across PRs: BM_SingleInference,
+// BM_CompileTuningTable/threads:1, BM_TrainFramework/threads:1 (shared with
+// bench/inference_latency.cpp), plus the ML-layer BM_* kernels below.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "bench_util.hpp"
+#include "ml/flat_forest.hpp"
+#include "ml/forest.hpp"
+#include "ml/tree.hpp"
+
+// ---- allocation counting ----------------------------------------------------
+// Counts every operator-new in the process; benchmarks snapshot the counter
+// around the timed loop and report allocations per iteration.
+//
+// GCC's -Wmismatched-new-delete pairs the replaced operator new below with
+// the replaced operator delete when inlining both into callers and flags the
+// malloc/free it sees inside as mismatched; both sides of the replacement
+// use malloc/free, so the pairing is correct.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace pml;
+
+ml::Dataset synthetic_dataset(std::size_t n, std::size_t cols, int classes,
+                              std::uint64_t seed) {
+  ml::Dataset d;
+  d.num_classes = classes;
+  Rng rng(seed);
+  ml::Matrix x(n, cols);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      x.at(r, c) = (c % 3 == 0)
+                       ? static_cast<double>(rng.uniform_index(8))
+                       : rng.uniform(-2.0, 2.0);
+    }
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) s += x.at(r, c) * ((c % 2) ? 1 : -1);
+    d.y.push_back(static_cast<int>(
+        (static_cast<long long>(s * 3.0) % classes + classes) % classes));
+  }
+  d.x = x;
+  return d;
+}
+
+core::PmlFramework& framework() {
+  static core::PmlFramework fw = core::PmlFramework::train(
+      bench::clusters_except({"Frontera"}), bench::default_train_options());
+  return fw;
+}
+
+// ---- training kernels -------------------------------------------------------
+
+void BM_TreeFit(benchmark::State& state) {
+  const bool reference = state.range(0) != 0;
+  const auto d = synthetic_dataset(600, 10, 4, 42);
+  ml::TreeParams tp;
+  tp.max_features = 3;
+  tp.reference_splitter = reference;
+  for (auto _ : state) {
+    ml::DecisionTree tree(tp);
+    Rng rng(7);
+    tree.fit(d.x, d.y, d.num_classes, rng);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeFit)->Arg(0)->Arg(1)->ArgName("reference")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto d = synthetic_dataset(400, 10, 4, 42);
+  ml::RandomForestParams fp;
+  fp.n_trees = 20;
+  fp.max_features = 3;
+  fp.threads = 1;
+  for (auto _ : state) {
+    ml::RandomForest forest(fp);
+    Rng rng(99);
+    forest.fit(d, rng);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestFit)->Unit(benchmark::kMillisecond);
+
+// ---- inference kernels ------------------------------------------------------
+// The same 100 trees in both layouts: per-node heap Nodes (the pre-PR
+// representation, walked via leaf_proba_for) vs the packed FlatForest.
+
+struct TreeFixture {
+  std::vector<ml::DecisionTree> trees;
+  ml::FlatForest flat;
+};
+
+const TreeFixture& tree_fixture() {
+  static const TreeFixture fixture = [] {
+    const auto d = synthetic_dataset(400, 10, 4, 42);
+    ml::TreeParams tp;
+    tp.max_features = 3;
+    TreeFixture f;
+    Rng rng(5);
+    for (int t = 0; t < 100; ++t) {
+      Rng tree_rng = rng.split();
+      f.trees.emplace_back(tp);
+      f.trees.back().fit(d.x, d.y, d.num_classes, tree_rng);
+      f.trees.back().append_flat(f.flat);
+    }
+    f.flat.finish(d.num_classes);
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_ForestPredictFlat(benchmark::State& state) {
+  const auto& f = tree_fixture();
+  const auto d = synthetic_dataset(64, 10, 4, 1234);
+  std::vector<double> out(4);
+  std::size_t r = 0;
+  const std::size_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    f.flat.predict_proba_into(d.x.row(r), out);
+    benchmark::DoNotOptimize(out.data());
+    r = (r + 1) % d.x.rows();
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_alloc_count.load() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ForestPredictFlat);
+
+void BM_ForestPredictNodeWalk(benchmark::State& state) {
+  const auto& f = tree_fixture();
+  const auto d = synthetic_dataset(64, 10, 4, 1234);
+  std::vector<double> out(4);
+  std::size_t r = 0;
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (const auto& tree : f.trees) {
+      const auto leaf = tree.leaf_proba_for(d.x.row(r));
+      for (std::size_t c = 0; c < out.size(); ++c) out[c] += leaf[c];
+    }
+    for (auto& v : out) v /= static_cast<double>(f.trees.size());
+    benchmark::DoNotOptimize(out.data());
+    r = (r + 1) % d.x.rows();
+  }
+}
+BENCHMARK(BM_ForestPredictNodeWalk);
+
+// ---- framework-level headline series (shared with inference_latency) -------
+
+void BM_SingleInference(benchmark::State& state) {
+  auto& fw = framework();
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const sim::Topology topo{16, 56};
+  std::uint64_t msg = 1;
+  // Warm the thread_local scratch so the loop measures steady state.
+  benchmark::DoNotOptimize(
+      fw.select(coll::Collective::kAlltoall, frontera, topo, msg));
+  const std::size_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fw.select(coll::Collective::kAlltoall, frontera, topo, msg));
+    msg = msg >= (1u << 20) ? 1 : msg << 1;
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_alloc_count.load() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SingleInference);
+
+void BM_CompileTuningTable(benchmark::State& state) {
+  auto& fw = framework();
+  fw.set_threads(static_cast<int>(state.range(0)));
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const std::vector<int> nodes = {1, 2, 4, 8, 16};
+  const std::vector<int> ppns = {28, 56};
+  const auto sizes = sim::power_of_two_sizes(21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fw.compile_for(frontera, nodes, ppns, sizes));
+  }
+  fw.set_threads(0);
+}
+BENCHMARK(BM_CompileTuningTable)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrainFramework(benchmark::State& state) {
+  auto options = bench::default_train_options();
+  options.threads = static_cast<int>(state.range(0));
+  const auto clusters = bench::clusters_except({"Frontera"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PmlFramework::train(clusters, options));
+  }
+}
+BENCHMARK(BM_TrainFramework)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgName("threads")
+    ->Unit(benchmark::kSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -39,9 +39,16 @@ std::size_t feature_index(const std::string& name) {
 std::vector<double> extract_features(const sim::ClusterSpec& cluster,
                                      int nodes, int ppn,
                                      std::uint64_t msg_bytes) {
+  std::vector<double> out;
+  extract_features_into(cluster, nodes, ppn, msg_bytes, out);
+  return out;
+}
+
+void extract_features_into(const sim::ClusterSpec& cluster, int nodes, int ppn,
+                           std::uint64_t msg_bytes, std::vector<double>& out) {
   if (nodes < 1 || ppn < 1) throw TuningError("invalid job shape");
   const sim::HardwareSpec& hw = cluster.hw;
-  return {
+  out.assign({
       static_cast<double>(nodes),
       static_cast<double>(ppn),
       static_cast<double>(msg_bytes),
@@ -56,18 +63,25 @@ std::vector<double> extract_features(const sim::ClusterSpec& cluster,
       static_cast<double>(hw.pcie_version),
       hw.hca_link_speed_gbps,
       static_cast<double>(hw.hca_link_width),
-  };
+  });
 }
 
 std::vector<double> project_features(const std::vector<double>& full,
                                      const std::vector<std::size_t>& columns) {
   std::vector<double> out;
+  project_features_into(full, columns, out);
+  return out;
+}
+
+void project_features_into(const std::vector<double>& full,
+                           const std::vector<std::size_t>& columns,
+                           std::vector<double>& out) {
+  out.clear();
   out.reserve(columns.size());
   for (const std::size_t c : columns) {
     if (c >= full.size()) throw TuningError("feature column out of range");
     out.push_back(full[c]);
   }
-  return out;
 }
 
 }  // namespace pml::core

@@ -30,9 +30,19 @@ std::vector<double> extract_features(const sim::ClusterSpec& cluster,
                                      int nodes, int ppn,
                                      std::uint64_t msg_bytes);
 
+/// extract_features into a reused buffer (resized to feature_count());
+/// allocation-free once the buffer has capacity. Inference hot path.
+void extract_features_into(const sim::ClusterSpec& cluster, int nodes, int ppn,
+                           std::uint64_t msg_bytes, std::vector<double>& out);
+
 /// Project a full feature row onto a column subset (model feature
 /// selection, paper: "top 5 features ... to avoid overfitting").
 std::vector<double> project_features(const std::vector<double>& full,
                                      const std::vector<std::size_t>& columns);
+
+/// project_features into a reused buffer. Inference hot path.
+void project_features_into(const std::vector<double>& full,
+                           const std::vector<std::size_t>& columns,
+                           std::vector<double>& out);
 
 }  // namespace pml::core

@@ -141,14 +141,25 @@ coll::Algorithm PmlFramework::select(Collective collective,
                                      sim::Topology topo,
                                      std::uint64_t msg_bytes) {
   const PerCollective& p = part(collective);
-  const auto full = extract_features(cluster, topo.nodes, topo.ppn, msg_bytes);
-  const auto row = project_features(full, p.columns);
-  const auto proba = p.forest.predict_proba(row);
+
+  // Hot path: one select() per tuning-table cell per message size, from
+  // many threads during compile_for sweeps. All scratch is thread_local and
+  // only ever grows to num_classes/feature_count, so a steady-state call
+  // performs zero heap allocations (guarded by the ml_hotpath bench).
+  thread_local std::vector<double> full;
+  thread_local std::vector<double> row;
+  thread_local std::vector<double> proba;
+  thread_local std::vector<std::size_t> order;
+
+  extract_features_into(cluster, topo.nodes, topo.ppn, msg_bytes, full);
+  project_features_into(full, p.columns, row);
+  proba.resize(static_cast<std::size_t>(p.forest.num_classes()));
+  p.forest.predict_proba_into(row, proba);
 
   // Rank classes by probability, return the best one valid at this world
   // size (the model may favour e.g. power-of-two-only recursive doubling).
   const auto& algorithms = coll::algorithms_for(collective);
-  std::vector<std::size_t> order(proba.size());
+  order.resize(proba.size());
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return proba[a] > proba[b]; });

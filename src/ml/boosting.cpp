@@ -8,7 +8,7 @@ namespace pml::ml {
 
 namespace {
 
-void softmax_inplace(std::vector<double>& scores) {
+void softmax_inplace(std::span<double> scores) {
   const double mx = *std::max_element(scores.begin(), scores.end());
   double sum = 0.0;
   for (double& s : scores) {
@@ -106,15 +106,28 @@ void GradientBoosting::fit(const Dataset& train, Rng& rng) {
 
 std::vector<double> GradientBoosting::predict_proba(
     std::span<const double> row) const {
+  std::vector<double> scores(base_score_.size());
+  predict_proba_into(row, scores);
+  return scores;
+}
+
+void GradientBoosting::predict_proba_into(std::span<const double> row,
+                                          std::span<double> out) const {
   require_fitted();
-  std::vector<double> scores = base_score_;
+  if (out.size() != base_score_.size()) {
+    throw MlError("boosting: proba buffer holds " +
+                  std::to_string(out.size()) + " classes, want " +
+                  std::to_string(base_score_.size()));
+  }
+  std::copy(base_score_.begin(), base_score_.end(), out.begin());
+  // RegressionTree::predict is a pure node walk, so the whole accumulation
+  // is allocation-free.
   for (const auto& stage : stages_) {
-    for (std::size_t c = 0; c < scores.size(); ++c) {
-      scores[c] += params_.learning_rate * stage[c].predict(row);
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      out[c] += params_.learning_rate * stage[c].predict(row);
     }
   }
-  softmax_inplace(scores);
-  return scores;
+  softmax_inplace(out);
 }
 
 }  // namespace pml::ml

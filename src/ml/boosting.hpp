@@ -26,6 +26,11 @@ class GradientBoosting final : public Classifier {
   void fit(const Dataset& train, Rng& rng) override;
   std::vector<double> predict_proba(std::span<const double> row) const override;
 
+  /// Allocation-free scoring: accumulates the per-stage Newton steps and
+  /// softmaxes directly in `out` (size num_classes()).
+  void predict_proba_into(std::span<const double> row,
+                          std::span<double> out) const override;
+
   const GradientBoostingParams& params() const noexcept { return params_; }
   std::size_t round_count() const noexcept {
     return stages_.empty() ? 0 : stages_.size();

@@ -1,0 +1,143 @@
+#include "ml/flat_forest.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace pml::ml {
+
+void FlatForest::clear() {
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  roots_.clear();
+  leaf_proba_.clear();
+  n_leaves_ = 0;
+  build_base_ = 0;
+  min_row_length_ = 0;
+  num_classes_ = 0;
+  sealed_ = false;
+}
+
+void FlatForest::begin_tree() {
+  if (sealed_) throw MlError("flat forest: append after finish");
+  build_base_ = feature_.size();
+  roots_.push_back(build_base_);
+}
+
+void FlatForest::add_split(int feature, double threshold, int left,
+                           int right) {
+  if (roots_.empty()) throw MlError("flat forest: add_split before begin_tree");
+  feature_.push_back(static_cast<std::int32_t>(feature));
+  threshold_.push_back(threshold);
+  left_.push_back(static_cast<std::int32_t>(build_base_) + left);
+  right_.push_back(static_cast<std::int32_t>(build_base_) + right);
+}
+
+void FlatForest::add_leaf(std::span<const double> proba) {
+  if (roots_.empty()) throw MlError("flat forest: add_leaf before begin_tree");
+  feature_.push_back(-1);
+  threshold_.push_back(0.0);
+  left_.push_back(static_cast<std::int32_t>(n_leaves_));
+  right_.push_back(-1);
+  ++n_leaves_;
+  leaf_proba_.insert(leaf_proba_.end(), proba.begin(), proba.end());
+}
+
+void FlatForest::finish(int num_classes) {
+  if (num_classes < 1) throw MlError("flat forest: num_classes must be >= 1");
+  if (roots_.empty()) throw MlError("flat forest: no trees appended");
+  num_classes_ = num_classes;
+  const auto k = static_cast<std::size_t>(num_classes);
+  if (leaf_proba_.size() != n_leaves_ * k) {
+    throw MlError("flat forest: pooled leaf buffer holds " +
+                  std::to_string(leaf_proba_.size()) + " values for " +
+                  std::to_string(n_leaves_) + " leaves of " +
+                  std::to_string(num_classes) + " classes");
+  }
+  const auto n_leaves = static_cast<std::int32_t>(n_leaves_);
+  const auto n_nodes = static_cast<std::int32_t>(feature_.size());
+  min_row_length_ = 0;
+  for (std::int32_t i = 0; i < n_nodes; ++i) {
+    if (feature_[static_cast<std::size_t>(i)] >= 0) {
+      const auto f =
+          static_cast<std::size_t>(feature_[static_cast<std::size_t>(i)]);
+      min_row_length_ = std::max(min_row_length_, f + 1);
+      const std::int32_t l = left_[static_cast<std::size_t>(i)];
+      const std::int32_t r = right_[static_cast<std::size_t>(i)];
+      // Trees serialize children in pre-order, so both ids point forward;
+      // that also proves every walk terminates.
+      if (l <= i || l >= n_nodes || r <= i || r >= n_nodes) {
+        throw MlError("flat forest: split node " + std::to_string(i) +
+                      " has child outside (" + std::to_string(i) + ", " +
+                      std::to_string(n_nodes) + ")");
+      }
+    } else {
+      const std::int32_t leaf = left_[static_cast<std::size_t>(i)];
+      if (leaf < 0 || leaf >= n_leaves) {
+        throw MlError("flat forest: leaf node " + std::to_string(i) +
+                      " references pooled slot " + std::to_string(leaf) +
+                      " of " + std::to_string(n_leaves));
+      }
+    }
+  }
+  sealed_ = true;
+}
+
+std::span<const double> FlatForest::walk(std::size_t root,
+                                         std::span<const double> row) const {
+  std::size_t k = root;
+  while (feature_[k] >= 0) {
+    k = static_cast<std::size_t>(row[static_cast<std::size_t>(feature_[k])] <=
+                                         threshold_[k]
+                                     ? left_[k]
+                                     : right_[k]);
+  }
+  return {leaf_proba_.data() +
+              static_cast<std::size_t>(left_[k]) *
+                  static_cast<std::size_t>(num_classes_),
+          static_cast<std::size_t>(num_classes_)};
+}
+
+void FlatForest::predict_proba_into(std::span<const double> row,
+                                    std::span<double> out) const {
+  if (!sealed_) throw MlError("flat forest: predict before finish");
+  if (out.size() != static_cast<std::size_t>(num_classes_)) {
+    throw MlError("flat forest: output buffer holds " +
+                  std::to_string(out.size()) + " classes, want " +
+                  std::to_string(num_classes_));
+  }
+  if (row.size() < min_row_length_) {
+    throw MlError("flat forest: row has too few features");
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const std::size_t root : roots_) {
+    const auto leaf = walk(root, row);
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += leaf[c];
+  }
+  const auto n_trees = static_cast<double>(roots_.size());
+  for (double& p : out) p /= n_trees;
+}
+
+std::span<const double> FlatForest::tree_leaf(
+    std::size_t tree, std::span<const double> row) const {
+  if (!sealed_) throw MlError("flat forest: predict before finish");
+  if (tree >= roots_.size()) throw MlError("flat forest: tree out of range");
+  if (row.size() < min_row_length_) {
+    throw MlError("flat forest: row has too few features");
+  }
+  return walk(roots_[tree], row);
+}
+
+void FlatForest::predict_batch(const Matrix& rows, Matrix& out) const {
+  if (!sealed_) throw MlError("flat forest: predict before finish");
+  if (out.rows() != rows.rows() ||
+      out.cols() != static_cast<std::size_t>(num_classes_)) {
+    throw MlError("flat forest: predict_batch output shape mismatch");
+  }
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    predict_proba_into(rows.row(r), out.row(r));
+  }
+}
+
+}  // namespace pml::ml

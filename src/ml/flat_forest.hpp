@@ -1,0 +1,86 @@
+// Structure-of-arrays decision-forest representation for the inference hot
+// path.
+//
+// DecisionTree keeps one heap-allocated Node (with its own proba vector) per
+// tree node, which is convenient for growth and serialization but walks
+// scattered memory at predict time and forces an allocation per call.
+// FlatForest packs every tree of a forest into four contiguous parallel
+// arrays (feature / threshold / left / right) plus one pooled
+// leaf-probability buffer, so a forest prediction is a handful of linear
+// array walks and predict_proba_into() touches no allocator at all. The
+// accumulation order over trees matches the node-walk implementation
+// exactly, so results are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace pml::ml {
+
+class FlatForest {
+ public:
+  bool empty() const noexcept { return roots_.empty(); }
+  std::size_t tree_count() const noexcept { return roots_.size(); }
+  std::size_t node_count() const noexcept { return feature_.size(); }
+  int num_classes() const noexcept { return num_classes_; }
+
+  /// Smallest feature-row length every walk is guaranteed to stay inside
+  /// (largest referenced feature index + 1).
+  std::size_t min_row_length() const noexcept { return min_row_length_; }
+
+  void clear();
+
+  // --- Builder interface (used by DecisionTree::append_flat) ----------------
+
+  /// Start appending one tree; its nodes arrive in the tree's own node-id
+  /// order, so child ids passed to add_split are tree-local.
+  void begin_tree();
+  void add_split(int feature, double threshold, int left, int right);
+  void add_leaf(std::span<const double> proba);
+
+  /// Validate and seal after all trees are appended: every leaf must carry
+  /// `num_classes` probabilities and every split must reference a feature
+  /// and children inside bounds. Throws MlError otherwise.
+  void finish(int num_classes);
+
+  // --- Inference -------------------------------------------------------------
+
+  /// Mean class distribution over all trees, written into `out` (size
+  /// num_classes()). Allocation-free; bit-identical to averaging the
+  /// node-walk predictions tree by tree.
+  void predict_proba_into(std::span<const double> row,
+                          std::span<double> out) const;
+
+  /// Un-normalised leaf distribution of one tree for this row (span into
+  /// the pooled buffer).
+  std::span<const double> tree_leaf(std::size_t tree,
+                                    std::span<const double> row) const;
+
+  /// predict_proba_into for many rows; `out` is row-major
+  /// rows.rows() x num_classes().
+  void predict_batch(const Matrix& rows, Matrix& out) const;
+
+ private:
+  std::span<const double> walk(std::size_t root,
+                               std::span<const double> row) const;
+
+  // Parallel per-node arrays. feature_[k] < 0 marks a leaf, whose left_[k]
+  // is its leaf ordinal: the pooled distribution lives at
+  // leaf_proba_[ordinal * num_classes_ .. +num_classes_).
+  std::vector<std::int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<std::size_t> roots_;    ///< global index of each tree's root
+  std::vector<double> leaf_proba_;    ///< pooled leaf distributions
+  std::size_t n_leaves_ = 0;
+  std::size_t build_base_ = 0;        ///< first node of the tree being built
+  std::size_t min_row_length_ = 0;
+  int num_classes_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace pml::ml

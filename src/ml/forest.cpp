@@ -35,10 +35,11 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
   for (std::size_t t = 0; t < n_trees; ++t) tree_rngs.push_back(rng.split());
 
   trees_.assign(n_trees, DecisionTree(tp));
-  // Per-tree OOB contributions (row index, class distribution), merged in
-  // tree order after the barrier so the floating-point accumulation order
-  // matches the serial loop exactly.
-  std::vector<std::vector<std::pair<std::size_t, std::vector<double>>>>
+  // Per-tree OOB contributions (row index, span into the fitted tree's leaf
+  // distribution — no copies), merged in tree order after the barrier so the
+  // floating-point accumulation order matches the serial loop exactly. The
+  // spans stay valid because trees_ is not resized after this point.
+  std::vector<std::vector<std::pair<std::size_t, std::span<const double>>>>
       oob_parts(params_.bootstrap ? n_trees : 0);
 
   parallel_for(params_.threads, n_trees, [&](std::size_t t) {
@@ -53,7 +54,7 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
       trees_[t].fit(train.x, train.y, num_classes_, tree_rng, sample);
       for (std::size_t i = 0; i < n; ++i) {
         if (in_bag[i]) continue;
-        oob_parts[t].emplace_back(i, trees_[t].predict_proba(train.x.row(i)));
+        oob_parts[t].emplace_back(i, trees_[t].leaf_proba_for(train.x.row(i)));
       }
     } else {
       trees_[t].fit(train.x, train.y, num_classes_, tree_rng);
@@ -85,18 +86,32 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
       oob_score_ = static_cast<double>(correct) / static_cast<double>(scored);
     }
   }
+  rebuild_flat();
+}
+
+void RandomForest::rebuild_flat() {
+  flat_.clear();
+  for (const DecisionTree& tree : trees_) tree.append_flat(flat_);
+  flat_.finish(num_classes_);
 }
 
 std::vector<double> RandomForest::predict_proba(
     std::span<const double> row) const {
   require_fitted();
-  std::vector<double> proba(static_cast<std::size_t>(num_classes_), 0.0);
-  for (const DecisionTree& tree : trees_) {
-    const auto p = tree.predict_proba(row);
-    for (std::size_t c = 0; c < proba.size(); ++c) proba[c] += p[c];
-  }
-  for (double& p : proba) p /= static_cast<double>(trees_.size());
+  std::vector<double> proba(static_cast<std::size_t>(num_classes_));
+  flat_.predict_proba_into(row, proba);
   return proba;
+}
+
+void RandomForest::predict_proba_into(std::span<const double> row,
+                                      std::span<double> out) const {
+  require_fitted();
+  flat_.predict_proba_into(row, out);
+}
+
+void RandomForest::predict_batch(const Matrix& rows, Matrix& out) const {
+  require_fitted();
+  flat_.predict_batch(rows, out);
 }
 
 std::vector<double> RandomForest::feature_importances() const {
@@ -151,12 +166,37 @@ RandomForest RandomForest::from_json(const Json& j) {
 
   RandomForest forest(params);
   forest.num_classes_ = static_cast<int>(j.at("num_classes").as_int());
+  if (forest.num_classes_ < 1) {
+    throw MlError("from_json: forest num_classes must be >= 1");
+  }
   forest.n_features_ =
       static_cast<std::size_t>(j.at("n_features").as_int());
   for (const Json& tj : j.at("trees").as_array()) {
     forest.trees_.push_back(DecisionTree::from_json(tj));
+    // A corrupt or hand-edited bundle must fail here with a clean MlError,
+    // not as an out-of-bounds read at inference time: every split must
+    // reference a feature the forest's rows actually have, and every leaf
+    // distribution must match the forest's class count (the tree-level
+    // loader already checks proba sizes against the tree's own num_classes).
+    const DecisionTree& tree = forest.trees_.back();
+    const std::size_t t = forest.trees_.size() - 1;
+    if (tree.num_classes() != forest.num_classes_) {
+      throw MlError("from_json: tree " + std::to_string(t) + " has " +
+                    std::to_string(tree.num_classes()) +
+                    " classes, forest has " +
+                    std::to_string(forest.num_classes_));
+    }
+    const int max_feature = tree.max_feature_index();
+    if (max_feature >= 0 &&
+        static_cast<std::size_t>(max_feature) >= forest.n_features_) {
+      throw MlError("from_json: tree " + std::to_string(t) +
+                    " splits on feature " + std::to_string(max_feature) +
+                    " but the forest has " +
+                    std::to_string(forest.n_features_) + " features");
+    }
   }
   if (forest.trees_.empty()) throw MlError("from_json: forest has no trees");
+  forest.rebuild_flat();
   return forest;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/model.hpp"
 #include "ml/tree.hpp"
 
@@ -34,6 +35,19 @@ class RandomForest final : public Classifier {
   void fit(const Dataset& train, Rng& rng) override;
   std::vector<double> predict_proba(std::span<const double> row) const override;
 
+  /// Allocation-free prediction through the flattened forest (bit-identical
+  /// to the per-tree node walk).
+  void predict_proba_into(std::span<const double> row,
+                          std::span<double> out) const override;
+
+  /// predict_proba_into over every row of `rows`; `out` must be
+  /// rows.rows() x num_classes().
+  void predict_batch(const Matrix& rows, Matrix& out) const;
+
+  /// The structure-of-arrays representation used for inference (rebuilt by
+  /// fit() and from_json()).
+  const FlatForest& flat() const noexcept { return flat_; }
+
   /// Normalised Gini-decrease feature importances (sum to 1): per-feature
   /// impurity decreases accumulated across all trees, as described in
   /// paper §V-A.
@@ -49,8 +63,12 @@ class RandomForest final : public Classifier {
   static RandomForest from_json(const Json& j);
 
  private:
+  /// Rebuild flat_ from trees_ (after fit or deserialization).
+  void rebuild_flat();
+
   RandomForestParams params_;
   std::vector<DecisionTree> trees_;
+  FlatForest flat_;
   std::size_t n_features_ = 0;
   std::optional<double> oob_score_;
 };

@@ -105,8 +105,14 @@ double macro_ovr_auc(const std::vector<std::vector<double>>& proba,
 std::vector<int> predict_all(const Classifier& model, const Dataset& data) {
   std::vector<int> out;
   out.reserve(data.size());
+  // One probability buffer reused across all rows: with the no-alloc
+  // predict_proba_into overrides (forest, boosting) the whole scoring loop
+  // stays off the heap.
+  std::vector<double> proba(static_cast<std::size_t>(model.num_classes()));
   for (std::size_t r = 0; r < data.x.rows(); ++r) {
-    out.push_back(model.predict(data.x.row(r)));
+    model.predict_proba_into(data.x.row(r), proba);
+    out.push_back(static_cast<int>(
+        std::max_element(proba.begin(), proba.end()) - proba.begin()));
   }
   return out;
 }
@@ -115,8 +121,10 @@ std::vector<std::vector<double>> predict_proba_all(const Classifier& model,
                                                    const Dataset& data) {
   std::vector<std::vector<double>> out;
   out.reserve(data.size());
+  const auto k = static_cast<std::size_t>(model.num_classes());
   for (std::size_t r = 0; r < data.x.rows(); ++r) {
-    out.push_back(model.predict_proba(data.x.row(r)));
+    out.emplace_back(k);
+    model.predict_proba_into(data.x.row(r), out.back());
   }
   return out;
 }

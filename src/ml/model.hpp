@@ -27,6 +27,21 @@ class Classifier {
   virtual std::vector<double> predict_proba(
       std::span<const double> row) const = 0;
 
+  /// predict_proba written into a caller-owned buffer of size num_classes().
+  /// Hot-path entry point: overrides (RandomForest, GradientBoosting) are
+  /// allocation-free, so callers that reuse `out` across rows never touch
+  /// the heap. The default falls back to predict_proba.
+  virtual void predict_proba_into(std::span<const double> row,
+                                  std::span<double> out) const {
+    const auto p = predict_proba(row);
+    if (out.size() != p.size()) {
+      throw MlError(name() + ": proba buffer holds " +
+                    std::to_string(out.size()) + " classes, want " +
+                    std::to_string(p.size()));
+    }
+    std::copy(p.begin(), p.end(), out.begin());
+  }
+
   /// Argmax of predict_proba.
   virtual int predict(std::span<const double> row) const {
     const auto p = predict_proba(row);

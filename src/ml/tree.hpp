@@ -18,10 +18,16 @@ struct TreeParams {
   int min_samples_leaf = 1;
   int min_samples_split = 2;
   int max_features = -1;     ///< features tried per split; -1 = all
+  /// Use the retained O(classes)-per-candidate reference split finder
+  /// instead of the incremental-Gini one. Both must produce byte-identical
+  /// trees; the flag exists so tests and benches can compare them.
+  bool reference_splitter = false;
 };
 
 /// Gini impurity of a class-count histogram (paper Eq. 1).
 double gini_impurity(std::span<const double> class_counts);
+
+class FlatForest;
 
 /// Binary CART classifier with Gini splits.
 class DecisionTree {
@@ -35,6 +41,18 @@ class DecisionTree {
 
   std::vector<double> predict_proba(std::span<const double> row) const;
   int predict(std::span<const double> row) const;
+
+  /// Class distribution of the leaf this row lands in — a span into the
+  /// tree's own storage (valid until the next fit). Allocation-free.
+  std::span<const double> leaf_proba_for(std::span<const double> row) const;
+
+  /// Append this tree to a structure-of-arrays forest (see FlatForest).
+  void append_flat(FlatForest& flat) const;
+
+  int num_classes() const noexcept { return num_classes_; }
+
+  /// Largest feature index any split references; -1 for a leaf-only tree.
+  int max_feature_index() const noexcept;
 
   /// Unnormalised Gini-decrease importances, one per feature; accumulated
   /// across splits as (n_node/n_total) * impurity decrease.
@@ -58,9 +76,29 @@ class DecisionTree {
     std::vector<double> proba;  ///< leaf class distribution
   };
 
+  /// Per-fit scratch shared by every node of one tree, so build() performs
+  /// no per-node or per-candidate heap allocations.
+  struct FitWorkspace {
+    std::vector<std::size_t> order;     ///< sort buffer, sized to the sample count
+    std::vector<std::size_t> features;  ///< candidate feature subset
+    std::vector<double> counts;         ///< node class histogram
+    std::vector<double> left;           ///< running left-child histogram
+    std::vector<double> right;          ///< running right-child histogram
+    std::vector<double> best_left;      ///< left histogram at the best split
+  };
+
   int build(const Matrix& x, std::span<const int> y, int num_classes,
             std::vector<std::size_t>& samples, std::size_t begin,
-            std::size_t end, int level, double total_samples, Rng& rng);
+            std::size_t end, int level, double total_samples, Rng& rng,
+            FitWorkspace& ws);
+
+  /// Retained pre-optimisation split finder (re-sorts per feature and scores
+  /// every candidate with two full gini_impurity passes). Kept as the
+  /// correctness oracle for the incremental path.
+  int build_reference(const Matrix& x, std::span<const int> y, int num_classes,
+                      std::vector<std::size_t>& samples, std::size_t begin,
+                      std::size_t end, int level, double total_samples,
+                      Rng& rng);
 
   TreeParams params_;
   std::vector<Node> nodes_;
@@ -104,9 +142,15 @@ class RegressionTree {
     double value = 0.0;
   };
 
+  /// Per-fit scratch (see DecisionTree::FitWorkspace).
+  struct FitWorkspace {
+    std::vector<std::size_t> order;
+    std::vector<std::size_t> features;
+  };
+
   int build(const Matrix& x, std::span<const double> targets,
             std::vector<std::size_t>& samples, std::size_t begin,
-            std::size_t end, int level, Rng& rng);
+            std::size_t end, int level, Rng& rng, FitWorkspace& ws);
 
   TreeParams params_;
   std::vector<Node> nodes_;
