@@ -27,8 +27,10 @@ void place_own_block(Comm& comm, std::span<const std::byte> send,
     throw SimError("allgather: send block size mismatch");
   }
   if (n == 0) return;
-  std::memcpy(recv.data() + static_cast<std::size_t>(comm.rank()) * n,
-              send.data(), n);
+  if (comm.payload_enabled()) {
+    std::memcpy(recv.data() + static_cast<std::size_t>(comm.rank()) * n,
+                send.data(), n);
+  }
   comm.copy(n, recv.size());
 }
 
@@ -114,14 +116,18 @@ sim::RankTask allgather_recursive_doubling(Comm comm,
       // Non-power-of-two: owned sets are scattered; pack, exchange, unpack.
       stage_out.resize(mine.size() * n);
       stage_in.resize(theirs.size() * n);
-      for (std::size_t i = 0; i < mine.size(); ++i) {
-        std::memcpy(stage_out.data() + i * n, block_ptr(mine[i]), n);
+      if (comm.payload_enabled()) {
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          std::memcpy(stage_out.data() + i * n, block_ptr(mine[i]), n);
+        }
       }
       comm.copy(stage_out.size(), recv.size());
       co_await comm.sendrecv(partner, stage_out, partner, stage_in,
                              /*tag=*/k);
-      for (std::size_t i = 0; i < theirs.size(); ++i) {
-        std::memcpy(block_ptr(theirs[i]), stage_in.data() + i * n, n);
+      if (comm.payload_enabled()) {
+        for (std::size_t i = 0; i < theirs.size(); ++i) {
+          std::memcpy(block_ptr(theirs[i]), stage_in.data() + i * n, n);
+        }
       }
       comm.copy(stage_in.size(), recv.size());
     }
@@ -169,7 +175,9 @@ sim::RankTask allgather_bruck(Comm comm, std::span<const std::byte> send,
 
   // temp[j] accumulates block (rank + j) mod p.
   std::vector<std::byte> temp(recv.size());
-  if (n > 0) std::memcpy(temp.data(), send.data(), n);
+  if (n > 0 && comm.payload_enabled()) {
+    std::memcpy(temp.data(), send.data(), n);
+  }
   comm.copy(n, recv.size());
 
   for (int k = 0; (1 << k) < p; ++k) {
@@ -188,11 +196,13 @@ sim::RankTask allgather_bruck(Comm comm, std::span<const std::byte> send,
   }
 
   // Final rotation: temp[j] is block (rank + j) mod p.
-  for (int j = 0; j < p; ++j) {
-    const int b = (rank + j) % p;
-    if (n > 0) {
-      std::memcpy(recv.data() + static_cast<std::size_t>(b) * n,
-                  temp.data() + static_cast<std::size_t>(j) * n, n);
+  if (comm.payload_enabled()) {
+    for (int j = 0; j < p; ++j) {
+      const int b = (rank + j) % p;
+      if (n > 0) {
+        std::memcpy(recv.data() + static_cast<std::size_t>(b) * n,
+                    temp.data() + static_cast<std::size_t>(j) * n, n);
+      }
     }
   }
   comm.copy(recv.size(), recv.size());

@@ -1,7 +1,9 @@
 #include "coll/allreduce.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -41,15 +43,17 @@ sim::RankTask allreduce_recursive_doubling(Comm comm,
   const int rank = comm.rank();
   const std::size_t n = send.size();
   if (recv.size() != n) throw SimError("allreduce: buffer size mismatch");
-  if (n > 0) std::memcpy(recv.data(), send.data(), n);
+  if (n > 0 && comm.payload_enabled()) {
+    std::memcpy(recv.data(), send.data(), n);
+  }
   comm.copy(n, n);
   if (p == 1) co_return;
 
-  std::vector<std::byte> incoming(n);
+  const std::span<std::byte> incoming = comm.scratch(n);
   for (int k = 0; (1 << k) < p; ++k) {
     const int partner = rank ^ (1 << k);
     co_await comm.sendrecv(partner, recv, partner, incoming, /*tag=*/k);
-    combine_bytes(recv, incoming);
+    if (comm.payload_enabled()) combine_bytes(recv, incoming);
     charge_reduction(comm, n, n);
   }
 }
@@ -61,7 +65,9 @@ sim::RankTask allreduce_rabenseifner(Comm comm,
   const int rank = comm.rank();
   const std::size_t n = send.size();
   if (recv.size() != n) throw SimError("allreduce: buffer size mismatch");
-  if (n > 0) std::memcpy(recv.data(), send.data(), n);
+  if (n > 0 && comm.payload_enabled()) {
+    std::memcpy(recv.data(), send.data(), n);
+  }
   comm.copy(n, n);
   if (p == 1) co_return;
 
@@ -72,9 +78,10 @@ sim::RankTask allreduce_rabenseifner(Comm comm,
   // the upper half, and each combines the partner's copy of its kept half.
   std::size_t seg_begin = 0;
   std::size_t seg_size = n;
-  std::vector<std::byte> incoming;
-  std::vector<std::size_t> begin_at_step(static_cast<std::size_t>(m));
-  std::vector<std::size_t> size_at_step(static_cast<std::size_t>(m));
+  // m = floor_log2(p) < 31 for any int world size; fixed-size step records
+  // keep the coroutine body allocation-free.
+  std::array<std::size_t, 31> begin_at_step{};
+  std::array<std::size_t, 31> size_at_step{};
   for (int k = 0; k < m; ++k) {
     begin_at_step[static_cast<std::size_t>(k)] = seg_begin;
     size_at_step[static_cast<std::size_t>(k)] = seg_size;
@@ -88,13 +95,15 @@ sim::RankTask allreduce_rabenseifner(Comm comm,
     const std::size_t give_begin = keep_lower ? seg_begin + lower : seg_begin;
     const std::size_t give_size = keep_lower ? upper : lower;
 
-    incoming.resize(keep_size);
+    const std::span<std::byte> incoming = comm.scratch(keep_size);
     co_await comm.sendrecv(
         partner,
         std::span<const std::byte>(recv.data() + give_begin, give_size),
         partner, incoming, /*tag=*/k);
-    combine_bytes(std::span<std::byte>(recv.data() + keep_begin, keep_size),
-                  incoming);
+    if (comm.payload_enabled()) {
+      combine_bytes(std::span<std::byte>(recv.data() + keep_begin, keep_size),
+                    incoming);
+    }
     charge_reduction(comm, keep_size, n);
 
     seg_begin = keep_begin;
@@ -130,7 +139,9 @@ sim::RankTask allreduce_ring(Comm comm, std::span<const std::byte> send,
   const int rank = comm.rank();
   const std::size_t n = send.size();
   if (recv.size() != n) throw SimError("allreduce: buffer size mismatch");
-  if (n > 0) std::memcpy(recv.data(), send.data(), n);
+  if (n > 0 && comm.payload_enabled()) {
+    std::memcpy(recv.data(), send.data(), n);
+  }
   comm.copy(n, n);
   if (p == 1) co_return;
 
@@ -146,15 +157,16 @@ sim::RankTask allreduce_ring(Comm comm, std::span<const std::byte> send,
   // Phase 1: reduce-scatter ring. After step k, chunk (rank-k-1) holds the
   // partial sum of k+2 contributions; after p-1 steps each rank owns the
   // fully reduced chunk (rank+1).
-  std::vector<std::byte> incoming;
   for (int k = 0; k < p - 1; ++k) {
     const auto [sb, ss] = chunk(rank - k);
     const auto [rb, rs] = chunk(rank - k - 1);
-    incoming.resize(rs);
+    const std::span<std::byte> incoming = comm.scratch(rs);
     co_await comm.sendrecv(
         right, std::span<const std::byte>(recv.data() + sb, ss), left,
         incoming, /*tag=*/k);
-    combine_bytes(std::span<std::byte>(recv.data() + rb, rs), incoming);
+    if (comm.payload_enabled()) {
+      combine_bytes(std::span<std::byte>(recv.data() + rb, rs), incoming);
+    }
     charge_reduction(comm, rs, n);
   }
 

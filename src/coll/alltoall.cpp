@@ -41,7 +41,9 @@ sim::RankTask alltoall_scatter_dest(Comm comm, std::span<const std::byte> send,
   const std::size_t n = block_size(send, p);
 
   // Own block moves locally.
-  if (n > 0) std::memcpy(mblock(recv, n, rank), cblock(send, n, rank), n);
+  if (n > 0 && comm.payload_enabled()) {
+    std::memcpy(mblock(recv, n, rank), cblock(send, n, rank), n);
+  }
   comm.copy(n, recv.size());
 
   // Post everything at once, destinations staggered to spread load, then
@@ -73,7 +75,9 @@ sim::RankTask alltoall_pairwise(Comm comm, std::span<const std::byte> send,
   const int rank = comm.rank();
   const std::size_t n = block_size(send, p);
 
-  if (n > 0) std::memcpy(mblock(recv, n, rank), cblock(send, n, rank), n);
+  if (n > 0 && comm.payload_enabled()) {
+    std::memcpy(mblock(recv, n, rank), cblock(send, n, rank), n);
+  }
   comm.copy(n, recv.size());
 
   for (int k = 1; k < p; ++k) {
@@ -98,16 +102,20 @@ sim::RankTask alltoall_bruck(Comm comm, std::span<const std::byte> send,
   const int rank = comm.rank();
   const std::size_t n = block_size(send, p);
   if (p == 1) {
-    if (n > 0) std::memcpy(recv.data(), send.data(), n);
+    if (n > 0 && comm.payload_enabled()) {
+      std::memcpy(recv.data(), send.data(), n);
+    }
     comm.copy(n, n);
     co_return;
   }
 
   // Phase 1: local rotation. temp[j] = block destined to (rank + j) mod p.
   std::vector<std::byte> temp(send.size());
-  for (int j = 0; j < p; ++j) {
-    const int b = (rank + j) % p;
-    if (n > 0) std::memcpy(mblock(temp, n, j), cblock(send, n, b), n);
+  if (comm.payload_enabled()) {
+    for (int j = 0; j < p; ++j) {
+      const int b = (rank + j) % p;
+      if (n > 0) std::memcpy(mblock(temp, n, j), cblock(send, n, b), n);
+    }
   }
   comm.copy(temp.size(), temp.size());
 
@@ -126,23 +134,33 @@ sim::RankTask alltoall_bruck(Comm comm, std::span<const std::byte> send,
     }
     stage_out.resize(idx.size() * n);
     stage_in.resize(idx.size() * n);
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      if (n > 0) std::memcpy(stage_out.data() + i * n, cblock(temp, n, idx[i]), n);
+    if (comm.payload_enabled()) {
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        if (n > 0) {
+          std::memcpy(stage_out.data() + i * n, cblock(temp, n, idx[i]), n);
+        }
+      }
     }
     comm.copy(stage_out.size(), temp.size());
 
     co_await comm.sendrecv(dst, stage_out, src, stage_in, /*tag=*/k);
 
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      if (n > 0) std::memcpy(mblock(temp, n, idx[i]), stage_in.data() + i * n, n);
+    if (comm.payload_enabled()) {
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        if (n > 0) {
+          std::memcpy(mblock(temp, n, idx[i]), stage_in.data() + i * n, n);
+        }
+      }
     }
     comm.copy(stage_in.size(), temp.size());
   }
 
   // Phase 3: temp[j] now holds the block sent by (rank - j) mod p to us.
-  for (int j = 0; j < p; ++j) {
-    const int origin = (rank - j + p) % p;
-    if (n > 0) std::memcpy(mblock(recv, n, origin), cblock(temp, n, j), n);
+  if (comm.payload_enabled()) {
+    for (int j = 0; j < p; ++j) {
+      const int origin = (rank - j + p) % p;
+      if (n > 0) std::memcpy(mblock(recv, n, origin), cblock(temp, n, j), n);
+    }
   }
   comm.copy(recv.size(), recv.size());
 }
@@ -230,16 +248,22 @@ sim::RankTask alltoall_recursive_doubling(Comm comm,
   const int rank = comm.rank();
   const std::size_t n = block_size(send, p);
   if (p == 1) {
-    if (n > 0) std::memcpy(recv.data(), send.data(), n);
+    if (n > 0 && comm.payload_enabled()) {
+      std::memcpy(recv.data(), send.data(), n);
+    }
     comm.copy(n, n);
     co_return;
   }
 
-  // Store-and-forward: blocks keyed by (dest, origin).
+  // Store-and-forward: blocks keyed by (dest, origin). The store bookkeeping
+  // runs in timing-only mode too (it drives the schedule); only the byte
+  // copies in and out of it are skipped.
   std::map<RoutedBlock, std::vector<std::byte>> store;
   for (int d = 0; d < p; ++d) {
     std::vector<std::byte> data(n);
-    if (n > 0) std::memcpy(data.data(), cblock(send, n, d), n);
+    if (n > 0 && comm.payload_enabled()) {
+      std::memcpy(data.data(), cblock(send, n, d), n);
+    }
     store.emplace(RoutedBlock{d, rank}, std::move(data));
   }
   comm.copy(send.size(), send.size());
@@ -255,7 +279,9 @@ sim::RankTask alltoall_recursive_doubling(Comm comm,
     for (std::size_t i = 0; i < step.send_blocks.size(); ++i) {
       auto it = store.find(step.send_blocks[i]);
       if (it == store.end()) throw SimError("rd alltoall: missing block");
-      if (n > 0) std::memcpy(stage_out.data() + i * n, it->second.data(), n);
+      if (n > 0 && comm.payload_enabled()) {
+        std::memcpy(stage_out.data() + i * n, it->second.data(), n);
+      }
       store.erase(it);
     }
     comm.copy(stage_out.size(), send.size());
@@ -266,7 +292,9 @@ sim::RankTask alltoall_recursive_doubling(Comm comm,
 
     for (std::size_t i = 0; i < step.recv_blocks.size(); ++i) {
       std::vector<std::byte> data(n);
-      if (n > 0) std::memcpy(data.data(), stage_in.data() + i * n, n);
+      if (n > 0 && comm.payload_enabled()) {
+        std::memcpy(data.data(), stage_in.data() + i * n, n);
+      }
       store.emplace(step.recv_blocks[i], std::move(data));
     }
     comm.copy(stage_in.size(), send.size());
@@ -275,7 +303,9 @@ sim::RankTask alltoall_recursive_doubling(Comm comm,
   for (int o = 0; o < p; ++o) {
     auto it = store.find(RoutedBlock{rank, o});
     if (it == store.end()) throw SimError("rd alltoall: incomplete result");
-    if (n > 0) std::memcpy(mblock(recv, n, o), it->second.data(), n);
+    if (n > 0 && comm.payload_enabled()) {
+      std::memcpy(mblock(recv, n, o), it->second.data(), n);
+    }
   }
   comm.copy(recv.size(), recv.size());
 }
@@ -292,7 +322,9 @@ sim::RankTask alltoall_inplace(Comm comm, std::span<const std::byte> send,
   // rounds (k > p/2) would be clobbered by early ones — they are stashed up
   // front. Extra memory: half a buffer plus one bounce block, instead of a
   // full second buffer.
-  if (!send.empty()) std::memcpy(recv.data(), send.data(), send.size());
+  if (!send.empty() && comm.payload_enabled()) {
+    std::memcpy(recv.data(), send.data(), send.size());
+  }
   comm.copy(send.size(), send.size());
 
   std::vector<std::vector<std::byte>> stash(static_cast<std::size_t>(p));
@@ -300,7 +332,9 @@ sim::RankTask alltoall_inplace(Comm comm, std::span<const std::byte> send,
     const int block = (rank + k) % p;
     auto& slot = stash[static_cast<std::size_t>(k)];
     slot.resize(n);
-    if (n > 0) std::memcpy(slot.data(), cblock(recv, n, block), n);
+    if (n > 0 && comm.payload_enabled()) {
+      std::memcpy(slot.data(), cblock(recv, n, block), n);
+    }
     comm.copy(n, recv.size());
   }
 
@@ -311,7 +345,9 @@ sim::RankTask alltoall_inplace(Comm comm, std::span<const std::byte> send,
     const std::byte* source = k > p / 2
                                   ? stash[static_cast<std::size_t>(k)].data()
                                   : cblock(recv, n, send_to);
-    if (n > 0) std::memcpy(bounce.data(), source, n);
+    if (n > 0 && comm.payload_enabled()) {
+      std::memcpy(bounce.data(), source, n);
+    }
     comm.copy(n, n);
     co_await comm.sendrecv(
         send_to, bounce, recv_from,

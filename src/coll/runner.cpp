@@ -1,6 +1,8 @@
 #include "coll/runner.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "coll/alltoall.hpp"
 #include "coll/bcast.hpp"
 #include "common/error.hpp"
+#include "sim/comm.hpp"
 
 namespace pml::coll {
 
@@ -21,10 +24,6 @@ std::byte pattern(int origin, int block, std::size_t offset) {
                  static_cast<std::uint32_t>(offset) * 2246822519u;
   return static_cast<std::byte>(h >> 24);
 }
-
-}  // namespace
-
-namespace {
 
 /// Buffer sizes per collective: (send bytes, recv bytes) for a per-block
 /// payload of n bytes on p ranks.
@@ -43,11 +42,132 @@ std::pair<std::size_t, std::size_t> buffer_shape(Collective coll,
   throw SimError("unknown collective");
 }
 
+sim::RankTask dispatch(Collective coll, Algorithm algorithm, sim::Comm comm,
+                       std::span<const std::byte> send,
+                       std::span<std::byte> recv) {
+  switch (coll) {
+    case Collective::kAllgather:
+      return run_allgather(algorithm, comm, send, recv);
+    case Collective::kAlltoall:
+      return run_alltoall(algorithm, comm, send, recv);
+    case Collective::kAllreduce:
+      return run_allreduce(algorithm, comm, send, recv);
+    case Collective::kBcast:
+      return run_bcast(algorithm, comm, recv);
+  }
+  throw SimError("unknown collective");
+}
+
+/// Reusable per-thread simulation state for the timing-only fast path: one
+/// engine (reset between invocations, all capacities retained) plus flat
+/// send/recv arenas standing in for the per-rank payload buffers.
+struct TimingContext {
+  std::optional<sim::Engine> engine;
+  std::vector<std::byte> send_arena;
+  std::vector<std::byte> recv_arena;
+};
+
+TimingContext& timing_context() {
+  // Touch the coroutine frame pool before constructing the context: the
+  // pool must be destroyed after the engine (which owns coroutine frames
+  // until its destructor runs at thread exit).
+  sim::detail::warm_frame_pool();
+  thread_local TimingContext ctx;
+  return ctx;
+}
+
+/// Timing-only fast path: size-only pending operations, no payload
+/// allocation, pattern fill, data movement, or verification. Virtual time
+/// is bit-identical to the verified path.
+RunResult run_timing_only(const sim::ClusterSpec& cluster, sim::Topology topo,
+                          Algorithm algorithm, std::uint64_t block_bytes,
+                          const sim::SimOptions& opts) {
+  const int p = topo.world_size();
+  const auto n = static_cast<std::size_t>(block_bytes);
+  const Collective coll = collective_of(algorithm);
+  const auto shape = buffer_shape(coll, n, p);
+  const std::size_t send_bytes = shape.first;
+  const std::size_t recv_bytes = shape.second;
+
+  TimingContext& ctx = timing_context();
+  ctx.send_arena.resize(send_bytes * static_cast<std::size_t>(p));
+  ctx.recv_arena.resize(recv_bytes * static_cast<std::size_t>(p));
+  if (ctx.engine) {
+    ctx.engine->reset(cluster, topo, opts);
+  } else {
+    ctx.engine.emplace(cluster, topo, opts);
+  }
+  sim::Engine& engine = *ctx.engine;
+  engine.reserve(std::min<std::size_t>(
+      request_estimate(algorithm, p, block_bytes), std::size_t{1} << 20));
+
+  const auto factory = [&](int rank) {
+    sim::Comm comm(engine, rank);
+    const std::span<const std::byte> send(
+        ctx.send_arena.data() + static_cast<std::size_t>(rank) * send_bytes,
+        send_bytes);
+    const std::span<std::byte> recv(
+        ctx.recv_arena.data() + static_cast<std::size_t>(rank) * recv_bytes,
+        recv_bytes);
+    return dispatch(coll, algorithm, comm, send, recv);
+  };
+  engine.run(factory);
+
+  RunResult result;
+  result.seconds = engine.elapsed();
+  return result;
+}
+
 }  // namespace
+
+std::size_t request_estimate(Algorithm algorithm, int p,
+                             std::uint64_t block_bytes) {
+  const auto up = static_cast<std::size_t>(std::max(1, p));
+  const auto logp =
+      static_cast<std::size_t>(floor_log2(std::max(2, p)));
+  switch (algorithm) {
+    case Algorithm::kAgRecursiveDoubling:
+      return 2 * up * (logp + 2);  // doubling rounds + pre/post proxy steps
+    case Algorithm::kAgRing:
+      return 2 * up * up;  // p-1 sendrecv rounds per rank
+    case Algorithm::kAgBruck:
+      return 2 * up * (logp + 1);
+    case Algorithm::kAgRdComm:
+      return up * up;  // p/2 neighbour-exchange rounds per rank
+    case Algorithm::kAaScatterDest:
+    case Algorithm::kAaPairwise:
+    case Algorithm::kAaInplace:
+      return 2 * up * up;  // p-1 peer exchanges per rank
+    case Algorithm::kAaBruck:
+    case Algorithm::kAaRecursiveDoubling:
+      return 2 * up * (logp + 1);
+    case Algorithm::kArRecursiveDoubling:
+      return 2 * up * (logp + 1);
+    case Algorithm::kArRabenseifner:
+      return 4 * up * (logp + 1);  // reduce-scatter + allgather phases
+    case Algorithm::kArRing:
+      return 4 * up * up;  // two (p-1)-round ring phases
+    case Algorithm::kBcBinomial:
+      return 2 * up;
+    case Algorithm::kBcScatterAllgather:
+      return 2 * up * (logp + 1) + 2 * up * up;  // ring-allgather fallback
+    case Algorithm::kBcPipelinedRing: {
+      const std::size_t n = static_cast<std::size_t>(block_bytes);
+      const std::size_t seg = bcast_pipeline_segment(n);
+      const std::size_t segs = n == 0 ? 1 : (n + seg - 1) / seg;
+      return 2 * up * segs;
+    }
+  }
+  return 2 * up * (logp + 2);
+}
 
 RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
                          Algorithm algorithm, std::uint64_t block_bytes,
                          sim::SimOptions opts) {
+  if (!opts.copy_data) {
+    return run_timing_only(cluster, topo, algorithm, block_bytes, opts);
+  }
+
   const int p = topo.world_size();
   const auto n = static_cast<std::size_t>(block_bytes);
   const Collective coll = collective_of(algorithm);
@@ -73,26 +193,18 @@ RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
   }
 
   sim::Engine engine(cluster, topo, opts);
-  engine.run([&](int rank) {
+  engine.reserve(std::min<std::size_t>(
+      request_estimate(algorithm, p, block_bytes), std::size_t{1} << 20));
+  const auto factory = [&](int rank) {
     sim::Comm comm(engine, rank);
     auto& s = send[static_cast<std::size_t>(rank)];
     auto& d = recv[static_cast<std::size_t>(rank)];
-    switch (coll) {
-      case Collective::kAllgather:
-        return run_allgather(algorithm, comm, s, d);
-      case Collective::kAlltoall:
-        return run_alltoall(algorithm, comm, s, d);
-      case Collective::kAllreduce:
-        return run_allreduce(algorithm, comm, s, d);
-      case Collective::kBcast:
-        return run_bcast(algorithm, comm, d);
-    }
-    throw SimError("unknown collective");
-  });
+    return dispatch(coll, algorithm, comm, s, d);
+  };
+  engine.run(factory);
 
   RunResult result;
   result.seconds = engine.elapsed();
-  if (!opts.copy_data) return result;
 
   auto fail = [&](int rank, std::size_t offset) {
     throw SimError("payload mismatch: " + display_name(algorithm) + " rank " +

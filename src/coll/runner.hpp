@@ -14,16 +14,31 @@ struct RunResult {
   bool verified = false; ///< payload checked bit-for-bit on every rank
 };
 
-/// Execute `algorithm` on the event engine with `block_bytes` per block,
-/// verifying the delivered payloads against the MPI-specified result.
-/// Buffers are filled with a (origin, block, offset)-dependent pattern and
-/// checked on every rank; `verified` is false only if `opts.copy_data` was
-/// disabled (timing-only mode).
+/// Execute `algorithm` on the event engine with `block_bytes` per block.
+///
+/// With `opts.copy_data` (the default) buffers are filled with an
+/// (origin, block, offset)-dependent pattern, real bytes move through the
+/// simulation, and the delivered payloads are verified against the
+/// MPI-specified result on every rank.
+///
+/// With `opts.copy_data == false` the timing-only fast path runs instead:
+/// no pattern fill, no payload movement, no verification, and a per-thread
+/// engine + buffer arena are reused across invocations, so a steady-state
+/// call performs zero heap allocations (measured by bench/sweep_hotpath).
+/// `seconds` is bit-identical to the verified path — every payload
+/// operation charges its simulated time whether or not bytes move.
 ///
 /// Throws pml::SimError on schedule deadlock, unsupported world size, or a
 /// payload mismatch (an incorrect algorithm is a bug, not a data point).
 RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
                          Algorithm algorithm, std::uint64_t block_bytes,
                          sim::SimOptions opts = {});
+
+/// Upper-bound estimate of the requests (isend/irecv posts) `algorithm`
+/// issues across all ranks for a per-block payload of `block_bytes` on `p`
+/// ranks. Used to pre-size engine storage; exact for the regular schedules,
+/// conservative for the irregular ones.
+std::size_t request_estimate(Algorithm algorithm, int p,
+                             std::uint64_t block_bytes);
 
 }  // namespace pml::coll

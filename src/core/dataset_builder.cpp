@@ -5,70 +5,120 @@
 
 #include "coll/cost.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "sim/network.hpp"
 
 namespace pml::core {
 
-std::vector<TuningRecord> build_cluster_records(const sim::ClusterSpec& cluster,
-                                                coll::Collective collective,
-                                                const BuildOptions& options) {
-  if (options.iterations < 1) throw TuningError("iterations must be >= 1");
-  std::vector<TuningRecord> records;
-  // Deterministic per (cluster, collective) noise stream.
-  std::uint64_t seed_material = options.seed;
-  for (const char ch : cluster.name) {
-    seed_material = seed_material * 31 + static_cast<unsigned char>(ch);
-  }
-  seed_material = seed_material * 31 + static_cast<unsigned>(collective);
-  Rng rng(splitmix64(seed_material));
+std::uint64_t cell_seed(std::uint64_t seed, std::string_view cluster,
+                        coll::Collective collective, int nodes, int ppn,
+                        std::uint64_t msg_bytes) {
+  // Sponge construction: fold each component into the state, then replace
+  // the state with the splitmix64 mix of it. Folding the *output* back (not
+  // just advancing the counter) makes absorption positional — swapping two
+  // components yields a different seed, unlike additive chaining.
+  std::uint64_t state = seed;
+  const auto absorb = [&state](std::uint64_t value) {
+    state ^= value;
+    state = splitmix64(state);
+  };
+  for (const char ch : cluster) absorb(static_cast<unsigned char>(ch));
+  absorb(static_cast<std::uint64_t>(collective));
+  absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(nodes)));
+  absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ppn)));
+  absorb(msg_bytes);
+  return splitmix64(state);
+}
 
-  const auto& algorithms = coll::algorithms_for(collective);
+namespace {
+
+/// One (cluster, nodes, ppn, msg) point of the Table-I sweep grid.
+struct GridCell {
+  const sim::ClusterSpec* cluster = nullptr;
+  int nodes = 0;
+  int ppn = 0;
+  std::uint64_t msg = 0;
+};
+
+/// Append a cluster's sweep cells in the canonical (nodes, ppn, msg) order.
+/// Record order always mirrors this enumeration, at any thread count.
+void enumerate_cells(const sim::ClusterSpec& cluster,
+                     std::vector<GridCell>& cells) {
   for (const int nodes : cluster.node_counts) {
     for (const int ppn : cluster.ppn_values) {
       if (ppn > cluster.hw.threads) continue;
-      const sim::Topology topo{nodes, ppn};
-      const sim::NetworkModel model(cluster, topo);
       for (const std::uint64_t msg : cluster.message_sizes) {
-        TuningRecord rec;
-        rec.cluster = cluster.name;
-        rec.nodes = nodes;
-        rec.ppn = ppn;
-        rec.msg_bytes = msg;
-        rec.collective = collective;
-        rec.features = extract_features(cluster, nodes, ppn, msg);
-        rec.times.assign(algorithms.size(),
-                         std::numeric_limits<double>::infinity());
-        for (std::size_t a = 0; a < algorithms.size(); ++a) {
-          if (!coll::algorithm_supports(algorithms[a], topo.world_size())) {
-            continue;
-          }
-          rec.times[a] = coll::measured_cost(model, algorithms[a], msg,
-                                             options.iterations, rng,
-                                             options.noise_sigma);
-        }
-        const auto best = std::min_element(rec.times.begin(), rec.times.end());
-        if (!std::isfinite(*best)) {
-          throw TuningError("no valid algorithm at world size " +
-                            std::to_string(topo.world_size()));
-        }
-        rec.label = static_cast<int>(best - rec.times.begin());
-        records.push_back(std::move(rec));
+        cells.push_back(GridCell{&cluster, nodes, ppn, msg});
       }
     }
   }
+}
+
+/// Benchmark one cell: every valid algorithm, averaged noisy iterations,
+/// labelled with the argmin. Self-contained (fresh NetworkModel, per-cell
+/// RNG), so cells can run concurrently in any order.
+TuningRecord build_cell(const GridCell& cell, coll::Collective collective,
+                        const BuildOptions& options) {
+  const sim::ClusterSpec& cluster = *cell.cluster;
+  const sim::Topology topo{cell.nodes, cell.ppn};
+  const sim::NetworkModel model(cluster, topo);
+  Rng rng(cell_seed(options.seed, cluster.name, collective, cell.nodes,
+                    cell.ppn, cell.msg));
+
+  const auto& algorithms = coll::algorithms_for(collective);
+  TuningRecord rec;
+  rec.cluster = cluster.name;
+  rec.nodes = cell.nodes;
+  rec.ppn = cell.ppn;
+  rec.msg_bytes = cell.msg;
+  rec.collective = collective;
+  rec.features = extract_features(cluster, cell.nodes, cell.ppn, cell.msg);
+  rec.times.assign(algorithms.size(), std::numeric_limits<double>::infinity());
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    if (!coll::algorithm_supports(algorithms[a], topo.world_size())) continue;
+    rec.times[a] = coll::measured_cost(model, algorithms[a], cell.msg,
+                                       options.iterations, rng,
+                                       options.noise_sigma);
+  }
+  const auto best = std::min_element(rec.times.begin(), rec.times.end());
+  if (!std::isfinite(*best)) {
+    throw TuningError("no valid algorithm at world size " +
+                      std::to_string(topo.world_size()));
+  }
+  rec.label = static_cast<int>(best - rec.times.begin());
+  return rec;
+}
+
+std::vector<TuningRecord> build_cells(std::span<const sim::ClusterSpec> clusters,
+                                      coll::Collective collective,
+                                      const BuildOptions& options) {
+  if (options.iterations < 1) throw TuningError("iterations must be >= 1");
+  std::vector<GridCell> cells;
+  for (const sim::ClusterSpec& cluster : clusters) {
+    enumerate_cells(cluster, cells);
+  }
+  // Pre-sized output slots + per-cell RNG streams: the pool only distributes
+  // independent indices, so any thread count is bit-identical to serial.
+  std::vector<TuningRecord> records(cells.size());
+  parallel_for(options.threads, cells.size(), [&](std::size_t i) {
+    records[i] = build_cell(cells[i], collective, options);
+  });
   return records;
+}
+
+}  // namespace
+
+std::vector<TuningRecord> build_cluster_records(const sim::ClusterSpec& cluster,
+                                                coll::Collective collective,
+                                                const BuildOptions& options) {
+  return build_cells({&cluster, 1}, collective, options);
 }
 
 std::vector<TuningRecord> build_records(
     std::span<const sim::ClusterSpec> clusters, coll::Collective collective,
     const BuildOptions& options) {
-  std::vector<TuningRecord> all;
-  for (const sim::ClusterSpec& cluster : clusters) {
-    auto recs = build_cluster_records(cluster, collective, options);
-    all.insert(all.end(), std::make_move_iterator(recs.begin()),
-               std::make_move_iterator(recs.end()));
-  }
-  return all;
+  return build_cells(clusters, collective, options);
 }
 
 ml::Dataset to_ml_dataset(std::span<const TuningRecord> records,

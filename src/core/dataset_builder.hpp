@@ -5,11 +5,16 @@
 // exactly as the paper averages repeated runs) and labels the point with
 // the fastest one. The result is the ~9000-record-per-collective dataset
 // the paper trains on.
+//
+// The sweep is embarrassingly parallel: every grid cell derives its own
+// noise stream from cell_seed(), so records are bit-identical at any thread
+// count and independent of iteration order.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "coll/collective.hpp"
@@ -37,7 +42,18 @@ struct BuildOptions {
   int iterations = 5;          ///< averaged per measurement (noise suppression)
   double noise_sigma = 0.015;  ///< dynamic network effects (paper §III)
   std::uint64_t seed = 2024;
+  /// Sweep concurrency: 1 = serial, <= 0 = all hardware threads. Records are
+  /// bit-identical at any setting (per-cell RNG split, see cell_seed()).
+  int threads = 1;
 };
+
+/// Deterministic per-cell noise-stream seed: a splitmix64 sponge over
+/// (seed, cluster, collective, nodes, ppn, msg). Each grid cell of the sweep
+/// draws its measurement jitter from an Rng seeded with this value, which
+/// makes the dataset independent of cell iteration order and thread count.
+std::uint64_t cell_seed(std::uint64_t seed, std::string_view cluster,
+                        coll::Collective collective, int nodes, int ppn,
+                        std::uint64_t msg_bytes);
 
 /// Benchmark one cluster's full Table-I sweep for one collective.
 std::vector<TuningRecord> build_cluster_records(const sim::ClusterSpec& cluster,

@@ -69,10 +69,14 @@ PmlFramework::PerCollective train_part(std::span<const TuningRecord> records,
   return part;
 }
 
-/// Propagate the framework-level threads knob down to the forest fits.
+/// Propagate the framework-level threads knob down to the forest fits and
+/// the dataset sweep. Nested parallel_for calls fall back to serial, so the
+/// knob is safe to forward into every layer unconditionally: whichever layer
+/// reaches the pool first wins, the rest run inline.
 TrainOptions with_forest_threads(const TrainOptions& options) {
   TrainOptions local = options;
   local.forest.threads = options.threads;
+  local.build.threads = options.threads;
   return local;
 }
 
@@ -91,7 +95,7 @@ PmlFramework PmlFramework::train(std::span<const sim::ClusterSpec> clusters,
   std::vector<PerCollective> parts(options.collectives.size());
   parallel_for(options.threads, parts.size(), [&](std::size_t i) {
     const Collective collective = options.collectives[i];
-    const auto records = build_records(clusters, collective, options.build);
+    const auto records = build_records(clusters, collective, local.build);
     parts[i] = train_part(records, collective, local, std::move(seeds[i]));
   });
   for (std::size_t i = 0; i < parts.size(); ++i) {

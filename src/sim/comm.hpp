@@ -21,22 +21,53 @@
 
 namespace pml::sim {
 
+/// Small set of request ids with inline storage. wait/send/recv/sendrecv
+/// cover the hot round-based schedules with 1–2 requests; keeping those
+/// inline makes a steady-state co_await allocation-free. Larger sets (a
+/// wait_all over a whole schedule) spill to a heap vector.
+class RequestSet {
+ public:
+  RequestSet() = default;
+  explicit RequestSet(RequestId id) { inline_[count_++] = id; }
+  explicit RequestSet(std::vector<RequestId> ids) : heap_(std::move(ids)) {}
+
+  void push_back(RequestId id) {
+    if (heap_.empty() && count_ < kInline) {
+      inline_[count_++] = id;
+      return;
+    }
+    if (heap_.empty()) heap_.assign(inline_, inline_ + count_);
+    heap_.push_back(id);
+  }
+
+  std::span<const RequestId> view() const noexcept {
+    return heap_.empty() ? std::span<const RequestId>(inline_, count_)
+                         : std::span<const RequestId>(heap_);
+  }
+
+ private:
+  static constexpr std::size_t kInline = 4;
+  RequestId inline_[kInline] = {};
+  std::size_t count_ = 0;
+  std::vector<RequestId> heap_;
+};
+
 /// Awaitable completion of a set of nonblocking requests.
 class [[nodiscard]] WaitAwaitable {
  public:
-  WaitAwaitable(Engine& engine, int rank, std::vector<RequestId> reqs)
+  WaitAwaitable(Engine& engine, int rank, RequestSet reqs)
       : engine_(&engine), rank_(rank), reqs_(std::move(reqs)) {}
 
-  bool await_ready() const { return engine_->all_done(reqs_); }
+  bool await_ready() const { return engine_->all_done(reqs_.view()); }
   void await_suspend(std::coroutine_handle<> h) {
-    engine_->suspend_wait(rank_, reqs_, h);
+    engine_->suspend_wait(rank_, reqs_.view(), h);
   }
-  void await_resume() { engine_->complete_wait(rank_, reqs_); }
+  void await_resume() { engine_->complete_wait(rank_, reqs_.view()); }
 
  private:
   Engine* engine_;
   int rank_;
-  std::vector<RequestId> reqs_;
+  RequestSet reqs_;
 };
 
 /// Lightweight per-rank view of the engine (copyable; references the engine).
@@ -53,6 +84,11 @@ class Comm {
   Engine& engine() const noexcept { return *engine_; }
   double now() const { return engine_->now(rank_); }
 
+  /// False in timing-only mode (SimOptions::copy_data == false): collective
+  /// implementations skip their local payload movement (the time for it is
+  /// charged either way), and buffers are never read or written.
+  bool payload_enabled() const noexcept { return engine_->options().copy_data; }
+
   /// Nonblocking post; pair with wait()/wait_all().
   RequestId isend(int dst, std::span<const std::byte> data, int tag = 0) {
     return engine_->post_send(rank_, dst, data, tag);
@@ -62,10 +98,10 @@ class Comm {
   }
 
   WaitAwaitable wait(RequestId req) {
-    return WaitAwaitable(*engine_, rank_, {req});
+    return WaitAwaitable(*engine_, rank_, RequestSet(req));
   }
   WaitAwaitable wait_all(std::vector<RequestId> reqs) {
-    return WaitAwaitable(*engine_, rank_, std::move(reqs));
+    return WaitAwaitable(*engine_, rank_, RequestSet(std::move(reqs)));
   }
 
   /// Blocking send/recv: co_await comm.send(...).
@@ -80,11 +116,15 @@ class Comm {
   WaitAwaitable sendrecv(int dst, std::span<const std::byte> send_data,
                          int src, std::span<std::byte> recv_data,
                          int tag = 0) {
-    std::vector<RequestId> reqs;
-    reqs.reserve(2);
-    reqs.push_back(isend(dst, send_data, tag));
+    RequestSet reqs(isend(dst, send_data, tag));
     reqs.push_back(irecv(src, recv_data, tag));
-    return wait_all(std::move(reqs));
+    return WaitAwaitable(*engine_, rank_, std::move(reqs));
+  }
+
+  /// Per-rank reusable staging buffer (see Engine::scratch); steady-state
+  /// use across engine reset() cycles is allocation-free.
+  std::span<std::byte> scratch(std::size_t bytes, std::size_t slot = 0) {
+    return engine_->scratch(rank_, slot, bytes);
   }
 
   /// Charge local computation time to this rank.

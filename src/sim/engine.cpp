@@ -2,9 +2,80 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
 #include <string>
+#include <utility>
 
 namespace pml::sim {
+
+// ---- coroutine frame pool ---------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+/// Size-bucketed free lists of coroutine frames. A rank program has a small
+/// number of distinct frame sizes, so a linear bucket scan is cheap. Each
+/// block stores its size in a max_align_t-sized header.
+struct FramePool {
+  struct Bucket {
+    std::size_t size = 0;
+    std::vector<void*> free;
+  };
+  std::vector<Bucket> buckets;
+
+  ~FramePool() {
+    for (Bucket& bucket : buckets) {
+      for (void* block : bucket.free) ::operator delete(block);
+    }
+  }
+};
+
+constexpr std::size_t kFrameHeader = alignof(std::max_align_t);
+
+FramePool& frame_pool() {
+  thread_local FramePool pool;
+  return pool;
+}
+
+}  // namespace
+
+void warm_frame_pool() { frame_pool(); }
+
+void* frame_alloc(std::size_t size) {
+  FramePool& pool = frame_pool();
+  for (FramePool::Bucket& bucket : pool.buckets) {
+    if (bucket.size == size && !bucket.free.empty()) {
+      void* block = bucket.free.back();
+      bucket.free.pop_back();
+      return static_cast<std::byte*>(block) + kFrameHeader;
+    }
+  }
+  void* block = ::operator new(size + kFrameHeader);
+  *static_cast<std::size_t*>(block) = size;
+  return static_cast<std::byte*>(block) + kFrameHeader;
+}
+
+void frame_free(void* p) noexcept {
+  void* block = static_cast<std::byte*>(p) - kFrameHeader;
+  const std::size_t size = *static_cast<std::size_t*>(block);
+  FramePool& pool = frame_pool();
+  try {
+    for (FramePool::Bucket& bucket : pool.buckets) {
+      if (bucket.size == size) {
+        bucket.free.push_back(block);
+        return;
+      }
+    }
+    pool.buckets.push_back(FramePool::Bucket{size, {block}});
+  } catch (...) {
+    ::operator delete(block);  // caching is best-effort; freeing never fails
+  }
+}
+
+}  // namespace detail
+
+// ---- engine -----------------------------------------------------------------
 
 Engine::Engine(const ClusterSpec& cluster, Topology topo, SimOptions opts)
     : cluster_(cluster),
@@ -14,7 +85,87 @@ Engine::Engine(const ClusterSpec& cluster, Topology topo, SimOptions opts)
       rng_(opts.seed),
       now_(static_cast<std::size_t>(topo.world_size()), 0.0),
       nic_tx_free_(static_cast<std::size_t>(topo.nodes), 0.0),
-      nic_rx_free_(static_cast<std::size_t>(topo.nodes), 0.0) {}
+      nic_rx_free_(static_cast<std::size_t>(topo.nodes), 0.0) {
+  // Pin the thread-local coroutine frame pool so it is constructed before —
+  // and therefore destroyed after — any thread-storage-duration object that
+  // holds this Engine (and through it, live coroutine frames).
+  detail::warm_frame_pool();
+}
+
+void Engine::reset(const ClusterSpec& cluster, Topology topo, SimOptions opts) {
+  // Assignments reuse existing string/vector capacity; steady-state resets
+  // with same-shaped inputs perform no heap allocations.
+  cluster_ = cluster;
+  topo_ = topo;
+  model_ = NetworkModel(cluster, topo);
+  opts_ = opts;
+  rng_ = Rng(opts.seed);
+  now_.assign(static_cast<std::size_t>(topo.world_size()), 0.0);
+  nic_tx_free_.assign(static_cast<std::size_t>(topo.nodes), 0.0);
+  nic_rx_free_.assign(static_cast<std::size_t>(topo.nodes), 0.0);
+
+  requests_.clear();
+  waits_.clear();
+  std::fill(channels_.begin(), channels_.end(), Channel{});
+  channel_count_ = 0;
+  // Re-thread the whole pool onto the free list; nodes keep their buffered
+  // capacity for the next invocation's eager sends.
+  pool_free_ = pool_.empty() ? -1 : 0;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    pool_[i].next =
+        i + 1 < pool_.size() ? static_cast<std::int32_t>(i + 1) : -1;
+    pool_[i].buffered.clear();
+  }
+  events_.clear();
+  next_seq_ = 0;
+  completed_ranks_ = 0;
+  tasks_.clear();
+  ran_ = false;
+}
+
+void Engine::reserve(std::size_t expected_requests) {
+  requests_.reserve(expected_requests);
+  // Each wait covers >= 1 request; each resume is one event (plus the p
+  // kick-off events).
+  waits_.reserve(expected_requests / 2 + 1);
+  events_.reserve(expected_requests / 2 +
+                  static_cast<std::size_t>(topo_.world_size()) + 1);
+}
+
+std::span<std::byte> Engine::scratch(int rank, std::size_t slot,
+                                     std::size_t bytes) {
+  check_rank(rank);
+  if (slot >= 2) throw SimError("scratch slot out of range [0, 2)");
+  const std::size_t idx = static_cast<std::size_t>(rank) * 2 + slot;
+  if (idx >= scratch_.size()) {
+    scratch_.resize(static_cast<std::size_t>(topo_.world_size()) * 2);
+  }
+  auto& buf = scratch_[idx];
+  if (buf.size() < bytes) buf.resize(bytes);
+  return {buf.data(), bytes};
+}
+
+std::uint64_t Engine::channel_key(int src, int dst, int tag) {
+  if (tag < 0 || tag > kMaxTag) {
+    throw SimError("message tag " + std::to_string(tag) +
+                   " out of channel-key range [0, " +
+                   std::to_string(kMaxTag + 1) + ")");
+  }
+  if (src < 0 || src > kMaxChannelRank || dst < 0 || dst > kMaxChannelRank) {
+    throw SimError("rank out of channel-key range [0, 2^24): src " +
+                   std::to_string(src) + ", dst " + std::to_string(dst));
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 16) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+  if (key == kEmptyKey) {
+    // Only reachable at the 16M-rank/65535-tag corner; reserved as the
+    // open-addressed table's empty-slot sentinel.
+    throw SimError("channel key reserved for internal use");
+  }
+  return key;
+}
 
 void Engine::check_rank(int rank) const {
   if (rank < 0 || rank >= topo_.world_size()) {
@@ -23,9 +174,67 @@ void Engine::check_rank(int rank) const {
   }
 }
 
+std::size_t Engine::probe(std::uint64_t key) const noexcept {
+  const std::size_t mask = channels_.size() - 1;
+  // splitmix64-style finalizer scatters the structured key bits.
+  std::uint64_t h = key;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (channels_[i].key != kEmptyKey && channels_[i].key != key) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void Engine::grow_channels(std::size_t capacity) {
+  std::vector<Channel> old = std::move(channels_);
+  channels_.assign(capacity, Channel{});
+  channel_count_ = 0;
+  for (const Channel& channel : old) {
+    if (channel.key == kEmptyKey) continue;
+    channels_[probe(channel.key)] = channel;
+    ++channel_count_;
+  }
+}
+
+Engine::Channel& Engine::channel_for(std::uint64_t key) {
+  // Grow at 3/4 load to keep probe sequences short.
+  if ((channel_count_ + 1) * 4 > channels_.size() * 3) {
+    grow_channels(std::max<std::size_t>(64, channels_.size() * 2));
+  }
+  Channel& channel = channels_[probe(key)];
+  if (channel.key == kEmptyKey) {
+    channel.key = key;
+    ++channel_count_;
+  }
+  return channel;
+}
+
+std::int32_t Engine::acquire_node() {
+  if (pool_free_ >= 0) {
+    const std::int32_t index = pool_free_;
+    pool_free_ = pool_[static_cast<std::size_t>(index)].next;
+    return index;
+  }
+  pool_.emplace_back();
+  return static_cast<std::int32_t>(pool_.size() - 1);
+}
+
+void Engine::release_node(std::int32_t index) noexcept {
+  PendingOp& op = pool_[static_cast<std::size_t>(index)];
+  op.send_data = nullptr;
+  op.recv_data = nullptr;
+  op.buffered.clear();  // keep capacity for reuse
+  op.next = pool_free_;
+  pool_free_ = index;
+}
+
 void Engine::schedule(double time, int rank, double clock,
                       std::coroutine_handle<> h) {
-  events_.push(Event{time, next_seq_++, h, rank, clock});
+  events_.push_back(Event{time, next_seq_++, h, rank, clock});
+  std::push_heap(events_.begin(), events_.end(), std::greater<Event>{});
 }
 
 RequestId Engine::post_send(int rank, int dst, std::span<const std::byte> data,
@@ -36,22 +245,36 @@ RequestId Engine::post_send(int rank, int dst, std::span<const std::byte> data,
   clock += model_.per_message_overhead();
 
   const auto id = static_cast<RequestId>(requests_.size());
-  requests_.push_back(Request{rank, false, 0.0, nullptr});
+  requests_.push_back(Request{rank, false, 0.0, -1});
 
   const std::uint64_t key = channel_key(rank, dst, tag);
-  PendingOp op{id, clock, data.data(), nullptr, data.size(), {}};
+  const std::int32_t node = acquire_node();
+  PendingOp& op = pool_[static_cast<std::size_t>(node)];
+  op.req = id;
+  op.post_time = clock;
+  op.send_data = data.data();
+  op.recv_data = nullptr;
+  op.bytes = data.size();
+  op.next = -1;
   if (data.size() <= opts_.eager_threshold) {
     // Eager protocol: the payload is copied to a bounce buffer and the send
     // completes immediately; the sender may reuse its buffer right away.
-    // The matched transfer below still sets the receive timing.
+    // The matched transfer below still sets the receive timing. Timing-only
+    // mode skips the copy: the bounce time is charged regardless.
     if (opts_.copy_data && !data.empty()) {
       op.buffered.assign(data.begin(), data.end());
       op.send_data = op.buffered.data();
     }
     request_finished(id, clock + model_.memcpy_time(data.size(), data.size()));
   }
-  pending_sends_[key].push_back(std::move(op));
-  try_match(key, rank, dst);
+  Channel& channel = channel_for(key);
+  if (channel.send_tail >= 0) {
+    pool_[static_cast<std::size_t>(channel.send_tail)].next = node;
+  } else {
+    channel.send_head = node;
+  }
+  channel.send_tail = node;
+  try_match(channel, rank, dst);
   return id;
 }
 
@@ -63,25 +286,42 @@ RequestId Engine::post_recv(int rank, int src, std::span<std::byte> data,
   clock += model_.per_message_overhead();
 
   const auto id = static_cast<RequestId>(requests_.size());
-  requests_.push_back(Request{rank, false, 0.0, nullptr});
+  requests_.push_back(Request{rank, false, 0.0, -1});
 
   const std::uint64_t key = channel_key(src, rank, tag);
-  pending_recvs_[key].push_back(
-      PendingOp{id, clock, nullptr, data.data(), data.size(), {}});
-  try_match(key, src, rank);
+  const std::int32_t node = acquire_node();
+  PendingOp& op = pool_[static_cast<std::size_t>(node)];
+  op.req = id;
+  op.post_time = clock;
+  op.send_data = nullptr;
+  op.recv_data = data.data();
+  op.bytes = data.size();
+  op.next = -1;
+  Channel& channel = channel_for(key);
+  if (channel.recv_tail >= 0) {
+    pool_[static_cast<std::size_t>(channel.recv_tail)].next = node;
+  } else {
+    channel.recv_head = node;
+  }
+  channel.recv_tail = node;
+  try_match(channel, src, rank);
   return id;
 }
 
-void Engine::try_match(std::uint64_t key, int src, int dst) {
-  auto sit = pending_sends_.find(key);
-  auto rit = pending_recvs_.find(key);
-  while (sit != pending_sends_.end() && rit != pending_recvs_.end() &&
-         !sit->second.empty() && !rit->second.empty()) {
-    const PendingOp send = std::move(sit->second.front());
-    const PendingOp recv = std::move(rit->second.front());
-    sit->second.pop_front();
-    rit->second.pop_front();
-    complete_transfer(src, dst, send, recv);
+void Engine::try_match(Channel& channel, int src, int dst) {
+  while (channel.send_head >= 0 && channel.recv_head >= 0) {
+    const std::int32_t send = channel.send_head;
+    const std::int32_t recv = channel.recv_head;
+    channel.send_head = pool_[static_cast<std::size_t>(send)].next;
+    if (channel.send_head < 0) channel.send_tail = -1;
+    channel.recv_head = pool_[static_cast<std::size_t>(recv)].next;
+    if (channel.recv_head < 0) channel.recv_tail = -1;
+    // complete_transfer posts no new operations, so the pool is stable for
+    // the duration of these references.
+    complete_transfer(src, dst, pool_[static_cast<std::size_t>(send)],
+                      pool_[static_cast<std::size_t>(recv)]);
+    release_node(send);
+    release_node(recv);
   }
 }
 
@@ -132,10 +372,11 @@ void Engine::request_finished(RequestId id, double finish) {
   Request& req = requests_[id];
   req.done = true;
   req.finish = finish;
-  if (WaitState* w = req.waiter) {
-    w->ready = std::max(w->ready, finish);
-    if (--w->remaining == 0) {
-      schedule(w->ready, w->rank, w->ready, w->handle);
+  if (req.waiter >= 0) {
+    WaitState& w = waits_[static_cast<std::size_t>(req.waiter)];
+    w.ready = std::max(w.ready, finish);
+    if (--w.remaining == 0) {
+      schedule(w.ready, w.rank, w.ready, w.handle);
     }
   }
 }
@@ -154,17 +395,19 @@ void Engine::complete_wait(int rank, std::span<const RequestId> reqs) {
 
 void Engine::suspend_wait(int rank, std::span<const RequestId> reqs,
                           std::coroutine_handle<> h) {
-  waits_.push_back(WaitState{0, now_[static_cast<std::size_t>(rank)], rank, h});
+  const auto index = static_cast<std::int32_t>(waits_.size());
+  waits_.push_back(
+      WaitState{0, now_[static_cast<std::size_t>(rank)], rank, h});
   WaitState& w = waits_.back();
   for (const RequestId id : reqs) {
     Request& req = requests_[id];
     if (req.done) {
       w.ready = std::max(w.ready, req.finish);
     } else {
-      if (req.waiter != nullptr) {
+      if (req.waiter != -1) {
         throw SimError("request waited on twice");
       }
-      req.waiter = &w;
+      req.waiter = index;
       ++w.remaining;
     }
   }
@@ -188,8 +431,11 @@ void Engine::local_copy(int rank, std::uint64_t bytes,
       model_.memcpy_time(bytes, working_set);
 }
 
-void Engine::run(const std::function<RankTask(int)>& factory) {
-  if (ran_) throw SimError("Engine::run called twice; construct a new Engine");
+void Engine::run(RankFactoryRef factory) {
+  if (ran_) {
+    throw SimError(
+        "Engine::run called twice; reset() or construct a new Engine");
+  }
   ran_ = true;
 
   const int p = topo_.world_size();
@@ -200,8 +446,9 @@ void Engine::run(const std::function<RankTask(int)>& factory) {
   }
 
   while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
+    std::pop_heap(events_.begin(), events_.end(), std::greater<Event>{});
+    const Event ev = events_.back();
+    events_.pop_back();
     auto& clock = now_[static_cast<std::size_t>(ev.rank)];
     clock = std::max(clock, ev.clock);
     ev.handle.resume();

@@ -17,17 +17,22 @@
 //    bandwidth,
 //  - each transfer duration is multiplied by deterministic log-normal
 //    jitter (sigma configurable; 0 disables noise).
+//
+// Hot-loop storage is allocation-free in steady state: pending operations
+// live in a free-listed node pool indexed by a flat open-addressed channel
+// table, events in a binary heap over a reusable vector, wait states in an
+// index-linked vector, and coroutine frames in a per-thread size-bucketed
+// pool. reset() rewinds an Engine for the next invocation while keeping
+// every capacity, so sweep/benchmark loops reuse instead of reallocating.
 #pragma once
 
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <exception>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <span>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -37,6 +42,19 @@
 namespace pml::sim {
 
 class Engine;
+
+namespace detail {
+
+/// Thread-local size-bucketed pool for coroutine frames. Frames churn once
+/// per rank per invocation; recycling them keeps the engine hot loop free of
+/// heap traffic. Engine's constructor touches the pool so that it outlives
+/// any thread-storage-duration object holding an Engine (thread_local
+/// function-statics are destroyed in reverse construction order).
+void* frame_alloc(std::size_t size);
+void frame_free(void* p) noexcept;
+void warm_frame_pool();
+
+}  // namespace detail
 
 /// Coroutine type returned by every rank program.
 class [[nodiscard]] RankTask {
@@ -49,6 +67,11 @@ class [[nodiscard]] RankTask {
     std::suspend_always final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
     void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+    static void* operator new(std::size_t size) {
+      return detail::frame_alloc(size);
+    }
+    static void operator delete(void* p) noexcept { detail::frame_free(p); }
 
     std::exception_ptr exception;
   };
@@ -87,33 +110,85 @@ using RequestId = std::uint32_t;
 struct SimOptions {
   double noise_sigma = 0.0;   ///< log-normal jitter shape; 0 = deterministic
   std::uint64_t seed = 1;     ///< jitter stream seed
-  bool copy_data = true;      ///< move real payload bytes on delivery
+  /// Move real payload bytes on delivery. false selects the timing-only
+  /// fast path: pending operations carry sizes only, the eager bounce-buffer
+  /// copy is skipped, and collective implementations skip their local
+  /// payload shuffling — the virtual-time result is bit-identical either
+  /// way, because every data movement charges its time unconditionally.
+  bool copy_data = true;
   /// Sends at or below this size complete eagerly at post time (the
   /// payload is buffered), as in real MPI eager/rendezvous protocols;
   /// larger sends complete when the NIC drains them.
   std::uint64_t eager_threshold = 16 * 1024;
 };
 
-/// Discrete-event engine. Construct, call run() with a program factory,
-/// then read elapsed times. One Engine simulates one collective/application
-/// invocation; construct a fresh Engine per invocation.
+/// Non-owning reference to a callable `RankTask(int rank)` factory. Avoids
+/// materialising a std::function (and its possible heap allocation) per
+/// run() call; the referenced callable must outlive the run() invocation.
+class RankFactoryRef {
+ public:
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, RankFactoryRef>)
+  RankFactoryRef(const F& f)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* object, int rank) {
+          return (*static_cast<const F*>(object))(rank);
+        }) {}
+
+  RankTask operator()(int rank) const { return call_(object_, rank); }
+
+ private:
+  void* object_;
+  RankTask (*call_)(void*, int);
+};
+
+/// Discrete-event engine. Construct (or reset()) per collective/application
+/// invocation, call run() with a program factory, then read elapsed times.
 class Engine {
  public:
   Engine(const ClusterSpec& cluster, Topology topo, SimOptions opts = {});
 
+  /// Rewind for the next invocation: same semantics as constructing a fresh
+  /// Engine(cluster, topo, opts), but every internal buffer keeps its
+  /// capacity. Steady-state reuse performs no heap allocations.
+  void reset(const ClusterSpec& cluster, Topology topo, SimOptions opts = {});
+
+  /// Capacity hint from the caller's known message count: pre-sizes request,
+  /// wait, and event storage so the first run() grows no vectors.
+  void reserve(std::size_t expected_requests);
+
   int world_size() const noexcept { return topo_.world_size(); }
   const Topology& topology() const noexcept { return topo_; }
   const NetworkModel& model() const noexcept { return model_; }
+  const SimOptions& options() const noexcept { return opts_; }
 
   /// Run `factory(rank)` as rank programs for all ranks to completion.
   /// Throws SimError on deadlock; rethrows the first rank exception.
-  void run(const std::function<RankTask(int)>& factory);
+  void run(RankFactoryRef factory);
 
   /// Latest rank clock after run(): the collective completion time (s).
   double elapsed() const;
 
   /// Per-rank completion times.
   const std::vector<double>& rank_clocks() const noexcept { return now_; }
+
+  /// Requests posted by the last run() (one per isend/irecv).
+  std::size_t posted_requests() const noexcept { return requests_.size(); }
+
+  /// Per-rank reusable staging buffer for collective schedules (two slots
+  /// per rank). Capacity persists across reset(), so a steady-state
+  /// schedule that stages through scratch performs no heap allocations.
+  /// Contents are unspecified on entry.
+  std::span<std::byte> scratch(int rank, std::size_t slot, std::size_t bytes);
+
+  // --- Introspection for tests/benchmarks (capacity regression guards) ---
+
+  /// Slots in the open-addressed channel table (power of two, high-water).
+  std::size_t channel_table_slots() const noexcept { return channels_.size(); }
+  /// Distinct (src, dst, tag) channels touched since the last reset.
+  std::size_t channels_in_use() const noexcept { return channel_count_; }
+  /// Pending-op nodes ever created (high-water; drained ops are recycled).
+  std::size_t pending_pool_capacity() const noexcept { return pool_.size(); }
 
   // --- Interface used by Comm awaitables (not for direct use) ---
 
@@ -140,21 +215,37 @@ class Engine {
   };
 
   struct Request {
-    int rank = -1;            // posting rank
+    int rank = -1;             // posting rank
     bool done = false;
     double finish = 0.0;
-    WaitState* waiter = nullptr;
+    std::int32_t waiter = -1;  // index into waits_, -1 = none
   };
 
+  /// Free-listed pending-operation node. `next` links the node into either
+  /// a channel's FIFO queue or the pool free list.
   struct PendingOp {
     RequestId req = 0;
     double post_time = 0.0;
     const std::byte* send_data = nullptr;  // sends only
     std::byte* recv_data = nullptr;        // recvs only
     std::size_t bytes = 0;
+    std::int32_t next = -1;
     /// Eager sends buffer their payload at post time (the sender may reuse
-    /// its buffer immediately, as real MPI eager protocols allow).
+    /// its buffer immediately, as real MPI eager protocols allow). Unused —
+    /// and unallocated — on the copy_data=false timing-only path; recycled
+    /// nodes keep their capacity.
     std::vector<std::byte> buffered;
+  };
+
+  /// One (src, dst, tag) match point: FIFO queues of pending sends and
+  /// recvs as head/tail indices into the node pool. Lives in a flat
+  /// open-addressed table (linear probing, power-of-two sizing).
+  struct Channel {
+    std::uint64_t key = kEmptyKey;
+    std::int32_t send_head = -1;
+    std::int32_t send_tail = -1;
+    std::int32_t recv_head = -1;
+    std::int32_t recv_tail = -1;
   };
 
   struct Event {
@@ -169,14 +260,22 @@ class Engine {
     }
   };
 
-  static std::uint64_t channel_key(int src, int dst, int tag) noexcept {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
-           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 16) |
-           static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
-  }
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+  static constexpr int kMaxTag = (1 << 16) - 1;
+  static constexpr int kMaxChannelRank = (1 << 24) - 1;
+
+  /// Pack (src, dst, tag) into the 24/24/16-bit channel key. Throws
+  /// SimError when a component exceeds its field (a silent wrap would alias
+  /// another channel and corrupt matching).
+  static std::uint64_t channel_key(int src, int dst, int tag);
 
   void check_rank(int rank) const;
-  void try_match(std::uint64_t key, int src, int dst);
+  Channel& channel_for(std::uint64_t key);
+  void grow_channels(std::size_t capacity);
+  std::size_t probe(std::uint64_t key) const noexcept;
+  std::int32_t acquire_node();
+  void release_node(std::int32_t index) noexcept;
+  void try_match(Channel& channel, int src, int dst);
   void complete_transfer(int src, int dst, const PendingOp& send,
                          const PendingOp& recv);
   void request_finished(RequestId id, double finish);
@@ -193,11 +292,15 @@ class Engine {
   std::vector<double> nic_rx_free_;
 
   std::vector<Request> requests_;
-  std::deque<WaitState> waits_;  // deque: stable addresses for Request::waiter
-  std::unordered_map<std::uint64_t, std::deque<PendingOp>> pending_sends_;
-  std::unordered_map<std::uint64_t, std::deque<PendingOp>> pending_recvs_;
+  std::vector<WaitState> waits_;  // Request::waiter holds indices: stable
+                                  // across growth, reusable across reset()
+  std::vector<Channel> channels_;
+  std::size_t channel_count_ = 0;
+  std::vector<PendingOp> pool_;
+  std::int32_t pool_free_ = -1;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<Event> events_;  // binary min-heap (std::push_heap/pop_heap)
+  std::vector<std::vector<std::byte>> scratch_;  // rank * 2 + slot; survives reset()
   std::uint64_t next_seq_ = 0;
   int completed_ranks_ = 0;
   std::vector<RankTask> tasks_;

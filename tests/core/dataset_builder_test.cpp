@@ -136,6 +136,48 @@ TEST(DatasetBuilder, MultiClusterBuildConcatenates) {
   EXPECT_EQ(records.size(), solo_ri.size() + solo_haswell.size());
 }
 
+TEST(DatasetBuilder, CellSeedSeparatesComponents) {
+  // The sponge must be positional: swapping nodes and ppn, or shifting a
+  // value between adjacent components, must change the seed.
+  const auto base =
+      cell_seed(1, "A", coll::Collective::kAllgather, 2, 4, 64);
+  EXPECT_NE(base, cell_seed(1, "A", coll::Collective::kAllgather, 4, 2, 64));
+  EXPECT_NE(base, cell_seed(1, "B", coll::Collective::kAllgather, 2, 4, 64));
+  EXPECT_NE(base, cell_seed(1, "A", coll::Collective::kAlltoall, 2, 4, 64));
+  EXPECT_NE(base, cell_seed(1, "A", coll::Collective::kAllgather, 2, 4, 65));
+  EXPECT_NE(base, cell_seed(2, "A", coll::Collective::kAllgather, 2, 4, 64));
+  EXPECT_EQ(base, cell_seed(1, "A", coll::Collective::kAllgather, 2, 4, 64));
+}
+
+TEST(DatasetBuilder, ParallelSweepIsByteIdenticalToSerial) {
+  // The tentpole guarantee: records are bit-identical at any thread count.
+  // Exact double equality is intentional — the per-cell RNG split makes the
+  // noise stream independent of scheduling, not merely close.
+  const std::vector<sim::ClusterSpec> clusters = {
+      ri(), sim::cluster_by_name("Frontera")};
+  BuildOptions serial;
+  serial.threads = 1;
+  const auto base =
+      build_records(clusters, coll::Collective::kAllgather, serial);
+  for (const int threads : {2, 8}) {
+    BuildOptions opts;
+    opts.threads = threads;
+    const auto got =
+        build_records(clusters, coll::Collective::kAllgather, opts);
+    ASSERT_EQ(got.size(), base.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(got[i].cluster, base[i].cluster);
+      EXPECT_EQ(got[i].nodes, base[i].nodes);
+      EXPECT_EQ(got[i].ppn, base[i].ppn);
+      EXPECT_EQ(got[i].msg_bytes, base[i].msg_bytes);
+      EXPECT_EQ(got[i].features, base[i].features);
+      EXPECT_EQ(got[i].times, base[i].times) << "threads=" << threads
+                                             << " record=" << i;
+      EXPECT_EQ(got[i].label, base[i].label);
+    }
+  }
+}
+
 TEST(DatasetBuilder, LabelsAreDiverseAcrossSweep) {
   // Over a full sweep of a multi-node cluster, more than one algorithm
   // must win somewhere (otherwise there is nothing to learn).

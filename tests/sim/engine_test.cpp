@@ -241,6 +241,98 @@ TEST(Engine, LocalComputeAdvancesClock) {
   EXPECT_DOUBLE_EQ(engine.elapsed(), 1.5e-3);
 }
 
+TEST(Engine, ChannelKeyRejectsOutOfRangeTags) {
+  // Tags are packed into 16 bits of the channel key; out-of-range values
+  // must throw instead of silently aliasing another channel.
+  Engine engine(frontera(), Topology{1, 2});
+  std::vector<std::byte> buf(8);
+  EXPECT_THROW(engine.run([&](int rank) -> RankTask {
+    Comm comm(engine, rank);
+    if (rank == 0) co_await comm.send(1, buf, /*tag=*/1 << 16);
+  }),
+               SimError);
+
+  Engine engine2(frontera(), Topology{1, 2});
+  EXPECT_THROW(engine2.run([&](int rank) -> RankTask {
+    Comm comm(engine2, rank);
+    if (rank == 0) co_await comm.send(1, buf, /*tag=*/-1);
+  }),
+               SimError);
+}
+
+TEST(Engine, ChannelKeyAcceptsMaxTag) {
+  Engine engine(frontera(), Topology{1, 2});
+  std::vector<std::byte> out(8), in(8);
+  engine.run([&](int rank) -> RankTask {
+    Comm comm(engine, rank);
+    if (rank == 0) {
+      co_await comm.send(1, out, /*tag=*/(1 << 16) - 1);
+    } else {
+      co_await comm.recv(0, in, /*tag=*/(1 << 16) - 1);
+    }
+  });
+  EXPECT_GT(engine.elapsed(), 0.0);
+}
+
+TEST(Engine, ResetMatchesFreshEngineTiming) {
+  const SimOptions opts{0.2, 77, true};
+  auto workload = [](Engine& engine) {
+    std::vector<std::vector<std::byte>> bufs(8, std::vector<std::byte>(4096));
+    engine.run([&](int rank) -> RankTask {
+      Comm comm(engine, rank);
+      const int peer = rank ^ 1;
+      co_await comm.sendrecv(peer, bufs[static_cast<std::size_t>(rank)], peer,
+                             bufs[static_cast<std::size_t>(rank)]);
+      const int far = (rank + 4) % 8;
+      co_await comm.sendrecv(far, bufs[static_cast<std::size_t>(rank)], far,
+                             bufs[static_cast<std::size_t>(rank)], 1);
+    });
+    return engine.elapsed();
+  };
+
+  Engine fresh(frontera(), Topology{2, 4}, opts);
+  const double expected = workload(fresh);
+
+  // Dirty the engine with a different topology and seed before resetting.
+  Engine reused(frontera(), Topology{4, 1}, SimOptions{0.05, 3, true});
+  std::vector<std::byte> buf(2048);
+  reused.run([&](int rank) -> RankTask {
+    Comm comm(reused, rank);
+    const int peer = rank ^ 1;
+    co_await comm.sendrecv(peer, buf, peer, buf);
+  });
+  reused.reset(frontera(), Topology{2, 4}, opts);
+  EXPECT_EQ(workload(reused), expected);
+}
+
+TEST(Engine, ResetReusesChannelAndPoolCapacity) {
+  // Regression test for unbounded channel-table growth: running the same
+  // workload through reset() cycles must not keep growing engine storage.
+  Engine engine(frontera(), Topology{2, 4});
+  auto workload = [&] {
+    std::vector<std::byte> buf(512);
+    engine.run([&](int rank) -> RankTask {
+      Comm comm(engine, rank);
+      for (int k = 1; k < 8; ++k) {
+        const int peer = rank ^ k;
+        co_await comm.sendrecv(peer, buf, peer, buf, /*tag=*/k);
+      }
+    });
+  };
+  workload();
+  engine.reset(frontera(), Topology{2, 4});
+  workload();
+  const std::size_t slots = engine.channel_table_slots();
+  const std::size_t pool = engine.pending_pool_capacity();
+  ASSERT_GT(engine.channels_in_use(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    engine.reset(frontera(), Topology{2, 4});
+    workload();
+    EXPECT_EQ(engine.channel_table_slots(), slots);
+    EXPECT_EQ(engine.pending_pool_capacity(), pool);
+  }
+}
+
 TEST(Engine, WaitAllFoldsCompletionTimes) {
   Engine engine(frontera(), Topology{2, 1});
   std::vector<std::byte> a(1 << 18), b(1 << 18);

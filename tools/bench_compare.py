@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files for performance regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
+
+Matches benchmarks by name, using the `_median` aggregate when present
+(repetitions were requested) and the raw real_time otherwise. Exits nonzero
+if any benchmark present in both files regressed by more than the threshold
+(default 20% on median real_time). New or removed benchmarks are reported
+but never fail the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """Map of benchmark name -> representative real_time (ns-scale units)."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    raw = {}
+    medians = {}
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[name.removesuffix("_median")] = float(b["real_time"])
+        elif name.endswith("_median"):
+            medians[name.removesuffix("_median")] = float(b["real_time"])
+        else:
+            raw.setdefault(name, []).append(float(b["real_time"]))
+    times = {}
+    for name, samples in raw.items():
+        samples.sort()
+        times[name] = samples[len(samples) // 2]
+    times.update(medians)  # aggregates win over raw samples
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional regression that fails the comparison (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    base = load_times(args.baseline)
+    cand = load_times(args.candidate)
+    if not base:
+        print(f"error: no benchmarks found in {args.baseline}", file=sys.stderr)
+        return 2
+    if not cand:
+        print(f"error: no benchmarks found in {args.candidate}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print(f"  NEW      {name}")
+            continue
+        if name not in cand:
+            print(f"  REMOVED  {name}")
+            continue
+        b, c = base[name], cand[name]
+        if b <= 0.0:
+            continue
+        delta = c / b - 1.0
+        marker = "  ok     "
+        if delta > args.threshold:
+            marker = "  REGRESS"
+            regressions.append((name, delta))
+        print(f"{marker}  {name}: {b:.1f} -> {c:.1f} ({delta:+.1%})")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
