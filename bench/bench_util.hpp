@@ -76,7 +76,7 @@ inline double selector_time(core::Selector& selector,
   for (std::size_t a = 0; a < algorithms.size(); ++a) {
     if (algorithms[a] == choice) return times[a];
   }
-  throw Error("selector returned an unknown algorithm");
+  throw ConfigError("selector returned an unknown algorithm");
 }
 
 /// "+36.6%" / "-5.6%" style percentage of baseline vs candidate.
@@ -91,7 +91,7 @@ inline std::string percent_faster(double baseline, double candidate) {
 inline double geomean_ratio(const std::vector<double>& baseline,
                             const std::vector<double>& candidate) {
   if (baseline.size() != candidate.size() || baseline.empty()) {
-    throw Error("geomean_ratio: size mismatch");
+    throw ConfigError("geomean_ratio: size mismatch");
   }
   double acc = 0.0;
   for (std::size_t i = 0; i < baseline.size(); ++i) {

@@ -25,7 +25,7 @@ int main() {
                                       bench::default_train_options());
   const std::vector<int> sweep_nodes = {1, 2, 4, 8, 16};
   const std::vector<int> sweep_ppns = {28, 56};
-  (void)fw.compile_for(frontera, sweep_nodes, sweep_ppns, sizes);
+  (void)fw.compile_for(frontera, core::CompileOptions::sweep(sweep_nodes, sweep_ppns, sizes));
   // The deployed step also runs the feature-extraction script
   // (lscpu/lspci/ibstat) and loads the shipped model bundle — budget the
   // paper's "less than a second" for that on top of the measured sweep.

@@ -41,7 +41,7 @@ void BM_CompileTuningTable(benchmark::State& state) {
   const std::vector<int> ppns = {28, 56};
   const auto sizes = sim::power_of_two_sizes(21);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fw.compile_for(frontera, nodes, ppns, sizes));
+    benchmark::DoNotOptimize(fw.compile_for(frontera, core::CompileOptions::sweep(nodes, ppns, sizes)));
   }
   fw.set_threads(0);
 }
@@ -89,7 +89,7 @@ void BM_RuntimeTableLookup(benchmark::State& state) {
   const std::vector<int> ppns = {28, 56};
   const auto sizes = sim::power_of_two_sizes(21);
   const core::TuningTable table =
-      fw.compile_for(frontera, nodes, ppns, sizes);
+      fw.compile_for(frontera, core::CompileOptions::sweep(nodes, ppns, sizes));
   std::uint64_t msg = 1;
   for (auto _ : state) {
     benchmark::DoNotOptimize(

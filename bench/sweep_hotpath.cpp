@@ -98,7 +98,7 @@ void bm_timing_only(benchmark::State& state, coll::Algorithm algorithm,
                     int nodes, int ppn, std::uint64_t bytes) {
   const auto& cluster = sim::cluster_by_name("Frontera");
   const sim::Topology topo{nodes, ppn};
-  const sim::SimOptions opts{0.015, 2024, /*copy_data=*/false};
+  const sim::RunOptions opts{sim::PayloadMode::kTimingOnly, 0.015, 2024};
   // Warm the thread_local engine and arenas so the loop measures steady
   // state.
   benchmark::DoNotOptimize(
@@ -140,7 +140,7 @@ BENCHMARK(BM_TimingOnlyBcastBinomial)->Unit(benchmark::kMicrosecond);
 void BM_EngineEventRate(benchmark::State& state) {
   const auto& cluster = sim::cluster_by_name("Frontera");
   const sim::Topology topo{4, 8};
-  const sim::SimOptions opts{0.015, 2024, /*copy_data=*/false};
+  const sim::SimOptions opts{0.015, 2024, sim::PayloadMode::kTimingOnly};
   const int p = topo.world_size();
   std::vector<std::byte> recv_arena(static_cast<std::size_t>(p) *
                                     static_cast<std::size_t>(p) * 4096);

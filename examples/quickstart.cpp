@@ -40,7 +40,7 @@ int main() {
   const auto sizes = sim::power_of_two_sizes(21);
 
   const core::TuningTable table =
-      shipped.compile_for(frontera, nodes, ppns, sizes);
+      shipped.compile_for(frontera, core::CompileOptions::sweep(nodes, ppns, sizes));
   write_file("/tmp/pml_frontera_tuning.json", table.to_json().dump(2));
   std::printf("Compiled tuning table for unseen cluster '%s' in %s\n",
               frontera.name.c_str(),

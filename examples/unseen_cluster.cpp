@@ -52,9 +52,8 @@ int main() {
   core::OracleSelector oracle;
 
   // What would each strategy cost before the first production run?
-  const auto table = framework.compile_for(novel, novel.node_counts,
-                                           novel.ppn_values,
-                                           novel.message_sizes);
+  // Empty CompileOptions grids fall back to the cluster's own sweep.
+  const auto table = framework.compile_for(novel);
   const double micro_hours = core::microbenchmark_core_hours(
       novel, coll::Collective::kAlltoall, 8, 96, novel.message_sizes);
   std::printf("Startup cost on this cluster:\n");

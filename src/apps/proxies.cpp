@@ -5,6 +5,7 @@
 
 #include "coll/cost.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace pml::apps {
 
@@ -23,6 +24,10 @@ double collective_seconds(const sim::NetworkModel& model,
                           core::Selector& selector,
                           const sim::ClusterSpec& cluster, sim::Topology topo,
                           Collective collective, std::uint64_t msg_bytes) {
+  if (obs::enabled()) {
+    static obs::Counter invoked("app.collectives_invoked");
+    invoked.increment();
+  }
   const coll::Algorithm a =
       selector.select(collective, cluster, topo, msg_bytes);
   return coll::analytic_cost(model, a, msg_bytes);
@@ -36,6 +41,7 @@ ProxyResult run_gromacs_proxy(const sim::ClusterSpec& cluster,
   if (config.steps < 1 || config.fft_grid < 8) {
     throw TuningError("gromacs proxy: invalid configuration");
   }
+  obs::Span span("app.gromacs_proxy");
   const sim::NetworkModel model(cluster, topo);
   const int p = topo.world_size();
 
@@ -87,6 +93,7 @@ ProxyResult run_minife_proxy(const sim::ClusterSpec& cluster,
   if (config.cg_iterations < 1 || config.grid < 8) {
     throw TuningError("minife proxy: invalid configuration");
   }
+  obs::Span span("app.minife_proxy");
   const sim::NetworkModel model(cluster, topo);
   const int p = topo.world_size();
 

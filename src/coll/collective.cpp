@@ -40,7 +40,7 @@ std::string to_string(Algorithm a) {
     case Algorithm::kBcScatterAllgather: return "scatter_allgather";
     case Algorithm::kBcPipelinedRing: return "pipelined_ring";
   }
-  throw Error("unknown algorithm");
+  throw ConfigError("unknown algorithm");
 }
 
 std::string display_name(Algorithm a) {
@@ -61,7 +61,7 @@ std::string display_name(Algorithm a) {
     case Algorithm::kBcScatterAllgather: return "Scatter-Allgather";
     case Algorithm::kBcPipelinedRing: return "Pipelined Ring";
   }
-  throw Error("unknown algorithm");
+  throw ConfigError("unknown algorithm");
 }
 
 std::string to_string(Collective c) {
@@ -71,7 +71,7 @@ std::string to_string(Collective c) {
     case Collective::kAllreduce: return "allreduce";
     case Collective::kBcast: return "bcast";
   }
-  throw Error("unknown collective");
+  throw ConfigError("unknown collective");
 }
 
 Collective collective_from_string(const std::string& name) {
@@ -79,7 +79,7 @@ Collective collective_from_string(const std::string& name) {
   if (name == "alltoall") return Collective::kAlltoall;
   if (name == "allreduce") return Collective::kAllreduce;
   if (name == "bcast") return Collective::kBcast;
-  throw Error("unknown collective: " + name);
+  throw ConfigError("unknown collective: " + name);
 }
 
 Algorithm algorithm_from_string(const std::string& name) {
@@ -90,7 +90,7 @@ Algorithm algorithm_from_string(const std::string& name) {
     for (const Algorithm a : algorithms_for(c)) {
       if (to_string(a) == n) return a;
     }
-    throw Error("unknown algorithm: " + name);
+    throw ConfigError("unknown algorithm: " + name);
   };
   const auto colon = name.find(':');
   if (colon != std::string::npos) {
@@ -105,7 +105,7 @@ Algorithm algorithm_from_string(const std::string& name) {
   if (name == "scatter_dest") return Algorithm::kAaScatterDest;
   if (name == "pairwise") return Algorithm::kAaPairwise;
   if (name == "inplace") return Algorithm::kAaInplace;
-  throw Error("ambiguous algorithm name (qualify as collective:name): " + name);
+  throw ConfigError("ambiguous algorithm name (qualify as collective:name): " + name);
 }
 
 Collective collective_of(Algorithm a) {
@@ -130,7 +130,7 @@ Collective collective_of(Algorithm a) {
     case Algorithm::kBcPipelinedRing:
       return Collective::kBcast;
   }
-  throw Error("unknown algorithm");
+  throw ConfigError("unknown algorithm");
 }
 
 const std::vector<Algorithm>& algorithms_for(Collective c) {
@@ -163,7 +163,7 @@ const std::vector<Algorithm>& algorithms_for(Collective c) {
     case Collective::kAllreduce: return allreduce;
     case Collective::kBcast: return bcast;
   }
-  throw Error("unknown collective");
+  throw ConfigError("unknown collective");
 }
 
 bool algorithm_supports(Algorithm a, int p) {

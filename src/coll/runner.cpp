@@ -11,6 +11,7 @@
 #include "coll/alltoall.hpp"
 #include "coll/bcast.hpp"
 #include "common/error.hpp"
+#include "obs/export.hpp"
 #include "sim/comm.hpp"
 
 namespace pml::coll {
@@ -163,10 +164,14 @@ std::size_t request_estimate(Algorithm algorithm, int p,
 
 RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
                          Algorithm algorithm, std::uint64_t block_bytes,
-                         sim::SimOptions opts) {
-  if (!opts.copy_data) {
+                         const sim::RunOptions& run_opts) {
+  obs::ScopedCapture capture(run_opts.trace_sink);
+  const sim::SimOptions opts = run_opts.sim_options();
+  if (!opts.payload_enabled()) {
+    obs::Span span("coll.run.timing_only");
     return run_timing_only(cluster, topo, algorithm, block_bytes, opts);
   }
+  obs::Span span("coll.run.verified");
 
   const int p = topo.world_size();
   const auto n = static_cast<std::size_t>(block_bytes);
@@ -246,6 +251,15 @@ RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
   }
   result.verified = true;
   return result;
+}
+
+RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
+                         Algorithm algorithm, std::uint64_t block_bytes,
+                         sim::SimOptions opts) {
+  return run_collective(
+      cluster, topo, algorithm, block_bytes,
+      sim::RunOptions{opts.payload, opts.noise_sigma, opts.seed,
+                      opts.eager_threshold});
 }
 
 }  // namespace pml::coll

@@ -16,23 +16,33 @@ struct RunResult {
 
 /// Execute `algorithm` on the event engine with `block_bytes` per block.
 ///
-/// With `opts.copy_data` (the default) buffers are filled with an
-/// (origin, block, offset)-dependent pattern, real bytes move through the
-/// simulation, and the delivered payloads are verified against the
-/// MPI-specified result on every rank.
+/// With `opts.payload == PayloadMode::kVerify` (the default) buffers are
+/// filled with an (origin, block, offset)-dependent pattern, real bytes
+/// move through the simulation, and the delivered payloads are verified
+/// against the MPI-specified result on every rank.
 ///
-/// With `opts.copy_data == false` the timing-only fast path runs instead:
+/// With `PayloadMode::kTimingOnly` the timing-only fast path runs instead:
 /// no pattern fill, no payload movement, no verification, and a per-thread
 /// engine + buffer arena are reused across invocations, so a steady-state
 /// call performs zero heap allocations (measured by bench/sweep_hotpath).
 /// `seconds` is bit-identical to the verified path — every payload
 /// operation charges its simulated time whether or not bytes move.
 ///
+/// A non-empty `opts.trace_sink` enables obs collection for the call and
+/// writes the requested trace/metrics files on return.
+///
 /// Throws pml::SimError on schedule deadlock, unsupported world size, or a
 /// payload mismatch (an incorrect algorithm is a bug, not a data point).
 RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
                          Algorithm algorithm, std::uint64_t block_bytes,
-                         sim::SimOptions opts = {});
+                         const sim::RunOptions& opts = {});
+
+/// Transitional overload for the pre-RunOptions signature; forwards to the
+/// RunOptions form (without trace capture). Removed after one release.
+[[deprecated("pass sim::RunOptions instead of sim::SimOptions")]]
+RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
+                         Algorithm algorithm, std::uint64_t block_bytes,
+                         sim::SimOptions opts);
 
 /// Upper-bound estimate of the requests (isend/irecv posts) `algorithm`
 /// issues across all ranks for a per-block payload of `block_bytes` on `p`

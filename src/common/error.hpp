@@ -1,4 +1,11 @@
 // Error types shared across the PML-MPI libraries.
+//
+// Every throw site under src/ raises a subclass of pml::Error. Each
+// subclass carries an ErrorCode so that callers (notably pml_tool) can
+// map failure classes to distinct exit statuses without string-matching
+// what() text. The base class still derives from std::runtime_error so
+// generic `catch (const std::exception&)` handlers keep working, but no
+// code under src/ throws a raw std:: exception type.
 #pragma once
 
 #include <stdexcept>
@@ -6,35 +13,103 @@
 
 namespace pml {
 
+/// Stable failure classes, one per Error subclass. Values are also the
+/// basis of pml_tool's exit statuses (see exit_status()).
+enum class ErrorCode {
+  kUnknown = 0,  ///< reserved for non-pml exceptions mapped at the CLI edge
+  kConfig,       ///< invalid user-supplied configuration or arguments
+  kIo,           ///< filesystem read/write failure
+  kJson,         ///< malformed JSON input or type-mismatched access
+  kSim,          ///< simulator misuse (mismatched sizes, deadlock, ...)
+  kMl,           ///< invalid ML inputs (empty dataset, dim mismatch, ...)
+  kTuning,       ///< tuning framework (unknown cluster, missing table, ...)
+};
+
+/// Short stable name for an ErrorCode ("config", "io", ...).
+const char* to_string(ErrorCode code) noexcept;
+
+/// Process exit status for an ErrorCode. 1 is reserved for unknown
+/// failures and 2 for CLI usage errors, so codes start at 3.
+int exit_status(ErrorCode code) noexcept;
+
 /// Base class for all errors raised by the PML-MPI libraries.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  ErrorCode code() const noexcept { return code_; }
+
+ protected:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(std::string(to_string(code)) + ": " + what),
+        code_(code) {}
+
+ private:
+  ErrorCode code_;
+};
+
+/// Raised on invalid user-supplied configuration: bad cluster specs,
+/// out-of-range option fields, malformed CLI values.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what)
+      : Error(ErrorCode::kConfig, what) {}
+};
+
+/// Raised when a file cannot be read or written.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(ErrorCode::kIo, what) {}
 };
 
 /// Raised on malformed JSON input or type-mismatched JSON access.
 class JsonError : public Error {
  public:
-  explicit JsonError(const std::string& what) : Error("json: " + what) {}
+  explicit JsonError(const std::string& what) : Error(ErrorCode::kJson, what) {}
 };
 
 /// Raised on invalid simulator configuration or protocol misuse
 /// (e.g. mismatched send/recv sizes, deadlocked schedule).
 class SimError : public Error {
  public:
-  explicit SimError(const std::string& what) : Error("sim: " + what) {}
+  explicit SimError(const std::string& what) : Error(ErrorCode::kSim, what) {}
 };
 
 /// Raised on invalid ML inputs (empty dataset, dimension mismatch, ...).
 class MlError : public Error {
  public:
-  explicit MlError(const std::string& what) : Error("ml: " + what) {}
+  explicit MlError(const std::string& what) : Error(ErrorCode::kMl, what) {}
 };
 
 /// Raised by the tuning framework (unknown cluster, missing table, ...).
 class TuningError : public Error {
  public:
-  explicit TuningError(const std::string& what) : Error("tuning: " + what) {}
+  explicit TuningError(const std::string& what)
+      : Error(ErrorCode::kTuning, what) {}
 };
+
+inline const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kConfig: return "config";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kJson: return "json";
+    case ErrorCode::kSim: return "sim";
+    case ErrorCode::kMl: return "ml";
+    case ErrorCode::kTuning: return "tuning";
+    case ErrorCode::kUnknown: break;
+  }
+  return "unknown";
+}
+
+inline int exit_status(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kConfig: return 3;
+    case ErrorCode::kIo: return 4;
+    case ErrorCode::kJson: return 5;
+    case ErrorCode::kSim: return 6;
+    case ErrorCode::kMl: return 7;
+    case ErrorCode::kTuning: return 8;
+    case ErrorCode::kUnknown: break;
+  }
+  return 1;
+}
 
 }  // namespace pml

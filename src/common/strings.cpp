@@ -68,7 +68,7 @@ std::string format_double(double value, int precision) {
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open file for reading: " + path);
+  if (!in) throw IoError("cannot open file for reading: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -76,9 +76,9 @@ std::string read_file(const std::string& path) {
 
 void write_file(const std::string& path, std::string_view contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("cannot open file for writing: " + path);
+  if (!out) throw IoError("cannot open file for writing: " + path);
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!out) throw Error("write failed: " + path);
+  if (!out) throw IoError("write failed: " + path);
 }
 
 }  // namespace pml

@@ -29,12 +29,12 @@ bool looks_numeric(const std::string& s) {
 
 TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {
-  if (header_.empty()) throw Error("table: header must not be empty");
+  if (header_.empty()) throw ConfigError("table: header must not be empty");
 }
 
 void TextTable::add_row(std::vector<std::string> row) {
   if (row.size() != header_.size()) {
-    throw Error("table: row has " + std::to_string(row.size()) +
+    throw ConfigError("table: row has " + std::to_string(row.size()) +
                 " cells, expected " + std::to_string(header_.size()));
   }
   rows_.push_back(std::move(row));

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "sim/network.hpp"
 
 namespace pml::core {
@@ -60,6 +61,7 @@ void enumerate_cells(const sim::ClusterSpec& cluster,
 /// RNG), so cells can run concurrently in any order.
 TuningRecord build_cell(const GridCell& cell, coll::Collective collective,
                         const BuildOptions& options) {
+  obs::Span span("dataset.cell");
   const sim::ClusterSpec& cluster = *cell.cluster;
   const sim::Topology topo{cell.nodes, cell.ppn};
   const sim::NetworkModel model(cluster, topo);
@@ -100,10 +102,15 @@ std::vector<TuningRecord> build_cells(std::span<const sim::ClusterSpec> clusters
   }
   // Pre-sized output slots + per-cell RNG streams: the pool only distributes
   // independent indices, so any thread count is bit-identical to serial.
+  obs::Span span("dataset.build");
   std::vector<TuningRecord> records(cells.size());
   parallel_for(options.threads, cells.size(), [&](std::size_t i) {
     records[i] = build_cell(cells[i], collective, options);
   });
+  if (obs::enabled()) {
+    static obs::Counter built("dataset.cells_built");
+    built.add(records.size());
+  }
   return records;
 }
 

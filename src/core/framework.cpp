@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <numeric>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/strings.hpp"
+#include "obs/export.hpp"
 
 namespace pml::core {
 
@@ -80,10 +83,51 @@ TrainOptions with_forest_threads(const TrainOptions& options) {
   return local;
 }
 
+/// Materialize a CompileOptions sweep grid, falling back to the target
+/// cluster's own benchmarked grid for any axis left empty.
+struct ResolvedSweep {
+  std::vector<int> node_counts;
+  std::vector<int> ppn_values;
+  std::vector<std::uint64_t> message_sizes;
+};
+
+ResolvedSweep resolve_sweep(const sim::ClusterSpec& cluster,
+                            const CompileOptions& options) {
+  options.validate();
+  ResolvedSweep sweep;
+  sweep.node_counts =
+      options.node_counts.empty() ? cluster.node_counts : options.node_counts;
+  sweep.ppn_values =
+      options.ppn_values.empty() ? cluster.ppn_values : options.ppn_values;
+  sweep.message_sizes = options.message_sizes.empty()
+                            ? (cluster.message_sizes.empty()
+                                   ? sim::power_of_two_sizes(21)
+                                   : cluster.message_sizes)
+                            : options.message_sizes;
+  return sweep;
+}
+
 }  // namespace
+
+void CompileOptions::validate() const {
+  for (const int n : node_counts) {
+    if (n < 1) {
+      throw ConfigError("CompileOptions: node count must be >= 1, got " +
+                        std::to_string(n));
+    }
+  }
+  for (const int p : ppn_values) {
+    if (p < 1) {
+      throw ConfigError("CompileOptions: ppn must be >= 1, got " +
+                        std::to_string(p));
+    }
+  }
+}
 
 PmlFramework PmlFramework::train(std::span<const sim::ClusterSpec> clusters,
                                  const TrainOptions& options) {
+  obs::ScopedCapture capture(options.trace_sink);
+  obs::Span span("train");
   PmlFramework fw;
   fw.threads_ = options.threads;
   const TrainOptions local = with_forest_threads(options);
@@ -95,6 +139,7 @@ PmlFramework PmlFramework::train(std::span<const sim::ClusterSpec> clusters,
   std::vector<PerCollective> parts(options.collectives.size());
   parallel_for(options.threads, parts.size(), [&](std::size_t i) {
     const Collective collective = options.collectives[i];
+    obs::Span part_span("train.collective");
     const auto records = build_records(clusters, collective, local.build);
     parts[i] = train_part(records, collective, local, std::move(seeds[i]));
   });
@@ -155,8 +200,13 @@ coll::Algorithm PmlFramework::select(Collective collective,
   thread_local std::vector<double> proba;
   thread_local std::vector<std::size_t> order;
 
-  extract_features_into(cluster, topo.nodes, topo.ppn, msg_bytes, full);
-  project_features_into(full, p.columns, row);
+  {
+    // Paper Fig. 4 decomposition: feature extraction vs. model inference.
+    obs::Span span("online.feature_extraction");
+    extract_features_into(cluster, topo.nodes, topo.ppn, msg_bytes, full);
+    project_features_into(full, p.columns, row);
+  }
+  obs::Span span("online.inference");
   proba.resize(static_cast<std::size_t>(p.forest.num_classes()));
   p.forest.predict_proba_into(row, proba);
 
@@ -176,16 +226,20 @@ coll::Algorithm PmlFramework::select(Collective collective,
                     std::to_string(topo.world_size()));
 }
 
-TuningTable PmlFramework::compile_for(
-    const sim::ClusterSpec& cluster, std::span<const int> node_counts,
-    std::span<const int> ppn_values,
-    std::span<const std::uint64_t> msg_sizes) {
+TuningTable PmlFramework::compile_for(const sim::ClusterSpec& cluster,
+                                      const CompileOptions& options) {
+  obs::ScopedCapture capture(options.trace_sink);
+  obs::Span span("online.compile");
+  const ResolvedSweep sweep = resolve_sweep(cluster, options);
+  const int threads = options.threads == 0 ? threads_ : options.threads;
   std::vector<coll::Collective> trained;
   for (const auto& [collective, part] : parts_) trained.push_back(collective);
   const auto start = std::chrono::steady_clock::now();
   // select() only reads the trained forests, so the sweep can fan out.
-  TuningTable table = TuningTable::generate(
-      *this, cluster, node_counts, ppn_values, msg_sizes, trained, threads_);
+  TuningTable table = TuningTable::generate(*this, cluster, sweep.node_counts,
+                                            sweep.ppn_values,
+                                            sweep.message_sizes, trained,
+                                            threads);
   const auto end = std::chrono::steady_clock::now();
   inference_seconds_ =
       std::chrono::duration<double>(end - start).count();
@@ -193,18 +247,63 @@ TuningTable PmlFramework::compile_for(
 }
 
 const TuningTable& PmlFramework::compile_or_cached(
-    const sim::ClusterSpec& cluster, std::span<const int> node_counts,
-    std::span<const int> ppn_values, std::span<const std::uint64_t> msg_sizes,
+    const sim::ClusterSpec& cluster, const CompileOptions& options,
     TuningTable& cache) {
   // Fig. 4: an existing table bypasses ML tuning — but only if it was
   // generated over the same sweep grids; a cluster-name match alone would
   // silently serve a table compiled for different node/ppn/message sweeps.
+  const ResolvedSweep sweep = resolve_sweep(cluster, options);
   if (cache.cluster_name() == cluster.name && !cache.empty() &&
-      cache.matches_sweep(node_counts, ppn_values, msg_sizes)) {
+      cache.matches_sweep(sweep.node_counts, sweep.ppn_values,
+                          sweep.message_sizes)) {
     return cache;
   }
-  cache = compile_for(cluster, node_counts, ppn_values, msg_sizes);
+  cache = compile_for(cluster, options);
   return cache;
+}
+
+TuningTable PmlFramework::compile_or_cached(const sim::ClusterSpec& cluster,
+                                            const CompileOptions& options) {
+  const ResolvedSweep sweep = resolve_sweep(cluster, options);
+  const std::filesystem::path path =
+      std::filesystem::path(options.cache_dir) / (cluster.name + ".table.json");
+  if (std::filesystem::exists(path)) {
+    const TuningTable cached =
+        TuningTable::from_json(Json::parse(read_file(path.string())));
+    if (cached.cluster_name() == cluster.name && !cached.empty() &&
+        cached.matches_sweep(sweep.node_counts, sweep.ppn_values,
+                             sweep.message_sizes)) {
+      return cached;
+    }
+  }
+  TuningTable table = compile_for(cluster, options);
+  if (!options.cache_dir.empty()) {
+    std::filesystem::create_directories(options.cache_dir);
+  }
+  write_file(path.string(), table.to_json().dump(2) + "\n");
+  return table;
+}
+
+TuningTable PmlFramework::compile_for(
+    const sim::ClusterSpec& cluster, std::span<const int> node_counts,
+    std::span<const int> ppn_values,
+    std::span<const std::uint64_t> msg_sizes) {
+  CompileOptions options;
+  options.node_counts.assign(node_counts.begin(), node_counts.end());
+  options.ppn_values.assign(ppn_values.begin(), ppn_values.end());
+  options.message_sizes.assign(msg_sizes.begin(), msg_sizes.end());
+  return compile_for(cluster, options);
+}
+
+const TuningTable& PmlFramework::compile_or_cached(
+    const sim::ClusterSpec& cluster, std::span<const int> node_counts,
+    std::span<const int> ppn_values, std::span<const std::uint64_t> msg_sizes,
+    TuningTable& cache) {
+  CompileOptions options;
+  options.node_counts.assign(node_counts.begin(), node_counts.end());
+  options.ppn_values.assign(ppn_values.begin(), ppn_values.end());
+  options.message_sizes.assign(msg_sizes.begin(), msg_sizes.end());
+  return compile_or_cached(cluster, options, cache);
 }
 
 const ml::RandomForest& PmlFramework::model(Collective collective) const {

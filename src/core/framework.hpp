@@ -24,6 +24,7 @@
 #include "core/selectors.hpp"
 #include "core/tuning_table.hpp"
 #include "ml/forest.hpp"
+#include "obs/obs.hpp"
 
 namespace pml::core {
 
@@ -44,6 +45,43 @@ struct TrainOptions {
   /// Collectives to train models for. Defaults to the paper's pair;
   /// include kAllreduce/kBcast to enable the future-work extensions.
   std::vector<coll::Collective> collectives = coll::paper_collectives();
+  /// Trace/metrics output for the training run; empty = no capture.
+  obs::Sink trace_sink{};
+};
+
+/// Options for the online stage (compile_for / compile_or_cached). One
+/// struct replaces the previous positional span-triple signature; field
+/// defaults are documented centrally in docs/API.md.
+struct CompileOptions {
+  /// Sweep grids. Empty vectors fall back to the target cluster's own
+  /// benchmarked grid (ClusterSpec::node_counts / ppn_values /
+  /// message_sizes; a cluster without listed sizes gets the paper's
+  /// 2^0..2^20 sweep). Entries must be >= 1 (validate()).
+  std::vector<int> node_counts;
+  std::vector<int> ppn_values;
+  std::vector<std::uint64_t> message_sizes;
+  /// Threads for the inference sweep; 0 = inherit the framework's
+  /// threads() knob, < 0 = all hardware threads, 1 = serial.
+  int threads = 0;
+  /// Directory for the filesystem-cached compile_or_cached overload:
+  /// tables persist as <cache_dir>/<cluster>.table.json. Empty = cwd.
+  std::string cache_dir;
+  /// Trace/metrics output for this compile; empty = no capture.
+  obs::Sink trace_sink{};
+
+  /// Throws pml::ConfigError on non-positive node/ppn entries.
+  void validate() const;
+
+  /// Convenience factory for the common explicit-grid case.
+  static CompileOptions sweep(std::vector<int> node_counts,
+                              std::vector<int> ppn_values,
+                              std::vector<std::uint64_t> message_sizes) {
+    CompileOptions options;
+    options.node_counts = std::move(node_counts);
+    options.ppn_values = std::move(ppn_values);
+    options.message_sizes = std::move(message_sizes);
+    return options;
+  }
 };
 
 class PmlFramework final : public Selector {
@@ -76,14 +114,30 @@ class PmlFramework final : public Selector {
   // --- Online stage (Fig. 4) ------------------------------------------------
 
   /// Generate the tuning table for a (possibly never-seen) cluster by
-  /// running inference over the given sweep. Updates inference_seconds().
+  /// running inference over options' sweep grid (empty grids fall back to
+  /// the cluster's own). Updates inference_seconds().
+  TuningTable compile_for(const sim::ClusterSpec& cluster,
+                          const CompileOptions& options = {});
+
+  /// Fig. 4 top box: reuse `cache` if it already covers this cluster and
+  /// sweep, otherwise compile a fresh table (and replace `cache`).
+  const TuningTable& compile_or_cached(const sim::ClusterSpec& cluster,
+                                       const CompileOptions& options,
+                                       TuningTable& cache);
+
+  /// Filesystem-cached variant: loads <cache_dir>/<cluster>.table.json if
+  /// it covers this cluster and sweep, otherwise compiles and writes it.
+  TuningTable compile_or_cached(const sim::ClusterSpec& cluster,
+                                const CompileOptions& options = {});
+
+  /// Transitional overloads for the pre-CompileOptions positional
+  /// signatures; forwarded. Removed after one release.
+  [[deprecated("pass core::CompileOptions instead of positional spans")]]
   TuningTable compile_for(const sim::ClusterSpec& cluster,
                           std::span<const int> node_counts,
                           std::span<const int> ppn_values,
                           std::span<const std::uint64_t> msg_sizes);
-
-  /// Fig. 4 top box: reuse `cache` if it already covers this cluster,
-  /// otherwise compile a fresh table (and replace `cache`).
+  [[deprecated("pass core::CompileOptions instead of positional spans")]]
   const TuningTable& compile_or_cached(const sim::ClusterSpec& cluster,
                                        std::span<const int> node_counts,
                                        std::span<const int> ppn_values,

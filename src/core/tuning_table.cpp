@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace pml::core {
 
@@ -129,6 +130,7 @@ TuningTable TuningTable::generate(Selector& selector,
   std::vector<JobTable> jobs(cells.size());
   parallel_for(threads, cells.size(), [&](std::size_t i) {
     const Cell& cell = cells[i];
+    obs::Span span("online.sweep_cell");
     JobTable job;
     job.collective = cell.collective;
     job.nodes = cell.nodes;
@@ -150,6 +152,7 @@ TuningTable TuningTable::generate(Selector& selector,
 }
 
 Json TuningTable::to_json() const {
+  obs::Span span("online.table_emission");
   Json j = Json::object();
   j["format"] = "pml-mpi-tuning-table-v1";
   j["cluster"] = cluster_name_;

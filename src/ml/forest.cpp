@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace pml::ml {
 
@@ -43,6 +44,7 @@ void RandomForest::fit(const Dataset& train, Rng& rng) {
       oob_parts(params_.bootstrap ? n_trees : 0);
 
   parallel_for(params_.threads, n_trees, [&](std::size_t t) {
+    obs::Span span("ml.tree_fit");
     Rng& tree_rng = tree_rngs[t];
     if (params_.bootstrap) {
       std::vector<char> in_bag(n, 0);

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "ml/flat_forest.hpp"
+#include "obs/obs.hpp"
 
 namespace pml::ml {
 
@@ -101,6 +102,11 @@ void DecisionTree::fit(const Matrix& x, std::span<const int> y,
   ws.best_left.resize(static_cast<std::size_t>(num_classes));
   build(x, y, num_classes, idx, 0, idx.size(), 0,
         static_cast<double>(idx.size()), rng, ws);
+  if (obs::enabled()) {
+    // Accumulated branchlessly in the split loop; flushed once per fit.
+    static obs::Counter candidates("ml.split_candidates");
+    candidates.add(ws.split_candidates);
+  }
 }
 
 // Optimised split finder. Scores every candidate threshold in O(1) via
@@ -176,6 +182,7 @@ int DecisionTree::build(const Matrix& x, std::span<const int> y,
       const double lo = x.at(order[i], f);
       const double hi = x.at(order[i + 1], f);
       if (hi <= lo) continue;  // no threshold separates equal values
+      ++ws.split_candidates;
       const auto nl = static_cast<double>(i + 1);
       const auto nr = static_cast<double>(n - i - 1);
       if (nl < params_.min_samples_leaf || nr < params_.min_samples_leaf) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -85,6 +86,7 @@ class DecisionTree {
     std::vector<double> left;           ///< running left-child histogram
     std::vector<double> right;          ///< running right-child histogram
     std::vector<double> best_left;      ///< left histogram at the best split
+    std::uint64_t split_candidates = 0; ///< thresholds scored this fit
   };
 
   int build(const Matrix& x, std::span<const int> y, int num_classes,

@@ -84,10 +84,12 @@ class Comm {
   Engine& engine() const noexcept { return *engine_; }
   double now() const { return engine_->now(rank_); }
 
-  /// False in timing-only mode (SimOptions::copy_data == false): collective
+  /// False in timing-only mode (PayloadMode::kTimingOnly): collective
   /// implementations skip their local payload movement (the time for it is
   /// charged either way), and buffers are never read or written.
-  bool payload_enabled() const noexcept { return engine_->options().copy_data; }
+  bool payload_enabled() const noexcept {
+    return engine_->options().payload_enabled();
+  }
 
   /// Nonblocking post; pair with wait()/wait_all().
   RequestId isend(int dst, std::span<const std::byte> data, int tag = 0) {

@@ -118,6 +118,9 @@ void Engine::reset(const ClusterSpec& cluster, Topology topo, SimOptions opts) {
   }
   events_.clear();
   next_seq_ = 0;
+  stat_events_ = 0;
+  stat_probes_ = 0;
+  stat_resizes_ = 0;
   completed_ranks_ = 0;
   tasks_.clear();
   ran_ = false;
@@ -182,13 +185,16 @@ std::size_t Engine::probe(std::uint64_t key) const noexcept {
   h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
   h ^= h >> 31;
   std::size_t i = static_cast<std::size_t>(h) & mask;
+  ++stat_probes_;
   while (channels_[i].key != kEmptyKey && channels_[i].key != key) {
     i = (i + 1) & mask;
+    ++stat_probes_;
   }
   return i;
 }
 
 void Engine::grow_channels(std::size_t capacity) {
+  ++stat_resizes_;
   std::vector<Channel> old = std::move(channels_);
   channels_.assign(capacity, Channel{});
   channel_count_ = 0;
@@ -261,7 +267,7 @@ RequestId Engine::post_send(int rank, int dst, std::span<const std::byte> data,
     // completes immediately; the sender may reuse its buffer right away.
     // The matched transfer below still sets the receive timing. Timing-only
     // mode skips the copy: the bounce time is charged regardless.
-    if (opts_.copy_data && !data.empty()) {
+    if (opts_.payload_enabled() && !data.empty()) {
       op.buffered.assign(data.begin(), data.end());
       op.send_data = op.buffered.data();
     }
@@ -359,7 +365,7 @@ void Engine::complete_transfer(int src, int dst, const PendingOp& send,
     recv_finish = start + duration;
   }
 
-  if (opts_.copy_data && send.bytes > 0) {
+  if (opts_.payload_enabled() && send.bytes > 0) {
     std::memcpy(recv.recv_data, send.send_data, send.bytes);
   }
   if (!requests_[send.req].done) {  // rendezvous sends finish on NIC drain
@@ -449,6 +455,7 @@ void Engine::run(RankFactoryRef factory) {
     std::pop_heap(events_.begin(), events_.end(), std::greater<Event>{});
     const Event ev = events_.back();
     events_.pop_back();
+    ++stat_events_;
     auto& clock = now_[static_cast<std::size_t>(ev.rank)];
     clock = std::max(clock, ev.clock);
     ev.handle.resume();
@@ -475,6 +482,19 @@ void Engine::run(RankFactoryRef factory) {
       }
     }
     throw SimError("deadlock: ranks {" + stuck + "} never completed");
+  }
+
+  if (obs::enabled()) {
+    // Stats are maintained unconditionally (plain member increments on
+    // hot-loop-owned cache lines); only the flush is gated.
+    static obs::Counter events("sim.events_processed");
+    static obs::Counter probes("sim.channel_probes");
+    static obs::Counter resizes("sim.channel_resizes");
+    static obs::Gauge pool_high_water("sim.pending_pool_high_water");
+    events.add(stat_events_);
+    probes.add(stat_probes_);
+    resizes.add(stat_resizes_);
+    pool_high_water.set(static_cast<std::int64_t>(pool_.size()));
   }
 }
 

@@ -37,6 +37,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "sim/network.hpp"
 
 namespace pml::sim {
@@ -106,20 +107,47 @@ class [[nodiscard]] RankTask {
 /// Identifier of an outstanding nonblocking operation.
 using RequestId = std::uint32_t;
 
+/// How an invocation treats payload bytes.
+enum class PayloadMode {
+  /// Move and verify real payload bytes on delivery (the default):
+  /// collective implementations are correctness-testable.
+  kVerify,
+  /// Timing-only fast path: pending operations carry sizes only, the
+  /// eager bounce-buffer copy is skipped, and collective implementations
+  /// skip their local payload shuffling — the virtual-time result is
+  /// bit-identical either way, because every data movement charges its
+  /// time unconditionally.
+  kTimingOnly,
+};
+
 /// Engine configuration.
 struct SimOptions {
   double noise_sigma = 0.0;   ///< log-normal jitter shape; 0 = deterministic
   std::uint64_t seed = 1;     ///< jitter stream seed
-  /// Move real payload bytes on delivery. false selects the timing-only
-  /// fast path: pending operations carry sizes only, the eager bounce-buffer
-  /// copy is skipped, and collective implementations skip their local
-  /// payload shuffling — the virtual-time result is bit-identical either
-  /// way, because every data movement charges its time unconditionally.
-  bool copy_data = true;
+  PayloadMode payload = PayloadMode::kVerify;
   /// Sends at or below this size complete eagerly at post time (the
   /// payload is buffered), as in real MPI eager/rendezvous protocols;
   /// larger sends complete when the NIC drains them.
   std::uint64_t eager_threshold = 16 * 1024;
+
+  bool payload_enabled() const noexcept {
+    return payload == PayloadMode::kVerify;
+  }
+};
+
+/// Options for one collective invocation through coll::run_collective.
+/// Superset of SimOptions: adds the trace sink consumed by obs. Field
+/// defaults are documented centrally in docs/API.md.
+struct RunOptions {
+  PayloadMode payload = PayloadMode::kVerify;
+  double noise_sigma = 0.0;   ///< log-normal jitter shape; 0 = deterministic
+  std::uint64_t seed = 1;     ///< jitter stream seed
+  std::uint64_t eager_threshold = 16 * 1024;
+  obs::Sink trace_sink{};     ///< empty = no trace capture/export
+
+  SimOptions sim_options() const noexcept {
+    return SimOptions{noise_sigma, seed, payload, eager_threshold};
+  }
 };
 
 /// Non-owning reference to a callable `RankTask(int rank)` factory. Avoids
@@ -189,6 +217,12 @@ class Engine {
   std::size_t channels_in_use() const noexcept { return channel_count_; }
   /// Pending-op nodes ever created (high-water; drained ops are recycled).
   std::size_t pending_pool_capacity() const noexcept { return pool_.size(); }
+  /// Events popped by the last run() (always maintained; obs-independent).
+  std::uint64_t events_processed() const noexcept { return stat_events_; }
+  /// Channel-table probe steps since the last reset.
+  std::uint64_t channel_probes() const noexcept { return stat_probes_; }
+  /// Channel-table growth episodes since the last reset.
+  std::uint64_t channel_resizes() const noexcept { return stat_resizes_; }
 
   // --- Interface used by Comm awaitables (not for direct use) ---
 
@@ -232,7 +266,7 @@ class Engine {
     std::int32_t next = -1;
     /// Eager sends buffer their payload at post time (the sender may reuse
     /// its buffer immediately, as real MPI eager protocols allow). Unused —
-    /// and unallocated — on the copy_data=false timing-only path; recycled
+    /// and unallocated — on the PayloadMode::kTimingOnly path; recycled
     /// nodes keep their capacity.
     std::vector<std::byte> buffered;
   };
@@ -302,6 +336,12 @@ class Engine {
   std::vector<Event> events_;  // binary min-heap (std::push_heap/pop_heap)
   std::vector<std::vector<std::byte>> scratch_;  // rank * 2 + slot; survives reset()
   std::uint64_t next_seq_ = 0;
+  // Cheap always-on statistics (plain increments on members the hot loop
+  // already owns); flushed to obs counters at the end of run() when
+  // collection is enabled.
+  std::uint64_t stat_events_ = 0;
+  mutable std::uint64_t stat_probes_ = 0;  // probe() is logically const
+  std::uint64_t stat_resizes_ = 0;
   int completed_ranks_ = 0;
   std::vector<RankTask> tasks_;
   bool ran_ = false;

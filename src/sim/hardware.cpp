@@ -14,7 +14,7 @@ std::string to_string(Interconnect ic) {
     case Interconnect::kInfinibandHdr: return "Mellanox InfiniBand (HDR)";
     case Interconnect::kOmniPath: return "Intel Omni-Path";
   }
-  throw Error("unknown interconnect");
+  throw ConfigError("unknown interconnect");
 }
 
 double lane_speed_gbps(Interconnect ic) {
@@ -26,7 +26,7 @@ double lane_speed_gbps(Interconnect ic) {
     case Interconnect::kInfinibandHdr: return 50.0;
     case Interconnect::kOmniPath: return 25.0;
   }
-  throw Error("unknown interconnect");
+  throw ConfigError("unknown interconnect");
 }
 
 int default_link_width(Interconnect /*ic*/) {
@@ -42,7 +42,7 @@ double base_latency_us(Interconnect ic) {
     case Interconnect::kInfinibandHdr: return 0.8;
     case Interconnect::kOmniPath: return 1.0;
   }
-  throw Error("unknown interconnect");
+  throw ConfigError("unknown interconnect");
 }
 
 namespace {
@@ -53,7 +53,7 @@ Interconnect interconnect_from_string(const std::string& s) {
   if (s == to_string(Interconnect::kInfinibandEdr)) return Interconnect::kInfinibandEdr;
   if (s == to_string(Interconnect::kInfinibandHdr)) return Interconnect::kInfinibandHdr;
   if (s == to_string(Interconnect::kOmniPath)) return Interconnect::kOmniPath;
-  throw Error("unknown interconnect name: " + s);
+  throw ConfigError("unknown interconnect name: " + s);
 }
 
 /// PCIe per-lane throughput in GB/s (effective, after encoding).
@@ -62,7 +62,7 @@ double pcie_lane_gbs(int version) {
     case 2: return 0.5;
     case 3: return 0.985;
     case 4: return 1.969;
-    default: throw Error("unsupported PCIe version " + std::to_string(version));
+    default: throw ConfigError("unsupported PCIe version " + std::to_string(version));
   }
 }
 
@@ -300,7 +300,7 @@ const ClusterSpec& cluster_by_name(const std::string& name) {
   for (const auto& c : builtin_clusters()) {
     if (c.name == name) return c;
   }
-  throw Error("unknown cluster: " + name);
+  throw ConfigError("unknown cluster: " + name);
 }
 
 }  // namespace pml::sim

@@ -14,7 +14,8 @@
 namespace pml::coll {
 namespace {
 
-using sim::SimOptions;
+using sim::PayloadMode;
+using sim::RunOptions;
 using sim::Topology;
 
 struct TimingCase {
@@ -30,8 +31,8 @@ TEST_P(TimingEquivalence, FastPathMatchesVerifiedPathExactly) {
   const auto& cluster = sim::cluster_by_name("Frontera");
   const Topology topo{c.nodes, c.ppn};
   // Nonzero noise so the test also proves the jitter streams line up.
-  SimOptions verified{0.15, 99, true};
-  SimOptions timing_only{0.15, 99, false};
+  const RunOptions verified{PayloadMode::kVerify, 0.15, 99};
+  const RunOptions timing_only{PayloadMode::kTimingOnly, 0.15, 99};
   for (const auto coll :
        {Collective::kAllgather, Collective::kAlltoall, Collective::kAllreduce,
         Collective::kBcast}) {
@@ -55,7 +56,7 @@ TEST_P(TimingEquivalence, FastPathIsDeterministicAcrossReuse) {
   const auto& c = GetParam();
   const auto& cluster = sim::cluster_by_name("Frontera");
   const Topology topo{c.nodes, c.ppn};
-  const SimOptions timing_only{0.15, 7, false};
+  const RunOptions timing_only{PayloadMode::kTimingOnly, 0.15, 7};
   for (const Algorithm a :
        valid_algorithms(Collective::kAllgather, topo.world_size())) {
     const double first =

@@ -103,7 +103,7 @@ TEST(Framework, CompileForProducesCompleteTable) {
   const std::vector<int> nodes = {1, 2, 4};
   const std::vector<int> ppns = {64, 128};
   const auto sizes = sim::power_of_two_sizes(16);
-  const TuningTable table = fw.compile_for(mri, nodes, ppns, sizes);
+  const TuningTable table = fw.compile_for(mri, CompileOptions::sweep(nodes, ppns, sizes));
   EXPECT_EQ(table.cluster_name(), "MRI");
   EXPECT_EQ(table.job_count(), 2u * 3u * 2u);  // collectives x nodes x ppns
   EXPECT_GT(fw.inference_seconds(), 0.0);
@@ -125,20 +125,20 @@ TEST(Framework, CompileOrCachedReusesExistingTable) {
 
   TuningTable cache;
   const TuningTable& first =
-      fw.compile_or_cached(mri, nodes, ppns, sizes, cache);
+      fw.compile_or_cached(mri, CompileOptions::sweep(nodes, ppns, sizes), cache);
   EXPECT_EQ(first.cluster_name(), "MRI");
   const double first_inference = fw.inference_seconds();
 
   // Second call: the cached table short-circuits the ML path (Fig. 4).
   const TuningTable& second =
-      fw.compile_or_cached(mri, nodes, ppns, sizes, cache);
+      fw.compile_or_cached(mri, CompileOptions::sweep(nodes, ppns, sizes), cache);
   EXPECT_EQ(&second, &cache);
   EXPECT_EQ(fw.inference_seconds(), first_inference);  // no new inference
 
   // A different cluster invalidates the cache.
   const auto& frontera = sim::cluster_by_name("Frontera");
   const TuningTable& third =
-      fw.compile_or_cached(frontera, nodes, ppns, sizes, cache);
+      fw.compile_or_cached(frontera, CompileOptions::sweep(nodes, ppns, sizes), cache);
   EXPECT_EQ(third.cluster_name(), "Frontera");
 }
 
@@ -152,25 +152,25 @@ TEST(Framework, CompileOrCachedRecompilesWhenSweepChanges) {
   const auto sizes = sim::power_of_two_sizes(8);
 
   TuningTable cache;
-  fw.compile_or_cached(mri, nodes, ppns, sizes, cache);
+  fw.compile_or_cached(mri, CompileOptions::sweep(nodes, ppns, sizes), cache);
   EXPECT_EQ(cache.job_count(), 2u * 2u * 1u);
 
   const std::vector<int> more_nodes = {1, 2, 4, 8};
   const TuningTable& recompiled =
-      fw.compile_or_cached(mri, more_nodes, ppns, sizes, cache);
+      fw.compile_or_cached(mri, CompileOptions::sweep(more_nodes, ppns, sizes), cache);
   EXPECT_EQ(recompiled.job_count(), 2u * 4u * 1u);
   EXPECT_TRUE(recompiled.has(coll::Collective::kAllgather, 8, 64));
 
   // Changing only the message sweep also invalidates the cache.
   const double before = fw.inference_seconds();
   const auto more_sizes = sim::power_of_two_sizes(12);
-  fw.compile_or_cached(mri, more_nodes, ppns, more_sizes, cache);
+  fw.compile_or_cached(mri, CompileOptions::sweep(more_nodes, ppns, more_sizes), cache);
   EXPECT_NE(fw.inference_seconds(), before);
   EXPECT_TRUE(cache.matches_sweep(more_nodes, ppns, more_sizes));
 
   // And an identical sweep still hits.
   const double after = fw.inference_seconds();
-  fw.compile_or_cached(mri, more_nodes, ppns, more_sizes, cache);
+  fw.compile_or_cached(mri, CompileOptions::sweep(more_nodes, ppns, more_sizes), cache);
   EXPECT_EQ(fw.inference_seconds(), after);
 }
 

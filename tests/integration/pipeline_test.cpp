@@ -47,7 +47,7 @@ TEST(Pipeline, TrainShipCompileRunOnUnseenCluster) {
   const std::vector<int> ppns = {4, 8};
   const auto sizes = sim::power_of_two_sizes(12);
   const core::TuningTable table =
-      shipped.compile_for(mri, nodes, ppns, sizes);
+      shipped.compile_for(mri, core::CompileOptions::sweep(nodes, ppns, sizes));
 
   // Runtime: execute the selected algorithms on the event engine with
   // payload verification at several job shapes.

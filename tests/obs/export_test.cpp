@@ -1,0 +1,148 @@
+// Exporter golden-schema tests: the chrome://tracing document and the
+// pml-metrics-v1 summary have load-bearing shapes (chrome://tracing and
+// tools/bench_compare.py both consume them), so the exact field set is
+// pinned here against synthetic snapshots with known statistics.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace pml::obs {
+namespace {
+
+/// Synthetic snapshot with hand-computable statistics.
+Snapshot sample_snapshot() {
+  Snapshot snap;
+  snap.counters.push_back({"sim.events_processed", 1234});
+  snap.gauges.push_back({"sim.pending_pool_high_water", 7, 32});
+  // Ten spans of one name with durations 1..10 us, plus one other span.
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    snap.spans.push_back({"dataset.cell", i * 2000, i * 1000, 0});
+  }
+  snap.spans.push_back({"train", 0, 50000, 1});
+  return snap;
+}
+
+TEST(SpanStats, NearestRankPercentilesOverKnownDurations) {
+  const auto stats = span_stats(sample_snapshot());
+  ASSERT_EQ(stats.size(), 2u);  // sorted by name: dataset.cell, train
+  const SpanStats& cell = stats[0];
+  EXPECT_EQ(cell.name, "dataset.cell");
+  EXPECT_EQ(cell.count, 10u);
+  EXPECT_EQ(cell.total_ns, 55000u);  // 1+2+...+10 us
+  EXPECT_EQ(cell.min_ns, 1000u);
+  EXPECT_EQ(cell.max_ns, 10000u);
+  EXPECT_EQ(cell.p50_ns, 5000u);   // nearest rank: 5th of 10
+  EXPECT_EQ(cell.p95_ns, 10000u);  // nearest rank: 10th of 10
+  const SpanStats& train = stats[1];
+  EXPECT_EQ(train.name, "train");
+  EXPECT_EQ(train.count, 1u);
+  EXPECT_EQ(train.min_ns, 50000u);
+  EXPECT_EQ(train.p50_ns, 50000u);
+  EXPECT_EQ(train.p95_ns, 50000u);
+}
+
+TEST(ChromeTrace, DocumentMatchesTraceEventSchema) {
+  const Json doc = chrome_trace_json(sample_snapshot());
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 11u);
+  for (const Json& e : events) {
+    EXPECT_EQ(e.at("ph").as_string(), "X");  // complete event
+    EXPECT_EQ(e.at("cat").as_string(), "pml");
+    EXPECT_EQ(e.at("pid").as_int(), 1);
+    EXPECT_FALSE(e.at("name").as_string().empty());
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+    EXPECT_GE(e.at("ts").as_number(), 0.0);
+    (void)e.at("tid").as_int();
+  }
+  // Timestamps are microseconds: the 1000 ns span becomes ts=2, dur=1.
+  const Json& first = events[0];
+  EXPECT_EQ(first.at("name").as_string(), "dataset.cell");
+  EXPECT_DOUBLE_EQ(first.at("ts").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(first.at("dur").as_number(), 1.0);
+  // Counters and gauges ride along in otherData.
+  const Json& other = doc.at("otherData");
+  EXPECT_EQ(other.at("counters").at("sim.events_processed").as_int(), 1234);
+  EXPECT_EQ(other.at("gauges")
+                .at("sim.pending_pool_high_water")
+                .at("max")
+                .as_int(),
+            32);
+}
+
+TEST(Metrics, DocumentMatchesMetricsV1Schema) {
+  const Json doc = metrics_json(sample_snapshot());
+  EXPECT_EQ(doc.at("format").as_string(), "pml-metrics-v1");
+  EXPECT_EQ(doc.at("counters").at("sim.events_processed").as_int(), 1234);
+  const Json& gauge = doc.at("gauges").at("sim.pending_pool_high_water");
+  EXPECT_EQ(gauge.at("value").as_int(), 7);
+  EXPECT_EQ(gauge.at("max").as_int(), 32);
+  const Json& cell = doc.at("spans").at("dataset.cell");
+  EXPECT_EQ(cell.at("count").as_int(), 10);
+  EXPECT_EQ(cell.at("total_ns").as_int(), 55000);
+  EXPECT_EQ(cell.at("min_ns").as_int(), 1000);
+  EXPECT_EQ(cell.at("max_ns").as_int(), 10000);
+  EXPECT_EQ(cell.at("p50_ns").as_int(), 5000);
+  EXPECT_EQ(cell.at("p95_ns").as_int(), 10000);
+}
+
+TEST(Metrics, EmptySnapshotStillProducesValidDocument) {
+  const Json doc = metrics_json(Snapshot{});
+  EXPECT_EQ(doc.at("format").as_string(), "pml-metrics-v1");
+  EXPECT_TRUE(doc.at("counters").as_object().empty());
+  EXPECT_TRUE(doc.at("gauges").as_object().empty());
+  EXPECT_TRUE(doc.at("spans").as_object().empty());
+  EXPECT_TRUE(chrome_trace_json(Snapshot{}).at("traceEvents").as_array()
+                  .empty());
+}
+
+TEST(ScopedCaptureTest, WritesBothFilesAndRestoresEnabledState) {
+  const bool was = set_enabled(false);
+  reset();
+  const std::string trace_path = ::testing::TempDir() + "obs_trace.json";
+  const std::string metrics_path = ::testing::TempDir() + "obs_metrics.json";
+  {
+    ScopedCapture capture(Sink{trace_path, metrics_path});
+    EXPECT_TRUE(enabled());  // non-empty sink turns collection on
+    Span span("test.capture_span");
+    static Counter counter("test.capture_counter");
+    counter.increment();
+  }
+  EXPECT_FALSE(enabled());  // restored on destruction
+  // Both files parse and carry the recorded data.
+  const Json trace = Json::parse(read_file(trace_path));
+  bool saw_span = false;
+  for (const Json& e : trace.at("traceEvents").as_array()) {
+    saw_span = saw_span || e.at("name").as_string() == "test.capture_span";
+  }
+  EXPECT_TRUE(saw_span);
+  const Json metrics = Json::parse(read_file(metrics_path));
+  EXPECT_EQ(metrics.at("format").as_string(), "pml-metrics-v1");
+  EXPECT_EQ(metrics.at("counters").at("test.capture_counter").as_int(), 1);
+  EXPECT_TRUE(metrics.at("spans").as_object().contains("test.capture_span"));
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  reset();
+  set_enabled(was);
+}
+
+TEST(ScopedCaptureTest, EmptySinkIsInert) {
+  const bool was = set_enabled(false);
+  {
+    ScopedCapture capture(Sink{});
+    EXPECT_FALSE(enabled());
+  }
+  EXPECT_FALSE(enabled());
+  set_enabled(was);
+}
+
+}  // namespace
+}  // namespace pml::obs

@@ -1,0 +1,205 @@
+// pml::obs core: disabled-by-default no-ops, cross-thread counter
+// aggregation (including common/parallel pool workers and raw
+// std::threads that exit before the snapshot), gauge high-water marks,
+// span recording/nesting, and reset() semantics.
+//
+// obs state is process-global; every test starts from a known state via
+// the StateGuard fixture (ctest runs each case in its own process, but
+// the binary must also pass when run directly).
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace pml::obs {
+namespace {
+
+/// Restore the enabled flag and drop recorded data around each test.
+class StateGuard : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = set_enabled(false);
+    reset();
+  }
+  void TearDown() override {
+    reset();
+    set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+using ObsTest = StateGuard;
+
+const CounterSample* find_counter(const Snapshot& snap, const char* name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSample* find_gauge(const Snapshot& snap, const char* name) {
+  for (const auto& g : snap.gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+TEST_F(ObsTest, DisabledByDefaultRecordsNothing) {
+  EXPECT_FALSE(enabled());
+  static Counter counter("test.disabled_counter");
+  static Gauge gauge("test.disabled_gauge");
+  counter.add(7);
+  gauge.set(42);
+  { Span span("test.disabled_span"); }
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(find_counter(snap, "test.disabled_counter"), nullptr);
+  EXPECT_EQ(find_gauge(snap, "test.disabled_gauge"), nullptr);
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST_F(ObsTest, SetEnabledReturnsPreviousState) {
+  EXPECT_FALSE(set_enabled(true));
+  EXPECT_TRUE(enabled());
+  EXPECT_TRUE(set_enabled(false));
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(ObsTest, CounterAccumulatesAndInstancesWithSameNameMerge) {
+  set_enabled(true);
+  static Counter a("test.shared_counter");
+  static Counter b("test.shared_counter");  // same name, same aggregate
+  a.add(3);
+  b.add(4);
+  a.increment();
+  const Snapshot snap = snapshot();
+  const auto* sample = find_counter(snap, "test.shared_counter");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, 8u);
+}
+
+TEST_F(ObsTest, CounterAggregatesAcrossRawThreads) {
+  set_enabled(true);
+  static Counter counter("test.mt_counter");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::uint64_t i = 0; i < kIncrements; ++i) counter.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The workers have exited: their buffers must have been folded into the
+  // registry's retired aggregate.
+  const Snapshot snap = snapshot();
+  const auto* sample = find_counter(snap, "test.mt_counter");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, kThreads * kIncrements);
+}
+
+TEST_F(ObsTest, CounterAggregatesAcrossPoolWorkers) {
+  set_enabled(true);
+  static Counter counter("test.pool_counter");
+  constexpr std::size_t kTasks = 64;
+  parallel_for(4, kTasks, [&](std::size_t) { counter.add(2); });
+  const Snapshot snap = snapshot();
+  const auto* sample = find_counter(snap, "test.pool_counter");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, 2 * kTasks);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastValueAndHighWaterMark) {
+  set_enabled(true);
+  static Gauge gauge("test.gauge");
+  gauge.set(5);
+  gauge.set(40);
+  gauge.set(-3);
+  const Snapshot snap = snapshot();
+  const auto* sample = find_gauge(snap, "test.gauge");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, -3);  // most recent set wins
+  EXPECT_EQ(sample->max, 40);   // high-water mark survives
+}
+
+TEST_F(ObsTest, SpanRecordsIntervalAndNesting) {
+  set_enabled(true);
+  {
+    Span outer("test.outer");
+    { Span inner("test.inner"); }
+  }
+  const Snapshot snap = snapshot();
+  ASSERT_EQ(snap.spans.size(), 2u);
+  const auto outer_it = std::find_if(
+      snap.spans.begin(), snap.spans.end(),
+      [](const SpanSample& s) { return s.name == "test.outer"; });
+  const auto inner_it = std::find_if(
+      snap.spans.begin(), snap.spans.end(),
+      [](const SpanSample& s) { return s.name == "test.inner"; });
+  ASSERT_NE(outer_it, snap.spans.end());
+  ASSERT_NE(inner_it, snap.spans.end());
+  // The inner interval nests inside the outer one.
+  EXPECT_GE(inner_it->start_ns, outer_it->start_ns);
+  EXPECT_LE(inner_it->start_ns + inner_it->dur_ns,
+            outer_it->start_ns + outer_it->dur_ns);
+  EXPECT_EQ(inner_it->tid, outer_it->tid);
+}
+
+TEST_F(ObsTest, SpanStartedWhileDisabledIsNotRecorded) {
+  Span span("test.straddle");  // constructed with collection off
+  set_enabled(true);
+  // Destroyed with collection on: the span must still not record, because
+  // it never captured a start time.
+  { /* span dies at end of test body */ }
+  set_enabled(false);
+  set_enabled(true);
+  EXPECT_TRUE(snapshot().spans.empty());
+}
+
+TEST_F(ObsTest, SnapshotIsSorted) {
+  set_enabled(true);
+  static Counter zebra("test.zzz");
+  static Counter alpha("test.aaa");
+  zebra.increment();
+  alpha.increment();
+  { Span s1("test.span_a"); }
+  { Span s2("test.span_b"); }
+  const Snapshot snap = snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& a, const auto& b) { return a.name < b.name; }));
+  EXPECT_TRUE(std::is_sorted(snap.spans.begin(), snap.spans.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.start_ns < b.start_ns ||
+                                      (a.start_ns == b.start_ns &&
+                                       a.tid < b.tid);
+                             }));
+}
+
+TEST_F(ObsTest, ResetDropsDataButKeepsRecordingWorking) {
+  set_enabled(true);
+  static Counter counter("test.reset_counter");
+  counter.add(10);
+  { Span span("test.reset_span"); }
+  reset();
+  Snapshot snap = snapshot();
+  EXPECT_EQ(find_counter(snap, "test.reset_counter"), nullptr);
+  EXPECT_TRUE(snap.spans.empty());
+  // Recording still works after the reset (interned ids survive).
+  counter.add(5);
+  const Snapshot after = snapshot();
+  const auto* sample = find_counter(after, "test.reset_counter");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, 5u);
+}
+
+}  // namespace
+}  // namespace pml::obs

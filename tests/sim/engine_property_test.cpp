@@ -48,7 +48,7 @@ TEST_P(RandomPermutationExchange, AllPayloadsDelivered) {
     inbox[r].resize(bytes);
   }
 
-  Engine engine(frontera(), topo, SimOptions{0.05, 42, true});
+  Engine engine(frontera(), topo, SimOptions{0.05, 42});
   engine.run([&](int rank) -> RankTask {
     Comm comm(engine, rank);
     std::vector<RequestId> reqs;
@@ -106,7 +106,7 @@ TEST(EngineProperty, NoiseAveragesOut) {
   double sum = 0.0;
   const int runs = 300;
   for (int i = 0; i < runs; ++i) {
-    sum += elapsed_with(SimOptions{0.05, static_cast<std::uint64_t>(i), true});
+    sum += elapsed_with(SimOptions{0.05, static_cast<std::uint64_t>(i)});
   }
   EXPECT_NEAR(sum / runs / clean, 1.0, 0.02);
 }

@@ -148,7 +148,7 @@ TEST(Engine, RankExceptionPropagates) {
   Engine engine(frontera(), Topology{1, 2});
   EXPECT_THROW(engine.run([&](int rank) -> RankTask {
     Comm comm(engine, rank);
-    if (rank == 1) throw Error("rank failure");
+    if (rank == 1) throw SimError("rank failure");
     co_return;
   }),
                Error);
@@ -173,7 +173,7 @@ TEST(Engine, InvalidPeerRejected) {
 
 TEST(Engine, DeterministicTimingAcrossRuns) {
   auto run_once = [&] {
-    Engine engine(frontera(), Topology{2, 4}, SimOptions{0.1, 42, true});
+    Engine engine(frontera(), Topology{2, 4}, SimOptions{0.1, 42});
     std::vector<std::vector<std::byte>> bufs(8, std::vector<std::byte>(1024));
     engine.run([&](int rank) -> RankTask {
       Comm comm(engine, rank);
@@ -191,7 +191,7 @@ TEST(Engine, DeterministicTimingAcrossRuns) {
 
 TEST(Engine, NoiseChangesWithSeed) {
   auto run_seed = [&](std::uint64_t seed) {
-    Engine engine(frontera(), Topology{2, 1}, SimOptions{0.2, seed, true});
+    Engine engine(frontera(), Topology{2, 1}, SimOptions{0.2, seed});
     std::vector<std::byte> buf(1 << 16);
     engine.run([&](int rank) -> RankTask {
       Comm comm(engine, rank);
@@ -275,7 +275,7 @@ TEST(Engine, ChannelKeyAcceptsMaxTag) {
 }
 
 TEST(Engine, ResetMatchesFreshEngineTiming) {
-  const SimOptions opts{0.2, 77, true};
+  const SimOptions opts{0.2, 77};
   auto workload = [](Engine& engine) {
     std::vector<std::vector<std::byte>> bufs(8, std::vector<std::byte>(4096));
     engine.run([&](int rank) -> RankTask {
@@ -294,7 +294,7 @@ TEST(Engine, ResetMatchesFreshEngineTiming) {
   const double expected = workload(fresh);
 
   // Dirty the engine with a different topology and seed before resetting.
-  Engine reused(frontera(), Topology{4, 1}, SimOptions{0.05, 3, true});
+  Engine reused(frontera(), Topology{4, 1}, SimOptions{0.05, 3});
   std::vector<std::byte> buf(2048);
   reused.run([&](int rank) -> RankTask {
     Comm comm(reused, rank);

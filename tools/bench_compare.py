@@ -1,14 +1,22 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON files for performance regressions.
+"""Compare two benchmark or metrics JSON files for performance regressions.
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
 
-Matches benchmarks by name, using the `_median` aggregate when present
-(repetitions were requested) and the raw real_time otherwise. Exits nonzero
-if any benchmark present in both files regressed by more than the threshold
-(default 20% on median real_time). New or removed benchmarks are reported
-but never fail the comparison.
+Two input formats are auto-detected per file:
+
+* google-benchmark JSON (``--benchmark_out``): benchmarks are matched by
+  name, using the ``_median`` aggregate when present (repetitions were
+  requested) and the raw real_time otherwise.
+* pml-metrics-v1 JSON (``pml --metrics`` / ``obs::write_metrics``): span
+  summaries are matched by name (prefixed ``span:``) and compared on
+  total_ns. Counter deltas are reported informationally and never fail the
+  comparison — event counts are workload facts, not performance.
+
+Exits nonzero if any timed series present in both files regressed by more
+than the threshold (default 20%). New or removed entries are reported but
+never fail the comparison.
 """
 
 import argparse
@@ -16,10 +24,8 @@ import json
 import sys
 
 
-def load_times(path):
+def load_benchmark_times(data):
     """Map of benchmark name -> representative real_time (ns-scale units)."""
-    with open(path, "r", encoding="utf-8") as f:
-        data = json.load(f)
     raw = {}
     medians = {}
     for b in data.get("benchmarks", []):
@@ -39,6 +45,30 @@ def load_times(path):
     return times
 
 
+def load_metrics(data):
+    """(times, counters) from a pml-metrics-v1 document.
+
+    Spans compare on total_ns (the Fig. 4-style stage totals); the
+    ``span:`` prefix keeps the namespace disjoint from benchmark names.
+    """
+    times = {}
+    for name, stats in data.get("spans", {}).items():
+        times[f"span:{name}"] = float(stats["total_ns"])
+    counters = {
+        name: int(value) for name, value in data.get("counters", {}).items()
+    }
+    return times, counters
+
+
+def load_file(path):
+    """(times, counters) for either supported format."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("format") == "pml-metrics-v1":
+        return load_metrics(data)
+    return load_benchmark_times(data), {}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -51,13 +81,15 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load_times(args.baseline)
-    cand = load_times(args.candidate)
+    base, base_counters = load_file(args.baseline)
+    cand, cand_counters = load_file(args.candidate)
     if not base:
-        print(f"error: no benchmarks found in {args.baseline}", file=sys.stderr)
+        print(f"error: no timed series found in {args.baseline}",
+              file=sys.stderr)
         return 2
     if not cand:
-        print(f"error: no benchmarks found in {args.candidate}", file=sys.stderr)
+        print(f"error: no timed series found in {args.candidate}",
+              file=sys.stderr)
         return 2
 
     regressions = []
@@ -78,9 +110,19 @@ def main():
             regressions.append((name, delta))
         print(f"{marker}  {name}: {b:.1f} -> {c:.1f} ({delta:+.1%})")
 
+    # Counter deltas (metrics inputs only): informational. A changed event
+    # count means the workload changed, which is worth a line but is not a
+    # regression verdict this tool can make.
+    for name in sorted(set(base_counters) | set(cand_counters)):
+        b = base_counters.get(name)
+        c = cand_counters.get(name)
+        if b == c:
+            continue
+        print(f"  counter  {name}: {b} -> {c}")
+
     if regressions:
         print(
-            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"\n{len(regressions)} series regressed beyond "
             f"{args.threshold:.0%}:",
             file=sys.stderr,
         )

@@ -23,14 +23,25 @@
 //
 //   pml clusters
 //       List the built-in Table-I cluster specifications.
+//
+//   pml stats   --metrics metrics.json
+//       Pretty-print a metrics.json summary written by --metrics.
+//
+// Global options (any command): --trace out.json writes a chrome://tracing
+// file for the run; --metrics out.json writes the flat span/counter summary.
+//
+// Exit statuses: 0 success, 1 unexpected failure, 2 usage error, then one
+// per pml::ErrorCode (3 config, 4 io, 5 json, 6 sim, 7 ml, 8 tuning).
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/framework.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -39,7 +50,9 @@ using namespace pml;
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: pml <train|compile|query|inspect|clusters> [options]\n"
+               "usage: pml <train|compile|query|inspect|clusters|stats> "
+               "[options]\n"
+               "Global options: --trace out.json, --metrics out.json\n"
                "Run `pml <command>` with missing options to see what it "
                "needs; see the header of tools/pml_tool.cpp for details.\n");
   std::exit(error == nullptr ? 0 : 2);
@@ -65,9 +78,26 @@ std::string require(const std::map<std::string, std::string>& args,
   return it->second;
 }
 
-std::vector<int> parse_ints(const std::string& csv) {
+/// std::stoi with the failure mapped onto the pml error taxonomy.
+int parse_int(const std::string& text, const std::string& what) {
+  try {
+    return std::stoi(text);
+  } catch (const std::exception&) {
+    throw ConfigError("invalid " + what + ": '" + text + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  try {
+    return static_cast<std::uint64_t>(std::stoull(text));
+  } catch (const std::exception&) {
+    throw ConfigError("invalid " + what + ": '" + text + "'");
+  }
+}
+
+std::vector<int> parse_ints(const std::string& csv, const std::string& what) {
   std::vector<int> out;
-  for (const auto& part : split(csv, ',')) out.push_back(std::stoi(part));
+  for (const auto& part : split(csv, ',')) out.push_back(parse_int(part, what));
   return out;
 }
 
@@ -93,10 +123,10 @@ int cmd_train(const std::map<std::string, std::string>& args) {
 
   core::TrainOptions options;
   if (args.contains("trees")) {
-    options.forest.n_trees = std::stoi(args.at("trees"));
+    options.forest.n_trees = parse_int(args.at("trees"), "--trees");
   }
   if (args.contains("top-features")) {
-    options.top_features = std::stoi(args.at("top-features"));
+    options.top_features = parse_int(args.at("top-features"), "--top-features");
   }
   if (args.contains("collectives")) {
     options.collectives.clear();
@@ -105,7 +135,7 @@ int cmd_train(const std::map<std::string, std::string>& args) {
     }
   }
   if (args.contains("threads")) {
-    options.threads = std::stoi(args.at("threads"));
+    options.threads = parse_int(args.at("threads"), "--threads");
   }
 
   std::printf("training on %zu clusters...\n", training.size());
@@ -118,22 +148,21 @@ int cmd_train(const std::map<std::string, std::string>& args) {
 int cmd_compile(const std::map<std::string, std::string>& args) {
   auto fw = core::PmlFramework::load(
       Json::parse(read_file(require(args, "model"))));
-  if (args.contains("threads")) {
-    fw.set_threads(std::stoi(args.at("threads")));
-  }
   const sim::ClusterSpec cluster = load_cluster(require(args, "cluster"));
   const std::string out = require(args, "out");
 
-  const std::vector<int> nodes =
-      args.contains("nodes") ? parse_ints(args.at("nodes"))
-                             : cluster.node_counts;
-  const std::vector<int> ppns =
-      args.contains("ppn") ? parse_ints(args.at("ppn")) : cluster.ppn_values;
-  const auto sizes = cluster.message_sizes.empty()
-                         ? sim::power_of_two_sizes(21)
-                         : cluster.message_sizes;
+  core::CompileOptions options;  // empty grids = the cluster's own sweep
+  if (args.contains("nodes")) {
+    options.node_counts = parse_ints(args.at("nodes"), "--nodes");
+  }
+  if (args.contains("ppn")) {
+    options.ppn_values = parse_ints(args.at("ppn"), "--ppn");
+  }
+  if (args.contains("threads")) {
+    options.threads = parse_int(args.at("threads"), "--threads");
+  }
 
-  const core::TuningTable table = fw.compile_for(cluster, nodes, ppns, sizes);
+  const core::TuningTable table = fw.compile_for(cluster, options);
   write_file(out, table.to_json().dump(2));
   std::printf("tuning table for '%s' written to %s (inference: %s)\n",
               cluster.name.c_str(), out.c_str(),
@@ -146,10 +175,9 @@ int cmd_query(const std::map<std::string, std::string>& args) {
       Json::parse(read_file(require(args, "table"))));
   const auto collective =
       coll::collective_from_string(require(args, "collective"));
-  const int nodes = std::stoi(require(args, "nodes"));
-  const int ppn = std::stoi(require(args, "ppn"));
-  const auto bytes =
-      static_cast<std::uint64_t>(std::stoull(require(args, "bytes")));
+  const int nodes = parse_int(require(args, "nodes"), "--nodes");
+  const int ppn = parse_int(require(args, "ppn"), "--ppn");
+  const auto bytes = parse_u64(require(args, "bytes"), "--bytes");
   const coll::Algorithm a = table.lookup(collective, nodes, ppn, bytes);
   std::printf("%s\n", coll::display_name(a).c_str());
   return 0;
@@ -191,6 +219,52 @@ int cmd_clusters() {
   return 0;
 }
 
+/// Pretty-print a metrics.json summary (written by a --metrics run).
+int cmd_stats(const std::map<std::string, std::string>& args) {
+  const Json doc = Json::parse(read_file(require(args, "metrics")));
+  if (!doc.contains("format") ||
+      doc.at("format").as_string() != "pml-metrics-v1") {
+    throw ConfigError("not a pml-metrics-v1 file");
+  }
+
+  const auto ns_str = [](double ns) { return format_time(ns / 1e9); };
+  const auto& spans = doc.at("spans").as_object();
+  if (!spans.empty()) {
+    TextTable t({"span", "count", "total", "p50", "p95", "max"});
+    t.set_title("spans");
+    for (const auto& [name, s] : spans) {
+      t.add_row({name, std::to_string(s.at("count").as_int()),
+                 ns_str(s.at("total_ns").as_number()),
+                 ns_str(s.at("p50_ns").as_number()),
+                 ns_str(s.at("p95_ns").as_number()),
+                 ns_str(s.at("max_ns").as_number())});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  const auto& counters = doc.at("counters").as_object();
+  if (!counters.empty()) {
+    TextTable t({"counter", "value"});
+    t.set_title("counters");
+    for (const auto& [name, v] : counters) {
+      t.add_row({name, std::to_string(v.as_int())});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  const auto& gauges = doc.at("gauges").as_object();
+  if (!gauges.empty()) {
+    TextTable t({"gauge", "value", "max"});
+    t.set_title("gauges");
+    for (const auto& [name, g] : gauges) {
+      t.add_row({name, std::to_string(g.at("value").as_int()),
+                 std::to_string(g.at("max").as_int())});
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,12 +272,24 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const auto args = parse_args(argc, argv, 2);
+    if (command == "stats") return cmd_stats(args);
+
+    // Global trace/metrics capture: enabled for the whole command, files
+    // written when the capture leaves scope (after the command returns).
+    obs::Sink sink;
+    if (args.contains("trace")) sink.chrome_trace = args.at("trace");
+    if (args.contains("metrics")) sink.metrics = args.at("metrics");
+    obs::ScopedCapture capture(std::move(sink));
+
     if (command == "train") return cmd_train(args);
     if (command == "compile") return cmd_compile(args);
     if (command == "query") return cmd_query(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "clusters") return cmd_clusters();
     usage(("unknown command: " + command).c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_status(e.code());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
