@@ -26,6 +26,7 @@
 #include "coll/runner.hpp"
 #include "core/dataset_builder.hpp"
 #include "sim/comm.hpp"
+#include "sim/fault.hpp"
 
 // ---- allocation counting ----------------------------------------------------
 // Counts every operator-new in the process; benchmarks snapshot the counter
@@ -95,10 +96,12 @@ BENCHMARK(BM_BuildRecords)
 // recursive-doubling allreduce) must run allocation-free.
 
 void bm_timing_only(benchmark::State& state, coll::Algorithm algorithm,
-                    int nodes, int ppn, std::uint64_t bytes) {
+                    int nodes, int ppn, std::uint64_t bytes,
+                    const sim::FaultPlan& faults = {}) {
   const auto& cluster = sim::cluster_by_name("Frontera");
   const sim::Topology topo{nodes, ppn};
-  const sim::RunOptions opts{sim::PayloadMode::kTimingOnly, 0.015, 2024};
+  sim::RunOptions opts{sim::PayloadMode::kTimingOnly, 0.015, 2024};
+  opts.faults = faults;
   // Warm the thread_local engine and arenas so the loop measures steady
   // state.
   benchmark::DoNotOptimize(
@@ -132,6 +135,55 @@ void BM_TimingOnlyBcastBinomial(benchmark::State& state) {
   bm_timing_only(state, coll::Algorithm::kBcBinomial, 4, 8, 65536);
 }
 BENCHMARK(BM_TimingOnlyBcastBinomial)->Unit(benchmark::kMicrosecond);
+
+// ---- fault-injection hot-path cost ------------------------------------------
+// The disabled-fault path (an empty FaultPlan) must stay allocation-free:
+// fault support costs one predictable branch, nothing more. This one is a
+// hard gate — the smoke run fails if the steady state ever allocates. The
+// faulted variant quantifies the full-plan cost for comparison.
+
+void BM_TimingOnlyFaultsDisabled(benchmark::State& state) {
+  const auto& cluster = sim::cluster_by_name("Frontera");
+  const sim::Topology topo{4, 8};
+  sim::RunOptions opts{sim::PayloadMode::kTimingOnly, 0.015, 2024};
+  opts.faults = sim::FaultPlan{};  // explicit empty plan, not the default
+  // A run's coroutine frames are recycled at the *next* reset, so the frame
+  // pool's free lists keep growing for a few cycles; run several warm-up
+  // rounds to reach the allocation-free steady state before snapshotting.
+  for (int i = 0; i < 4; ++i) {
+    benchmark::DoNotOptimize(
+        coll::run_collective(cluster, topo, coll::Algorithm::kAgRing, 4096,
+                             opts)
+            .seconds);
+  }
+  const std::size_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        coll::run_collective(cluster, topo, coll::Algorithm::kAgRing, 4096,
+                             opts)
+            .seconds);
+  }
+  const std::size_t allocs = g_alloc_count.load() - allocs_before;
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  if (allocs != 0) {
+    state.SkipWithError(
+        ("disabled-fault hot path allocated (" + std::to_string(allocs) +
+         " over " + std::to_string(state.iterations()) +
+         " iters); empty FaultPlan must be free")
+            .c_str());
+  }
+}
+BENCHMARK(BM_TimingOnlyFaultsDisabled)->Unit(benchmark::kMicrosecond);
+
+void BM_TimingOnlyFaulted(benchmark::State& state) {
+  sim::FaultPlan plan;
+  plan.link_degradations.push_back({0, 0.5, 1e-6});
+  plan.stragglers.push_back({1, 2.0});
+  plan.flaps.push_back({2, 1e-5, 1e-4});
+  bm_timing_only(state, coll::Algorithm::kAgRing, 4, 8, 4096, plan);
+}
+BENCHMARK(BM_TimingOnlyFaulted)->Unit(benchmark::kMicrosecond);
 
 // ---- raw engine event rate --------------------------------------------------
 // Drives the engine directly through reset() cycles; items/sec is posted

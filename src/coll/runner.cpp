@@ -259,7 +259,7 @@ RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
   return run_collective(
       cluster, topo, algorithm, block_bytes,
       sim::RunOptions{opts.payload, opts.noise_sigma, opts.seed,
-                      opts.eager_threshold});
+                      opts.eager_threshold, {}, opts.faults});
 }
 
 }  // namespace pml::coll

@@ -1,0 +1,170 @@
+#include "common/artifact.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/strings.hpp"
+
+namespace pml {
+
+namespace {
+
+/// True when a parsed-but-unenveloped document looks like one of ours: every
+/// pre-envelope artifact carries a "format" key starting with "pml-".
+bool looks_like_pml_document(const Json& doc) noexcept {
+  if (!doc.is_object() || !doc.contains("format")) return false;
+  const Json& format = doc.at("format");
+  return format.is_string() && format.as_string().rfind("pml-", 0) == 0;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string payload_checksum(const Json& payload) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "fnv1a64:%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload.dump())));
+  return buf;
+}
+
+void write_artifact(const std::string& path, const Json& payload,
+                    std::string_view kind, int schema_version) {
+  Json envelope = Json::object();
+  envelope["format"] = std::string(kArtifactFormat);
+  envelope["kind"] = std::string(kind);
+  envelope["schema"] = schema_version;
+  envelope["checksum"] = payload_checksum(payload);
+  envelope["payload"] = payload;
+  write_file_atomic(path, envelope.dump(2) + "\n");
+}
+
+bool is_artifact_envelope(const Json& doc) noexcept {
+  if (!doc.is_object() || !doc.contains("format")) return false;
+  const Json& format = doc.at("format");
+  return format.is_string() && format.as_string() == kArtifactFormat;
+}
+
+Json artifact_payload(const Json& doc, std::string_view kind,
+                      int schema_version, bool allow_legacy) {
+  if (!is_artifact_envelope(doc)) {
+    if (allow_legacy) return doc;
+    throw JsonError("expected a " + std::string(kArtifactFormat) +
+                    " envelope of kind '" + std::string(kind) + "'");
+  }
+  if (!doc.contains("kind") || !doc.at("kind").is_string() ||
+      doc.at("kind").as_string() != kind) {
+    throw JsonError("artifact kind mismatch: expected '" + std::string(kind) +
+                    "'");
+  }
+  if (!doc.contains("schema") || !doc.at("schema").is_number() ||
+      doc.at("schema").as_int() != schema_version) {
+    throw JsonError("artifact schema mismatch for kind '" + std::string(kind) +
+                    "': expected version " + std::to_string(schema_version));
+  }
+  if (!doc.contains("payload")) {
+    throw JsonError("artifact envelope has no payload");
+  }
+  const Json& payload = doc.at("payload");
+  const std::string expected = payload_checksum(payload);
+  if (!doc.contains("checksum") || !doc.at("checksum").is_string() ||
+      doc.at("checksum").as_string() != expected) {
+    throw JsonError("artifact checksum mismatch for kind '" +
+                    std::string(kind) + "' (content corrupt?)");
+  }
+  return payload;
+}
+
+const char* to_string(ArtifactStatus status) noexcept {
+  switch (status) {
+    case ArtifactStatus::kOk: return "ok";
+    case ArtifactStatus::kLegacy: return "legacy";
+    case ArtifactStatus::kStaleSchema: return "stale-schema";
+    case ArtifactStatus::kCorrupt: return "corrupt";
+    case ArtifactStatus::kUnreadable: return "unreadable";
+  }
+  return "unknown";
+}
+
+ArtifactInfo inspect_artifact(const std::string& path) {
+  ArtifactInfo info;
+
+  std::string text;
+  try {
+    text = read_file(path);
+  } catch (const Error& err) {
+    info.status = ArtifactStatus::kUnreadable;
+    info.detail = err.what();
+    return info;
+  }
+
+  Json doc;
+  try {
+    doc = Json::parse(text);
+  } catch (const Error& err) {
+    info.status = ArtifactStatus::kCorrupt;
+    info.detail = std::string("not valid JSON: ") + err.what();
+    return info;
+  }
+
+  if (!is_artifact_envelope(doc)) {
+    if (looks_like_pml_document(doc)) {
+      info.status = ArtifactStatus::kLegacy;
+      info.kind = doc.at("format").as_string();
+      info.detail = "pre-envelope artifact (no checksum); rewrite to upgrade";
+    } else {
+      info.status = ArtifactStatus::kCorrupt;
+      info.detail = "not a pml artifact (no recognised format key)";
+    }
+    return info;
+  }
+
+  if (doc.contains("kind") && doc.at("kind").is_string()) {
+    info.kind = doc.at("kind").as_string();
+  }
+  if (doc.contains("schema") && doc.at("schema").is_number()) {
+    info.schema = static_cast<int>(doc.at("schema").as_int());
+  }
+  if (info.kind.empty() || !doc.contains("payload") ||
+      !doc.contains("checksum") || !doc.at("checksum").is_string()) {
+    info.status = ArtifactStatus::kCorrupt;
+    info.detail = "incomplete envelope (missing kind/checksum/payload)";
+    return info;
+  }
+  if (doc.at("checksum").as_string() != payload_checksum(doc.at("payload"))) {
+    info.status = ArtifactStatus::kCorrupt;
+    info.detail = "checksum mismatch (content corrupt)";
+    return info;
+  }
+  if (info.schema != 1) {
+    info.status = ArtifactStatus::kStaleSchema;
+    info.detail = "schema version " + std::to_string(info.schema) +
+                  " (this build expects 1)";
+    return info;
+  }
+  info.status = ArtifactStatus::kOk;
+  return info;
+}
+
+namespace detail {
+
+void retry_sleep(const RetryPolicy& policy, double seconds) {
+  if (policy.sleep) {
+    policy.sleep(seconds);
+    return;
+  }
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace detail
+
+}  // namespace pml

@@ -1,0 +1,119 @@
+// Versioned, checksummed JSON artifact envelopes and retrying IO.
+//
+// Every JSON artifact the framework persists (model bundles, tuning tables,
+// cache entries) is wrapped in a small "pml-artifact-v1" envelope:
+//
+//   {
+//     "format":   "pml-artifact-v1",
+//     "kind":     "model" | "tuning-table" | ...,
+//     "schema":   1,
+//     "checksum": "fnv1a64:<16 hex digits>",   // over payload.dump()
+//     "payload":  { ...the artifact document... }
+//   }
+//
+// Writes are atomic (temp file + fsync + rename), so readers never observe
+// a torn file; loads validate kind, schema version, and content checksum,
+// so a flipped byte or a truncation is detected instead of silently
+// consumed. Pre-envelope ("legacy") documents remain loadable where the
+// caller opts in, and `pml doctor` classifies any on-disk artifact without
+// throwing. RetryPolicy/with_retry implement the bounded-exponential-
+// backoff rung of the online stage's degradation ladder (docs/API.md,
+// "Fault injection & degradation policy").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace pml {
+
+inline constexpr std::string_view kArtifactFormat = "pml-artifact-v1";
+
+/// FNV-1a 64-bit hash of a byte string.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Canonical checksum string for an artifact payload: "fnv1a64:" plus 16
+/// hex digits over the payload's compact dump(). Json objects preserve
+/// insertion order, so a parse -> dump round-trip reproduces the bytes and
+/// the checksum can be re-validated after loading.
+std::string payload_checksum(const Json& payload);
+
+/// Wrap `payload` in a pml-artifact-v1 envelope and write it atomically
+/// (write_file_atomic). Throws IoError on filesystem failure.
+void write_artifact(const std::string& path, const Json& payload,
+                    std::string_view kind, int schema_version = 1);
+
+/// True if `doc` carries the pml-artifact-v1 envelope format key.
+bool is_artifact_envelope(const Json& doc) noexcept;
+
+/// Validate an envelope's kind, schema version, and checksum, returning its
+/// payload; throws JsonError on any mismatch (a checksum mismatch means the
+/// content is corrupt). A document without the envelope is returned
+/// unchanged when `allow_legacy` (pre-envelope artifacts stay loadable) and
+/// rejected otherwise.
+Json artifact_payload(const Json& doc, std::string_view kind,
+                      int schema_version = 1, bool allow_legacy = true);
+
+/// `pml doctor` verdict for one on-disk artifact.
+enum class ArtifactStatus {
+  kOk,           ///< valid envelope, current schema, checksum matches
+  kLegacy,       ///< parseable pml document without the envelope (no checksum)
+  kStaleSchema,  ///< valid envelope but a schema version this build can't vouch for
+  kCorrupt,      ///< unparseable JSON, broken envelope, or checksum mismatch
+  kUnreadable,   ///< the file itself could not be read
+};
+
+/// Stable verdict name ("ok", "legacy", "stale-schema", "corrupt",
+/// "unreadable").
+const char* to_string(ArtifactStatus status) noexcept;
+
+struct ArtifactInfo {
+  ArtifactStatus status = ArtifactStatus::kUnreadable;
+  std::string kind;    ///< envelope kind, or the legacy document's format key
+  int schema = 0;      ///< envelope schema version; 0 when absent
+  std::string detail;  ///< human-readable reason for non-ok verdicts
+};
+
+/// Classify one artifact file for `pml doctor`. Failures become verdicts,
+/// not exceptions.
+ArtifactInfo inspect_artifact(const std::string& path);
+
+/// Bounded-exponential-backoff retry policy for transient IO failures.
+struct RetryPolicy {
+  int max_attempts = 3;                ///< total attempts, including the first
+  double base_backoff_seconds = 1e-3;  ///< sleep before the first retry
+  double backoff_multiplier = 8.0;     ///< backoff growth per retry
+  /// Injectable clock for tests: called instead of a real sleep when set,
+  /// so retry schedules are assertable without wall-clock waits.
+  std::function<void(double)> sleep;
+};
+
+namespace detail {
+/// policy.sleep when set, otherwise a real std::this_thread sleep.
+void retry_sleep(const RetryPolicy& policy, double seconds);
+}  // namespace detail
+
+/// Run `attempt` up to policy.max_attempts times, backing off between
+/// IoError failures, and rethrow the last IoError when attempts run out.
+/// Non-IO errors propagate immediately: corrupt content does not become
+/// less corrupt by retrying.
+template <typename F>
+auto with_retry(const RetryPolicy& policy, F&& attempt) -> decltype(attempt()) {
+  const int attempts = policy.max_attempts > 1 ? policy.max_attempts : 1;
+  double backoff = policy.base_backoff_seconds;
+  for (int attempt_number = 1;; ++attempt_number) {
+    try {
+      return attempt();
+    } catch (const IoError&) {
+      if (attempt_number >= attempts) throw;
+      detail::retry_sleep(policy, backoff);
+      backoff *= policy.backoff_multiplier;
+    }
+  }
+}
+
+}  // namespace pml

@@ -1,7 +1,13 @@
 #include "common/strings.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -67,6 +73,11 @@ std::string format_double(double value, int precision) {
 }
 
 std::string read_file(const std::string& path) {
+  // Opening a directory "succeeds" on Linux and reads silently yield
+  // nothing; surface it as the IO failure it is.
+  if (std::filesystem::is_directory(path)) {
+    throw IoError("cannot read a directory: " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open file for reading: " + path);
   std::ostringstream ss;
@@ -79,6 +90,43 @@ void write_file(const std::string& path, std::string_view contents) {
   if (!out) throw IoError("cannot open file for writing: " + path);
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   if (!out) throw IoError("write failed: " + path);
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const auto fail = [&tmp](const std::string& what) -> IoError {
+    IoError err(what + ": " + tmp + ": " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return err;
+  };
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw IoError("cannot open file for writing: " + tmp + ": " +
+                  std::strerror(errno));
+  }
+  const char* data = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw fail("write failed");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // fsync before rename: without it a crash can publish an empty file
+  // under the final name on some filesystems.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw fail("fsync failed");
+  }
+  if (::close(fd) != 0) throw fail("close failed");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw fail("rename to " + path + " failed");
+  }
 }
 
 }  // namespace pml

@@ -29,4 +29,9 @@ std::string read_file(const std::string& path);
 /// Write a string to a file (overwrite); throws pml::Error on failure.
 void write_file(const std::string& path, std::string_view contents);
 
+/// Atomically replace `path` with `contents`: write to `path + ".tmp"`,
+/// fsync, then rename over the target so readers never observe a torn
+/// file. Throws pml::IoError on failure (the temp file is cleaned up).
+void write_file_atomic(const std::string& path, std::string_view contents);
+
 }  // namespace pml

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
@@ -105,6 +107,83 @@ ResolvedSweep resolve_sweep(const sim::ClusterSpec& cluster,
                                    : cluster.message_sizes)
                             : options.message_sizes;
   return sweep;
+}
+
+// --- Degradation-ladder helpers (filesystem compile_or_cached) ---------------
+
+constexpr const char* kTableArtifactKind = "tuning-table";
+
+/// Structured degradation warning: one stderr line per ladder step, so
+/// operators can see why a fallback happened without a trace sink.
+void warn_degraded(const std::string& message) {
+  std::fprintf(stderr, "pml: warning: %s\n", message.c_str());
+}
+
+bool covers(const TuningTable& table, const sim::ClusterSpec& cluster,
+            const ResolvedSweep& sweep) {
+  return table.cluster_name() == cluster.name && !table.empty() &&
+         table.matches_sweep(sweep.node_counts, sweep.ppn_values,
+                             sweep.message_sizes);
+}
+
+/// Load a cached table, validating the artifact envelope. Any failure is a
+/// reason to recompile, not to abort: the verdict is recorded as an
+/// online.fallback.* counter plus a warning and nullopt is returned.
+std::optional<TuningTable> load_cached_table(const std::filesystem::path& path,
+                                             const CompileOptions& options) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+
+  std::string text;
+  try {
+    text = with_retry(options.cache_retry,
+                      [&] { return read_file(path.string()); });
+  } catch (const Error& err) {
+    static obs::Counter unreadable("online.fallback.cache_unreadable");
+    unreadable.increment();
+    warn_degraded("cached table unreadable, recompiling: " +
+                  std::string(err.what()));
+    return std::nullopt;
+  }
+
+  try {
+    const Json doc = Json::parse(text);
+    if (!is_artifact_envelope(doc)) {
+      // Pre-envelope cache entries carry no checksum, so a silent
+      // corruption would be served as-is: recompile and rewrite them in
+      // the enveloped format instead of trusting the bytes.
+      static obs::Counter stale("online.fallback.cache_stale");
+      stale.increment();
+      warn_degraded("cached table at " + path.string() +
+                    " predates pml-artifact-v1; recompiling to upgrade it");
+      return std::nullopt;
+    }
+    return TuningTable::from_json(
+        artifact_payload(doc, kTableArtifactKind, 1, /*allow_legacy=*/false));
+  } catch (const Error& err) {
+    static obs::Counter corrupt("online.fallback.cache_corrupt");
+    corrupt.increment();
+    warn_degraded("cached table at " + path.string() +
+                  " is corrupt, recompiling: " + std::string(err.what()));
+    return std::nullopt;
+  }
+}
+
+/// Persist a freshly compiled table. A write failure costs cache reuse on
+/// the next run, nothing else — degrade, warn, continue.
+void store_cached_table(const std::filesystem::path& path,
+                        const TuningTable& table,
+                        const CompileOptions& options) {
+  try {
+    if (!options.cache_dir.empty()) {
+      std::filesystem::create_directories(options.cache_dir);
+    }
+    write_artifact(path.string(), table.to_json(), kTableArtifactKind);
+  } catch (const std::exception& err) {
+    static obs::Counter write_failed("online.fallback.cache_write_failed");
+    write_failed.increment();
+    warn_degraded("cannot persist tuning table to " + path.string() + ": " +
+                  std::string(err.what()));
+  }
 }
 
 }  // namespace
@@ -267,20 +346,27 @@ TuningTable PmlFramework::compile_or_cached(const sim::ClusterSpec& cluster,
   const ResolvedSweep sweep = resolve_sweep(cluster, options);
   const std::filesystem::path path =
       std::filesystem::path(options.cache_dir) / (cluster.name + ".table.json");
-  if (std::filesystem::exists(path)) {
-    const TuningTable cached =
-        TuningTable::from_json(Json::parse(read_file(path.string())));
-    if (cached.cluster_name() == cluster.name && !cached.empty() &&
-        cached.matches_sweep(sweep.node_counts, sweep.ppn_values,
-                             sweep.message_sizes)) {
-      return cached;
-    }
+
+  // Fallback ladder, rung 1: a valid cached artifact covering this sweep.
+  if (auto cached = load_cached_table(path, options)) {
+    if (covers(*cached, cluster, sweep)) return *std::move(cached);
   }
-  TuningTable table = compile_for(cluster, options);
-  if (!options.cache_dir.empty()) {
-    std::filesystem::create_directories(options.cache_dir);
+
+  // Rung 2: recompile from the trained model (and repair/upgrade the cache).
+  TuningTable table;
+  try {
+    table = compile_for(cluster, options);
+  } catch (const Error& err) {
+    if (!options.heuristic_fallback) throw;
+    // Rung 3: rule-of-thumb table. Never cached — a later run with a
+    // healthy model must not be served the degraded table.
+    static obs::Counter heuristic("online.fallback.heuristic");
+    heuristic.increment();
+    warn_degraded("compile failed, serving heuristic table for " +
+                  cluster.name + ": " + std::string(err.what()));
+    return heuristic_table(cluster, options);
   }
-  write_file(path.string(), table.to_json().dump(2) + "\n");
+  store_cached_table(path, table, options);
   return table;
 }
 
@@ -363,6 +449,38 @@ PmlFramework PmlFramework::load(const Json& j) {
   }
   if (fw.parts_.empty()) throw TuningError("model bundle has no collectives");
   return fw;
+}
+
+PmlFramework PmlFramework::load_file(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  return load(artifact_payload(doc, "model"));
+}
+
+TuningTable heuristic_table(const sim::ClusterSpec& cluster,
+                            const CompileOptions& options) {
+  const ResolvedSweep sweep = resolve_sweep(cluster, options);
+  HeuristicSelector selector;
+  const int threads = options.threads == 0 ? 1 : options.threads;
+  return TuningTable::generate(selector, cluster, sweep.node_counts,
+                               sweep.ppn_values, sweep.message_sizes,
+                               coll::all_collectives(), threads);
+}
+
+TuningTable online_table(const std::string& model_path,
+                         const sim::ClusterSpec& cluster,
+                         const CompileOptions& options) {
+  try {
+    PmlFramework fw = PmlFramework::load_file(model_path);
+    return fw.compile_or_cached(cluster, options);
+  } catch (const Error& err) {
+    if (!options.heuristic_fallback) throw;
+    static obs::Counter heuristic("online.fallback.heuristic");
+    heuristic.increment();
+    warn_degraded("model bundle " + model_path +
+                  " unusable, serving heuristic table for " + cluster.name +
+                  ": " + std::string(err.what()));
+    return heuristic_table(cluster, options);
+  }
 }
 
 }  // namespace pml::core

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "coll/collective.hpp"
+#include "common/artifact.hpp"
 #include "common/json.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/selectors.hpp"
@@ -68,6 +69,14 @@ struct CompileOptions {
   std::string cache_dir;
   /// Trace/metrics output for this compile; empty = no capture.
   obs::Sink trace_sink{};
+  /// Retry schedule for transient cache-read failures in the filesystem
+  /// compile_or_cached overload. The default retries twice with 1 ms
+  /// bounded-exponential backoff; tests inject a counting sleep.
+  RetryPolicy cache_retry{};
+  /// Degradation ladder switch: when true (default), a compile failure in
+  /// compile_or_cached/online_table falls back to HeuristicSelector instead
+  /// of throwing. Disable to surface errors in strict deployments.
+  bool heuristic_fallback = true;
 
   /// Throws pml::ConfigError on non-positive node/ppn entries.
   void validate() const;
@@ -171,6 +180,11 @@ class PmlFramework final : public Selector {
   Json to_json() const;
   static PmlFramework load(const Json& j);
 
+  /// Load a model bundle from disk. Accepts both a pml-artifact-v1
+  /// envelope of kind "model" (checksum validated) and a legacy bare
+  /// bundle. Throws IoError / JsonError / TuningError on failure.
+  static PmlFramework load_file(const std::string& path);
+
  private:
   const PerCollective& part(coll::Collective collective) const;
 
@@ -178,5 +192,30 @@ class PmlFramework final : public Selector {
   double inference_seconds_ = 0.0;
   int threads_ = 0;
 };
+
+// --- Graceful degradation (online stage) -------------------------------------
+//
+// The online stage must always hand the application a usable tuning table:
+// a corrupt cache, a missing model, or a failing disk degrades selection
+// quality, never availability. The fallback ladder is
+//   cached table -> recompile from model -> HeuristicSelector table,
+// with each step down recorded as an online.fallback.* metric and a
+// structured warning on stderr (docs/API.md, "Fault injection &
+// degradation policy").
+
+/// Rule-of-thumb tuning table from HeuristicSelector over the options'
+/// sweep grid — no model required; cannot fail on IO. Covers every
+/// collective in coll::all_collectives().
+TuningTable heuristic_table(const sim::ClusterSpec& cluster,
+                            const CompileOptions& options = {});
+
+/// One-call online stage: load the model bundle at `model_path` and run the
+/// filesystem-cached compile. Any Error along the way (unreadable or
+/// corrupt model, compile failure) degrades to heuristic_table() when
+/// options.heuristic_fallback is set, so this always returns a usable
+/// table.
+TuningTable online_table(const std::string& model_path,
+                         const sim::ClusterSpec& cluster,
+                         const CompileOptions& options = {});
 
 }  // namespace pml::core

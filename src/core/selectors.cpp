@@ -117,6 +117,58 @@ Algorithm OpenMpiDefaultSelector::select(Collective collective,
   return Algorithm::kBcPipelinedRing;
 }
 
+Algorithm HeuristicSelector::select(Collective collective,
+                                    const sim::ClusterSpec& /*cluster*/,
+                                    sim::Topology topo,
+                                    std::uint64_t msg_bytes) {
+  const int p = topo.world_size();
+  // High PPN fully subscribes the node's single NIC; prefer algorithms
+  // with fewer concurrent inter-node flows when congested.
+  const bool congested = topo.ppn > 16;
+  if (collective == Collective::kAllgather) {
+    const std::uint64_t total = static_cast<std::uint64_t>(p) * msg_bytes;
+    if (msg_bytes <= 256 && coll::is_power_of_two(p)) {
+      return Algorithm::kAgRecursiveDoubling;
+    }
+    if (total <= 128 * 1024) {
+      return first_supported({Algorithm::kAgBruck, Algorithm::kAgRing}, p);
+    }
+    if (!congested && total <= 1024 * 1024) {
+      return first_supported({Algorithm::kAgRdComm, Algorithm::kAgRing}, p);
+    }
+    return first_supported({Algorithm::kAgRing, Algorithm::kAgBruck}, p);
+  }
+  if (collective == Collective::kAlltoall) {
+    if (static_cast<std::uint64_t>(p) * msg_bytes <= 16 * 1024) {
+      return first_supported({Algorithm::kAaBruck, Algorithm::kAaPairwise}, p);
+    }
+    if (msg_bytes <= (congested ? 2048u : 8192u)) {
+      return first_supported(
+          {Algorithm::kAaScatterDest, Algorithm::kAaPairwise}, p);
+    }
+    return first_supported({Algorithm::kAaPairwise, Algorithm::kAaScatterDest},
+                           p);
+  }
+  if (collective == Collective::kAllreduce) {
+    if (msg_bytes <= 4096) {
+      return first_supported(
+          {Algorithm::kArRecursiveDoubling, Algorithm::kArRing}, p);
+    }
+    if (congested) {
+      return first_supported({Algorithm::kArRabenseifner, Algorithm::kArRing},
+                             p);
+    }
+    return first_supported({Algorithm::kArRing, Algorithm::kArRabenseifner},
+                           p);
+  }
+  // MPI_Bcast
+  if (msg_bytes <= 16 * 1024) return Algorithm::kBcBinomial;
+  if (coll::is_power_of_two(p) && msg_bytes <= 256 * 1024) {
+    return Algorithm::kBcScatterAllgather;
+  }
+  return Algorithm::kBcPipelinedRing;
+}
+
 Algorithm RandomSelector::select(Collective collective,
                                  const sim::ClusterSpec& /*cluster*/,
                                  sim::Topology topo,

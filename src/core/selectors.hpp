@@ -73,6 +73,20 @@ class OracleSelector final : public Selector {
                          std::uint64_t msg_bytes) override;
 };
 
+/// Last rung of the online stage's degradation ladder (docs/API.md): a
+/// stateless rule-of-thumb selector used when the trained model and the
+/// compiled table are both unavailable. Rules blend the two vendor-default
+/// tables above with one hardware signal (PPN-driven NIC congestion) so a
+/// degraded deployment still gets a sane, always-valid algorithm — never
+/// an error.
+class HeuristicSelector final : public Selector {
+ public:
+  std::string name() const override { return "PML-heuristic-fallback"; }
+  coll::Algorithm select(coll::Collective collective,
+                         const sim::ClusterSpec& cluster, sim::Topology topo,
+                         std::uint64_t msg_bytes) override;
+};
+
 /// First algorithm in `preference` order valid at world size `p`.
 coll::Algorithm first_supported(std::initializer_list<coll::Algorithm> preference,
                                 int p);

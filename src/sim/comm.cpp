@@ -1,5 +1,11 @@
 // Intentionally small: Comm is a header-only facade; this TU anchors the
 // library target and provides a home for future out-of-line additions.
+//
+// Fault injection (sim/fault.hpp) is transparent at this layer: awaitables
+// post through Engine::post_send/post_recv, whose CPU-side charges are
+// scaled for straggler ranks, and transfer completion times already carry
+// degradation/flap effects by the time a co_await resumes. Rank programs
+// need no changes to run under a FaultPlan.
 #include "sim/comm.hpp"
 
 namespace pml::sim {

@@ -90,6 +90,7 @@ Engine::Engine(const ClusterSpec& cluster, Topology topo, SimOptions opts)
   // and therefore destroyed after — any thread-storage-duration object that
   // holds this Engine (and through it, live coroutine frames).
   detail::warm_frame_pool();
+  resolve_faults();
 }
 
 void Engine::reset(const ClusterSpec& cluster, Topology topo, SimOptions opts) {
@@ -124,6 +125,65 @@ void Engine::reset(const ClusterSpec& cluster, Topology topo, SimOptions opts) {
   completed_ranks_ = 0;
   tasks_.clear();
   ran_ = false;
+  resolve_faults();
+}
+
+void Engine::resolve_faults() {
+  const FaultPlan& plan = opts_.faults;
+  fault_transfer_seq_ = 0;
+  stat_fault_straggler_ = 0;
+  stat_fault_degraded_ = 0;
+  stat_fault_stalls_ = 0;
+  stat_fault_corrupted_ = 0;
+  faults_active_ = !plan.empty();
+  if (!faults_active_) {
+    // The disabled path never reads the tables, so leaving stale contents
+    // in place keeps steady-state reset() allocation-free.
+    flap_windows_.clear();
+    return;
+  }
+  plan.validate(topo_.nodes, topo_.world_size());
+  straggler_scale_.assign(static_cast<std::size_t>(topo_.world_size()), 1.0);
+  for (const Straggler& s : plan.stragglers) {
+    straggler_scale_[static_cast<std::size_t>(s.rank)] *= s.slowdown;
+  }
+  node_bw_scale_.assign(static_cast<std::size_t>(topo_.nodes), 1.0);
+  node_extra_alpha_.assign(static_cast<std::size_t>(topo_.nodes), 0.0);
+  for (const LinkDegradation& d : plan.link_degradations) {
+    node_bw_scale_[static_cast<std::size_t>(d.node)] *= d.bandwidth_factor;
+    node_extra_alpha_[static_cast<std::size_t>(d.node)] += d.extra_latency;
+  }
+  flap_windows_.clear();
+  for (const NicFlap& f : plan.flaps) {
+    flap_windows_.push_back(FlapWindow{f.start, f.start + f.duration, f.node});
+  }
+  std::sort(flap_windows_.begin(), flap_windows_.end(),
+            [](const FlapWindow& a, const FlapWindow& b) {
+              return a.start != b.start ? a.start < b.start : a.node < b.node;
+            });
+}
+
+double Engine::straggle(int rank, double seconds) noexcept {
+  const double scale = straggler_scale_[static_cast<std::size_t>(rank)];
+  if (scale == 1.0) return seconds;
+  ++stat_fault_straggler_;
+  return seconds * scale;
+}
+
+double Engine::flap_stall(std::size_t src_node, std::size_t dst_node,
+                          double start) noexcept {
+  // Windows are sorted by start. If `start` precedes a window it precedes
+  // every later one too, and `start` only moves forward — so one forward
+  // scan visits every window that can stall this transfer.
+  for (const FlapWindow& w : flap_windows_) {
+    if (start < w.start) break;
+    if (start >= w.end) continue;
+    const auto node = static_cast<std::size_t>(w.node);
+    if (node != src_node && node != dst_node) continue;
+    start = w.end;  // NIC is down: the queued transfer waits the window out
+    ++stat_fault_stalls_;
+  }
+  return start;
 }
 
 void Engine::reserve(std::size_t expected_requests) {
@@ -248,7 +308,9 @@ RequestId Engine::post_send(int rank, int dst, std::span<const std::byte> data,
   check_rank(rank);
   check_rank(dst);
   auto& clock = now_[static_cast<std::size_t>(rank)];
-  clock += model_.per_message_overhead();
+  double overhead = model_.per_message_overhead();
+  if (faults_active_) overhead = straggle(rank, overhead);
+  clock += overhead;
 
   const auto id = static_cast<RequestId>(requests_.size());
   requests_.push_back(Request{rank, false, 0.0, -1});
@@ -271,7 +333,9 @@ RequestId Engine::post_send(int rank, int dst, std::span<const std::byte> data,
       op.buffered.assign(data.begin(), data.end());
       op.send_data = op.buffered.data();
     }
-    request_finished(id, clock + model_.memcpy_time(data.size(), data.size()));
+    double bounce = model_.memcpy_time(data.size(), data.size());
+    if (faults_active_) bounce = straggle(rank, bounce);
+    request_finished(id, clock + bounce);
   }
   Channel& channel = channel_for(key);
   if (channel.send_tail >= 0) {
@@ -289,7 +353,9 @@ RequestId Engine::post_recv(int rank, int src, std::span<std::byte> data,
   check_rank(rank);
   check_rank(src);
   auto& clock = now_[static_cast<std::size_t>(rank)];
-  clock += model_.per_message_overhead();
+  double overhead = model_.per_message_overhead();
+  if (faults_active_) overhead = straggle(rank, overhead);
+  clock += overhead;
 
   const auto id = static_cast<RequestId>(requests_.size());
   requests_.push_back(Request{rank, false, 0.0, -1});
@@ -346,16 +412,31 @@ void Engine::complete_transfer(int src, int dst, const PendingOp& send,
   double send_finish = 0.0;
   double recv_finish = 0.0;
   if (model_.internode(src, dst)) {
-    auto& tx = nic_tx_free_[static_cast<std::size_t>(topo_.node_of(src))];
-    auto& rx = nic_rx_free_[static_cast<std::size_t>(topo_.node_of(dst))];
+    const auto src_node = static_cast<std::size_t>(topo_.node_of(src));
+    const auto dst_node = static_cast<std::size_t>(topo_.node_of(dst));
+    auto& tx = nic_tx_free_[src_node];
+    auto& rx = nic_rx_free_[dst_node];
     start = std::max({start, tx, rx});
-    const double occupancy = model_.wire_time(send.bytes) * jitter;
+    double occupancy = model_.wire_time(send.bytes) * jitter;
+    double latency = model_.inter_alpha() * jitter;
+    if (faults_active_) {
+      start = flap_stall(src_node, dst_node, start);
+      // A degraded endpoint slows the whole transfer: the wire runs at the
+      // slower endpoint's bandwidth scale and both latency penalties apply.
+      const double bw = std::min(node_bw_scale_[src_node],
+                                 node_bw_scale_[dst_node]);
+      const double extra =
+          node_extra_alpha_[src_node] + node_extra_alpha_[dst_node];
+      if (bw != 1.0 || extra != 0.0) ++stat_fault_degraded_;
+      if (bw != 1.0) occupancy = model_.wire_time(send.bytes, bw) * jitter;
+      latency += extra;
+    }
     tx = start + occupancy;
     rx = start + occupancy;
     // The sender's nonblocking op completes once the NIC has drained its
     // buffer; the receiver additionally waits out the wire latency.
     send_finish = start + occupancy;
-    recv_finish = start + occupancy + model_.inter_alpha() * jitter;
+    recv_finish = start + occupancy + latency;
   } else {
     const double duration =
         (model_.intra_alpha() +
@@ -367,6 +448,25 @@ void Engine::complete_transfer(int src, int dst, const PendingOp& send,
 
   if (opts_.payload_enabled() && send.bytes > 0) {
     std::memcpy(recv.recv_data, send.send_data, send.bytes);
+  }
+  if (faults_active_) {
+    // The ordinal advances for every matched transfer so draws depend only
+    // on the transfer's identity, not on which fault knobs are set.
+    const std::uint64_t ordinal = fault_transfer_seq_++;
+    const double prob = opts_.faults.corruption.probability;
+    if (prob > 0.0 && opts_.payload_enabled() && send.bytes > 0) {
+      const std::uint64_t draw =
+          fault_draw(opts_.faults.seed, ordinal, src, dst);
+      if (static_cast<double>(draw >> 11) * 0x1.0p-53 < prob) {
+        // Flip one deterministic payload bit. Timings are untouched, so
+        // kVerify's verification pass is what surfaces the damage.
+        std::uint64_t h = draw;
+        const std::uint64_t bit =
+            splitmix64(h) % (static_cast<std::uint64_t>(send.bytes) * 8);
+        recv.recv_data[bit / 8] ^= std::byte{1} << static_cast<int>(bit % 8);
+        ++stat_fault_corrupted_;
+      }
+    }
   }
   if (!requests_[send.req].done) {  // rendezvous sends finish on NIC drain
     request_finished(send.req, send_finish);
@@ -427,14 +527,16 @@ void Engine::suspend_wait(int rank, std::span<const RequestId> reqs,
 void Engine::local_compute(int rank, double seconds) {
   check_rank(rank);
   if (seconds < 0.0) throw SimError("negative compute interval");
+  if (faults_active_) seconds = straggle(rank, seconds);
   now_[static_cast<std::size_t>(rank)] += seconds;
 }
 
 void Engine::local_copy(int rank, std::uint64_t bytes,
                         std::uint64_t working_set) {
   check_rank(rank);
-  now_[static_cast<std::size_t>(rank)] +=
-      model_.memcpy_time(bytes, working_set);
+  double seconds = model_.memcpy_time(bytes, working_set);
+  if (faults_active_) seconds = straggle(rank, seconds);
+  now_[static_cast<std::size_t>(rank)] += seconds;
 }
 
 void Engine::run(RankFactoryRef factory) {
@@ -495,6 +597,16 @@ void Engine::run(RankFactoryRef factory) {
     probes.add(stat_probes_);
     resizes.add(stat_resizes_);
     pool_high_water.set(static_cast<std::int64_t>(pool_.size()));
+    if (faults_active_) {
+      static obs::Counter fault_straggler("sim.faults.straggler_charges");
+      static obs::Counter fault_degraded("sim.faults.degraded_transfers");
+      static obs::Counter fault_stalls("sim.faults.flap_stalls");
+      static obs::Counter fault_corrupted("sim.faults.corrupted_payloads");
+      fault_straggler.add(stat_fault_straggler_);
+      fault_degraded.add(stat_fault_degraded_);
+      fault_stalls.add(stat_fault_stalls_);
+      fault_corrupted.add(stat_fault_corrupted_);
+    }
   }
 }
 

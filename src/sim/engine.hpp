@@ -38,6 +38,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "obs/obs.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 
 namespace pml::sim {
@@ -129,6 +130,10 @@ struct SimOptions {
   /// payload is buffered), as in real MPI eager/rendezvous protocols;
   /// larger sends complete when the NIC drains them.
   std::uint64_t eager_threshold = 16 * 1024;
+  /// Deterministic fault injection (sim/fault.hpp). An empty plan (the
+  /// default) is bit-identical to the pre-fault engine and costs one
+  /// predictable branch on the hot paths.
+  FaultPlan faults{};
 
   bool payload_enabled() const noexcept {
     return payload == PayloadMode::kVerify;
@@ -144,9 +149,10 @@ struct RunOptions {
   std::uint64_t seed = 1;     ///< jitter stream seed
   std::uint64_t eager_threshold = 16 * 1024;
   obs::Sink trace_sink{};     ///< empty = no trace capture/export
+  FaultPlan faults{};         ///< deterministic fault injection; empty = none
 
-  SimOptions sim_options() const noexcept {
-    return SimOptions{noise_sigma, seed, payload, eager_threshold};
+  SimOptions sim_options() const {
+    return SimOptions{noise_sigma, seed, payload, eager_threshold, faults};
   }
 };
 
@@ -224,6 +230,27 @@ class Engine {
   /// Channel-table growth episodes since the last reset.
   std::uint64_t channel_resizes() const noexcept { return stat_resizes_; }
 
+  // --- Fault-injection effect counts since the last reset (all zero when
+  // the plan is empty); also flushed to `sim.faults.*` obs counters at the
+  // end of run() when collection is enabled.
+
+  /// CPU-side charges scaled up for a straggler rank.
+  std::uint64_t fault_straggler_charges() const noexcept {
+    return stat_fault_straggler_;
+  }
+  /// Inter-node transfers that ran degraded (slower wire or added latency).
+  std::uint64_t fault_degraded_transfers() const noexcept {
+    return stat_fault_degraded_;
+  }
+  /// Transfers stalled past the end of a NIC flap window.
+  std::uint64_t fault_flap_stalls() const noexcept {
+    return stat_fault_stalls_;
+  }
+  /// Delivered payloads with an injected bit flip (PayloadMode::kVerify).
+  std::uint64_t fault_corrupted_payloads() const noexcept {
+    return stat_fault_corrupted_;
+  }
+
   // --- Interface used by Comm awaitables (not for direct use) ---
 
   double now(int rank) const { return now_.at(static_cast<std::size_t>(rank)); }
@@ -294,6 +321,14 @@ class Engine {
     }
   };
 
+  /// A resolved NIC flap window, sorted by (start, node) so a forward scan
+  /// in flap_stall() visits candidate windows in stall order.
+  struct FlapWindow {
+    double start = 0.0;
+    double end = 0.0;
+    int node = -1;
+  };
+
   static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
   static constexpr int kMaxTag = (1 << 16) - 1;
   static constexpr int kMaxChannelRank = (1 << 24) - 1;
@@ -314,6 +349,18 @@ class Engine {
                          const PendingOp& recv);
   void request_finished(RequestId id, double finish);
   void schedule(double time, int rank, double clock, std::coroutine_handle<> h);
+
+  /// Resolve opts_.faults into the flat per-rank/per-node tables below.
+  /// Called from the constructor and reset(); validates the plan (throws
+  /// ConfigError) only when it is non-empty.
+  void resolve_faults();
+  /// Scale a CPU-side charge by the rank's straggler factor. Only called
+  /// when faults_active_.
+  double straggle(int rank, double seconds) noexcept;
+  /// Push an inter-node transfer start time past every flap window covering
+  /// it on either endpoint's node. Only called when faults_active_.
+  double flap_stall(std::size_t src_node, std::size_t dst_node,
+                    double start) noexcept;
 
   ClusterSpec cluster_;
   Topology topo_;
@@ -342,6 +389,19 @@ class Engine {
   std::uint64_t stat_events_ = 0;
   mutable std::uint64_t stat_probes_ = 0;  // probe() is logically const
   std::uint64_t stat_resizes_ = 0;
+  // Fault-injection state, resolved from opts_.faults by resolve_faults().
+  // With an empty plan faults_active_ is false and none of the tables are
+  // read; every hot-path hook is behind that one branch.
+  bool faults_active_ = false;
+  std::vector<double> straggler_scale_;   // per rank, 1.0 = nominal
+  std::vector<double> node_bw_scale_;     // per node, fraction of NIC bw
+  std::vector<double> node_extra_alpha_;  // per node, added latency (s)
+  std::vector<FlapWindow> flap_windows_;  // sorted by (start, node)
+  std::uint64_t fault_transfer_seq_ = 0;  // corruption-draw ordinal
+  std::uint64_t stat_fault_straggler_ = 0;
+  std::uint64_t stat_fault_degraded_ = 0;
+  std::uint64_t stat_fault_stalls_ = 0;
+  std::uint64_t stat_fault_corrupted_ = 0;
   int completed_ranks_ = 0;
   std::vector<RankTask> tasks_;
   bool ran_ = false;

@@ -1,0 +1,148 @@
+#include "sim/fault.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pml::sim {
+
+namespace {
+
+constexpr const char* kFormat = "pml-fault-plan-v1";
+
+void check_finite(double value, const char* what) {
+  if (!std::isfinite(value)) {
+    throw ConfigError(std::string("fault plan: ") + what + " must be finite");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate(int nodes, int world_size) const {
+  for (const LinkDegradation& d : link_degradations) {
+    if (d.node < 0 || d.node >= nodes) {
+      throw ConfigError("fault plan: degraded node " + std::to_string(d.node) +
+                        " out of range [0, " + std::to_string(nodes) + ")");
+    }
+    check_finite(d.bandwidth_factor, "bandwidth_factor");
+    if (d.bandwidth_factor <= 0.0 || d.bandwidth_factor > 1.0) {
+      throw ConfigError("fault plan: bandwidth_factor must be in (0, 1], got " +
+                        std::to_string(d.bandwidth_factor));
+    }
+    check_finite(d.extra_latency, "extra_latency");
+    if (d.extra_latency < 0.0) {
+      throw ConfigError("fault plan: extra_latency must be >= 0, got " +
+                        std::to_string(d.extra_latency));
+    }
+  }
+  for (const Straggler& s : stragglers) {
+    if (s.rank < 0 || s.rank >= world_size) {
+      throw ConfigError("fault plan: straggler rank " + std::to_string(s.rank) +
+                        " out of range [0, " + std::to_string(world_size) +
+                        ")");
+    }
+    check_finite(s.slowdown, "slowdown");
+    if (s.slowdown < 1.0) {
+      throw ConfigError("fault plan: slowdown must be >= 1, got " +
+                        std::to_string(s.slowdown));
+    }
+  }
+  for (const NicFlap& f : flaps) {
+    if (f.node < 0 || f.node >= nodes) {
+      throw ConfigError("fault plan: flapping node " + std::to_string(f.node) +
+                        " out of range [0, " + std::to_string(nodes) + ")");
+    }
+    check_finite(f.start, "flap start");
+    check_finite(f.duration, "flap duration");
+    if (f.start < 0.0 || f.duration < 0.0) {
+      throw ConfigError("fault plan: flap start/duration must be >= 0");
+    }
+  }
+  check_finite(corruption.probability, "corruption probability");
+  if (corruption.probability < 0.0 || corruption.probability > 1.0) {
+    throw ConfigError("fault plan: corruption probability must be in [0, 1]");
+  }
+}
+
+Json FaultPlan::to_json() const {
+  Json j = Json::object();
+  j["format"] = kFormat;
+  j["seed"] = seed;
+  Json degradations = Json::array();
+  for (const LinkDegradation& d : link_degradations) {
+    Json dj = Json::object();
+    dj["node"] = d.node;
+    dj["bandwidth_factor"] = d.bandwidth_factor;
+    dj["extra_latency"] = d.extra_latency;
+    degradations.push_back(std::move(dj));
+  }
+  j["link_degradations"] = std::move(degradations);
+  Json straggler_list = Json::array();
+  for (const Straggler& s : stragglers) {
+    Json sj = Json::object();
+    sj["rank"] = s.rank;
+    sj["slowdown"] = s.slowdown;
+    straggler_list.push_back(std::move(sj));
+  }
+  j["stragglers"] = std::move(straggler_list);
+  Json flap_list = Json::array();
+  for (const NicFlap& f : flaps) {
+    Json fj = Json::object();
+    fj["node"] = f.node;
+    fj["start"] = f.start;
+    fj["duration"] = f.duration;
+    flap_list.push_back(std::move(fj));
+  }
+  j["flaps"] = std::move(flap_list);
+  Json cj = Json::object();
+  cj["probability"] = corruption.probability;
+  j["corruption"] = std::move(cj);
+  return j;
+}
+
+FaultPlan FaultPlan::from_json(const Json& j) {
+  if (!j.is_object() || !j.contains("format") ||
+      !j.at("format").is_string() || j.at("format").as_string() != kFormat) {
+    throw ConfigError(std::string("not a ") + kFormat + " document");
+  }
+  FaultPlan plan;
+  if (j.contains("seed")) {
+    plan.seed = static_cast<std::uint64_t>(j.at("seed").as_int());
+  }
+  if (j.contains("link_degradations")) {
+    for (const Json& dj : j.at("link_degradations").as_array()) {
+      LinkDegradation d;
+      d.node = static_cast<int>(dj.at("node").as_int());
+      d.bandwidth_factor = dj.at("bandwidth_factor").as_number();
+      if (dj.contains("extra_latency")) {
+        d.extra_latency = dj.at("extra_latency").as_number();
+      }
+      plan.link_degradations.push_back(d);
+    }
+  }
+  if (j.contains("stragglers")) {
+    for (const Json& sj : j.at("stragglers").as_array()) {
+      Straggler s;
+      s.rank = static_cast<int>(sj.at("rank").as_int());
+      s.slowdown = sj.at("slowdown").as_number();
+      plan.stragglers.push_back(s);
+    }
+  }
+  if (j.contains("flaps")) {
+    for (const Json& fj : j.at("flaps").as_array()) {
+      NicFlap f;
+      f.node = static_cast<int>(fj.at("node").as_int());
+      f.start = fj.at("start").as_number();
+      f.duration = fj.at("duration").as_number();
+      plan.flaps.push_back(f);
+    }
+  }
+  if (j.contains("corruption")) {
+    plan.corruption.probability =
+        j.at("corruption").at("probability").as_number();
+  }
+  return plan;
+}
+
+}  // namespace pml::sim

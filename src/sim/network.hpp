@@ -79,6 +79,13 @@ class NetworkModel {
     return static_cast<double>(bytes) / inter_bw_;
   }
 
+  /// Wire occupancy on a degraded link: `bandwidth_scale` in (0, 1]
+  /// multiplies the nominal NIC bandwidth (sim::FaultPlan link
+  /// degradations; the engine passes the slower endpoint's scale).
+  double wire_time(std::uint64_t bytes, double bandwidth_scale) const noexcept {
+    return static_cast<double>(bytes) / (inter_bw_ * bandwidth_scale);
+  }
+
   /// True if the path src->dst crosses nodes.
   bool internode(int src, int dst) const noexcept {
     return !topo_.same_node(src, dst);

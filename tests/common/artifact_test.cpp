@@ -1,0 +1,192 @@
+// pml-artifact-v1 envelopes: checksum math, atomic write round-trips,
+// legacy passthrough, mismatch detection, doctor verdicts, and the
+// bounded-exponential-backoff retry helper.
+#include "common/artifact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace pml {
+namespace {
+
+class ArtifactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pml_artifact_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+Json sample_payload() {
+  Json payload = Json::object();
+  payload["format"] = "pml-sample-v1";
+  payload["value"] = 42;
+  return payload;
+}
+
+TEST(Fnv1a64, KnownVectors) {
+  // Reference values of the FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, ChecksumSurvivesParseDumpRoundTrip) {
+  const Json payload = sample_payload();
+  const std::string checksum = payload_checksum(payload);
+  const Json reparsed = Json::parse(payload.dump(2));
+  EXPECT_EQ(payload_checksum(reparsed), checksum);
+}
+
+TEST_F(ArtifactTest, WriteAndLoadRoundTrip) {
+  const std::string file = path("sample.json");
+  write_artifact(file, sample_payload(), "sample");
+
+  const Json doc = Json::parse(read_file(file));
+  EXPECT_TRUE(is_artifact_envelope(doc));
+  const Json back = artifact_payload(doc, "sample");
+  EXPECT_EQ(back, sample_payload());
+  // The atomic write must not leave its temp file behind.
+  EXPECT_FALSE(std::filesystem::exists(file + ".tmp"));
+}
+
+TEST_F(ArtifactTest, AtomicWriteReplacesExistingFile) {
+  const std::string file = path("sample.json");
+  write_file(file, "old contents");
+  write_artifact(file, sample_payload(), "sample");
+  const Json doc = Json::parse(read_file(file));
+  EXPECT_EQ(artifact_payload(doc, "sample"), sample_payload());
+}
+
+TEST(ArtifactPayload, LegacyDocumentPassesThroughByDefault) {
+  const Json legacy = sample_payload();  // no envelope
+  EXPECT_EQ(artifact_payload(legacy, "sample"), legacy);
+  EXPECT_THROW(artifact_payload(legacy, "sample", 1, /*allow_legacy=*/false),
+               JsonError);
+}
+
+TEST_F(ArtifactTest, MismatchesThrow) {
+  const std::string file = path("sample.json");
+  write_artifact(file, sample_payload(), "sample");
+  Json doc = Json::parse(read_file(file));
+
+  EXPECT_THROW(artifact_payload(doc, "other-kind"), JsonError);
+  EXPECT_THROW(artifact_payload(doc, "sample", 2), JsonError);
+
+  doc["payload"]["value"] = 43;  // content changed, checksum now stale
+  EXPECT_THROW(artifact_payload(doc, "sample"), JsonError);
+}
+
+TEST_F(ArtifactTest, InspectClassifiesEveryVerdict) {
+  const std::string ok = path("ok.json");
+  write_artifact(ok, sample_payload(), "sample");
+  EXPECT_EQ(inspect_artifact(ok).status, ArtifactStatus::kOk);
+  EXPECT_EQ(inspect_artifact(ok).kind, "sample");
+
+  const std::string legacy = path("legacy.json");
+  write_file(legacy, sample_payload().dump(2));
+  EXPECT_EQ(inspect_artifact(legacy).status, ArtifactStatus::kLegacy);
+  EXPECT_EQ(inspect_artifact(legacy).kind, "pml-sample-v1");
+
+  const std::string stale = path("stale.json");
+  write_artifact(stale, sample_payload(), "sample", /*schema_version=*/2);
+  EXPECT_EQ(inspect_artifact(stale).status, ArtifactStatus::kStaleSchema);
+  EXPECT_EQ(inspect_artifact(stale).schema, 2);
+
+  const std::string truncated = path("truncated.json");
+  const std::string full = read_file(ok);
+  write_file(truncated, full.substr(0, full.size() / 2));
+  EXPECT_EQ(inspect_artifact(truncated).status, ArtifactStatus::kCorrupt);
+
+  const std::string flipped = path("flipped.json");
+  std::string bytes = read_file(ok);
+  const std::size_t value_at = bytes.find("\"value\": 42");
+  ASSERT_NE(value_at, std::string::npos);
+  bytes[value_at + 10] = '9';  // payload changed under the checksum
+  write_file(flipped, bytes);
+  EXPECT_EQ(inspect_artifact(flipped).status, ArtifactStatus::kCorrupt);
+
+  const std::string foreign = path("foreign.json");
+  write_file(foreign, "{\"hello\": \"world\"}");
+  EXPECT_EQ(inspect_artifact(foreign).status, ArtifactStatus::kCorrupt);
+
+  EXPECT_EQ(inspect_artifact(path("missing.json")).status,
+            ArtifactStatus::kUnreadable);
+}
+
+TEST(ArtifactStatusName, StableStrings) {
+  EXPECT_STREQ(to_string(ArtifactStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(ArtifactStatus::kLegacy), "legacy");
+  EXPECT_STREQ(to_string(ArtifactStatus::kStaleSchema), "stale-schema");
+  EXPECT_STREQ(to_string(ArtifactStatus::kCorrupt), "corrupt");
+  EXPECT_STREQ(to_string(ArtifactStatus::kUnreadable), "unreadable");
+}
+
+TEST(WithRetry, TransientFailureRecoversWithBackoff) {
+  std::vector<double> sleeps;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_seconds = 0.001;
+  policy.backoff_multiplier = 8.0;
+  policy.sleep = [&](double seconds) { sleeps.push_back(seconds); };
+
+  int calls = 0;
+  const int result = with_retry(policy, [&] {
+    if (++calls < 3) throw IoError("transient");
+    return 7;
+  });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 3);
+  // Two retries: backoff doubles by the multiplier each time.
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_DOUBLE_EQ(sleeps[0], 0.001);
+  EXPECT_DOUBLE_EQ(sleeps[1], 0.008);
+}
+
+TEST(WithRetry, ExhaustionRethrowsTheLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.sleep = [](double) {};
+  int calls = 0;
+  EXPECT_THROW(with_retry(policy, [&]() -> int {
+                 ++calls;
+                 throw IoError("still broken");
+               }),
+               IoError);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(WithRetry, NonIoErrorsPropagateImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.sleep = [](double) { FAIL() << "must not sleep for non-IO errors"; };
+  int calls = 0;
+  EXPECT_THROW(with_retry(policy, [&]() -> int {
+                 ++calls;
+                 throw JsonError("corrupt");
+               }),
+               JsonError);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace pml

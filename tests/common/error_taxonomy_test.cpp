@@ -1,0 +1,63 @@
+// The error taxonomy is part of the CLI contract: every ErrorCode maps to a
+// stable name and a stable exit status (3-8; 1 reserved for unknown
+// failures, 2 for usage errors). This table-driven test locks the mapping
+// and each subclass's code/what() prefix, so a taxonomy change is a
+// deliberate, visible edit here — not an accidental exit-status shift.
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pml {
+namespace {
+
+TEST(ErrorTaxonomy, CodeToExitStatusAndName) {
+  struct Row {
+    ErrorCode code;
+    int exit;
+    const char* name;
+  };
+  const Row rows[] = {
+      {ErrorCode::kConfig, 3, "config"}, {ErrorCode::kIo, 4, "io"},
+      {ErrorCode::kJson, 5, "json"},     {ErrorCode::kSim, 6, "sim"},
+      {ErrorCode::kMl, 7, "ml"},         {ErrorCode::kTuning, 8, "tuning"},
+  };
+  for (const Row& row : rows) {
+    EXPECT_EQ(exit_status(row.code), row.exit) << row.name;
+    EXPECT_STREQ(to_string(row.code), row.name);
+  }
+  EXPECT_EQ(exit_status(ErrorCode::kUnknown), 1);
+  EXPECT_STREQ(to_string(ErrorCode::kUnknown), "unknown");
+}
+
+TEST(ErrorTaxonomy, SubclassesCarryTheirCodeAndPrefix) {
+  const auto check = [](const Error& err, ErrorCode code) {
+    EXPECT_EQ(err.code(), code);
+    // what() leads with the stable code name, so log lines are greppable
+    // by failure class.
+    const std::string what = err.what();
+    const std::string prefix = std::string(to_string(code)) + ": ";
+    EXPECT_EQ(what.substr(0, prefix.size()), prefix);
+  };
+  check(ConfigError("x"), ErrorCode::kConfig);
+  check(IoError("x"), ErrorCode::kIo);
+  check(JsonError("x"), ErrorCode::kJson);
+  check(SimError("x"), ErrorCode::kSim);
+  check(MlError("x"), ErrorCode::kMl);
+  check(TuningError("x"), ErrorCode::kTuning);
+}
+
+TEST(ErrorTaxonomy, SubclassesAreCatchableAsPmlError) {
+  bool caught = false;
+  try {
+    throw TuningError("fallback ladder");
+  } catch (const Error& err) {
+    caught = true;
+    EXPECT_EQ(err.code(), ErrorCode::kTuning);
+  }
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace pml

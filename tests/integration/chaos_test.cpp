@@ -1,0 +1,271 @@
+// Chaos suite (ctest -L chaos): drive the full online stage and the
+// discrete-event simulator through every failure mode this PR's robustness
+// layer handles — corrupt/truncated/legacy/unreadable artifacts on one
+// axis, every sim fault type (alone and combined) on the other — and
+// assert the system's two invariants: the online stage always returns a
+// schema-valid tuning table covering the requested grid, and fault-
+// injected simulations always complete deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coll/runner.hpp"
+#include "common/artifact.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/framework.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+
+namespace pml {
+namespace {
+
+core::PmlFramework& trained() {
+  static core::PmlFramework fw = [] {
+    core::TrainOptions options;
+    options.forest.n_trees = 8;
+    const std::vector<sim::ClusterSpec> clusters = {
+        sim::cluster_by_name("RI"), sim::cluster_by_name("Rome")};
+    return core::PmlFramework::train(clusters, options);
+  }();
+  return fw;
+}
+
+const sim::ClusterSpec& target() { return sim::cluster_by_name("MRI"); }
+
+/// The requested grid, used both to compile and to audit coverage.
+const std::vector<int> kNodes = {2, 4};
+const std::vector<int> kPpn = {16};
+const std::vector<std::uint64_t> kSizes = {1024, 65536};
+
+/// A usable table answers every (collective, nodes, ppn, size) cell of the
+/// requested grid with an algorithm that is valid at that world size.
+/// Checked over the paper's collectives: model-compiled tables cover those
+/// two, heuristic fallback tables cover all four.
+void expect_covers_grid(const core::TuningTable& table) {
+  ASSERT_FALSE(table.empty());
+  for (const auto collective : coll::paper_collectives()) {
+    for (const int nodes : kNodes) {
+      for (const int ppn : kPpn) {
+        for (const std::uint64_t bytes : kSizes) {
+          const coll::Algorithm a =
+              table.lookup(collective, nodes, ppn, bytes);
+          EXPECT_TRUE(coll::algorithm_supports(a, nodes * ppn))
+              << coll::to_string(collective) << " " << nodes << "x" << ppn
+              << " @" << bytes;
+        }
+      }
+    }
+  }
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pml_chaos_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  core::CompileOptions options() const {
+    core::CompileOptions o = core::CompileOptions::sweep(kNodes, kPpn, kSizes);
+    o.cache_dir = dir_.string();
+    o.cache_retry.sleep = [](double) {};  // no real sleeps in tests
+    return o;
+  }
+
+  std::string model_path() const { return (dir_ / "model.json").string(); }
+  std::string cache_path() const {
+    return (dir_ / (target().name + ".table.json")).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+// --- Artifact chaos: every corruption mode, applied to model and cache -----
+
+/// Named ways of damaging an artifact file in place.
+struct Damage {
+  const char* name;
+  std::function<void(const std::string&)> apply;
+};
+
+std::vector<Damage> damage_modes() {
+  return {
+      {"deleted", [](const std::string& p) { std::filesystem::remove(p); }},
+      {"truncated",
+       [](const std::string& p) {
+         const std::string full = read_file(p);
+         write_file(p, full.substr(0, full.size() / 3));
+       }},
+      {"bit_flipped",
+       [](const std::string& p) {
+         std::string bytes = read_file(p);
+         bytes[bytes.size() / 2] ^= 0x20;
+         write_file(p, bytes);
+       }},
+      {"emptied", [](const std::string& p) { write_file(p, ""); }},
+      {"foreign_json",
+       [](const std::string& p) { write_file(p, "{\"not\": \"ours\"}"); }},
+      {"directory",
+       [](const std::string& p) {
+         std::filesystem::remove(p);
+         std::filesystem::create_directories(p);
+       }},
+  };
+}
+
+TEST_F(ChaosTest, EveryDamageModeOnTheModelStillYieldsAUsableTable) {
+  for (const Damage& damage : damage_modes()) {
+    SCOPED_TRACE(damage.name);
+    write_artifact(model_path(), trained().to_json(), "model");
+    damage.apply(model_path());
+    std::filesystem::remove_all(cache_path());  // no cache to hide behind
+    const core::TuningTable table =
+        core::online_table(model_path(), target(), options());
+    expect_covers_grid(table);
+    std::filesystem::remove_all(model_path());
+  }
+}
+
+TEST_F(ChaosTest, EveryDamageModeOnTheCacheStillYieldsAUsableTable) {
+  const core::TuningTable clean =
+      trained().compile_or_cached(target(), options());
+  for (const Damage& damage : damage_modes()) {
+    SCOPED_TRACE(damage.name);
+    std::filesystem::remove_all(cache_path());
+    trained().compile_or_cached(target(), options());  // seed a fresh cache
+    damage.apply(cache_path());
+    const core::TuningTable table =
+        trained().compile_or_cached(target(), options());
+    expect_covers_grid(table);
+    // Recompilation reproduces the clean table exactly.
+    EXPECT_EQ(table.to_json().dump(), clean.to_json().dump());
+    std::filesystem::remove_all(cache_path());
+  }
+}
+
+TEST_F(ChaosTest, DoctorNeverThrowsOnDamagedArtifacts) {
+  for (const Damage& damage : damage_modes()) {
+    SCOPED_TRACE(damage.name);
+    const std::string file = (dir_ / "artifact.json").string();
+    std::filesystem::remove_all(file);
+    write_artifact(file, trained().to_json(), "model");
+    damage.apply(file);
+    const ArtifactInfo info = inspect_artifact(file);
+    EXPECT_NE(info.status, ArtifactStatus::kOk);
+    std::filesystem::remove_all(file);
+  }
+}
+
+// --- Simulation chaos: every fault type, alone and combined ----------------
+
+std::vector<std::pair<const char*, sim::FaultPlan>> fault_scenarios() {
+  std::vector<std::pair<const char*, sim::FaultPlan>> scenarios;
+
+  sim::FaultPlan degraded;
+  degraded.link_degradations.push_back({0, 0.25, 1e-5});
+  scenarios.emplace_back("degraded_link", degraded);
+
+  sim::FaultPlan straggler;
+  straggler.stragglers.push_back({2, 6.0});
+  scenarios.emplace_back("straggler", straggler);
+
+  sim::FaultPlan flapping;
+  flapping.flaps.push_back({1, 0.0, 2e-4});
+  flapping.flaps.push_back({1, 5e-4, 1e-4});
+  scenarios.emplace_back("flapping_nic", flapping);
+
+  sim::FaultPlan corrupting;
+  corrupting.corruption.probability = 0.5;
+  scenarios.emplace_back("corrupting", corrupting);
+
+  sim::FaultPlan everything;
+  everything.seed = 99;
+  everything.link_degradations.push_back({0, 0.5, 2e-6});
+  everything.stragglers.push_back({1, 2.0});
+  everything.flaps.push_back({2, 0.0, 1e-4});
+  everything.corruption.probability = 0.25;
+  scenarios.emplace_back("everything_at_once", everything);
+
+  return scenarios;
+}
+
+TEST_F(ChaosTest, FaultedRunsCompleteAndAreDeterministic) {
+  const coll::Algorithm algorithms[] = {coll::Algorithm::kAgRing,
+                                        coll::Algorithm::kAaPairwise,
+                                        coll::Algorithm::kArRing,
+                                        coll::Algorithm::kBcBinomial};
+  for (const auto& [name, plan] : fault_scenarios()) {
+    SCOPED_TRACE(name);
+    for (const auto algorithm : algorithms) {
+      sim::RunOptions opts;
+      opts.payload = sim::PayloadMode::kTimingOnly;
+      opts.faults = plan;
+      const auto run = [&] {
+        return coll::run_collective(sim::cluster_by_name("Frontera"),
+                                    sim::Topology{4, 2}, algorithm, 2048, opts)
+            .seconds;
+      };
+      const double first = run();
+      EXPECT_GT(first, 0.0);
+      EXPECT_EQ(first, run());  // bit-identical on repeat
+    }
+  }
+}
+
+TEST_F(ChaosTest, CorruptionSurfacesOnlyInVerifyMode) {
+  sim::FaultPlan plan;
+  plan.corruption.probability = 1.0;
+
+  sim::RunOptions verify;
+  verify.faults = plan;
+  EXPECT_THROW(
+      coll::run_collective(sim::cluster_by_name("Frontera"),
+                           sim::Topology{2, 2}, coll::Algorithm::kAgRing, 512,
+                           verify),
+      SimError);
+
+  sim::RunOptions timing = verify;
+  timing.payload = sim::PayloadMode::kTimingOnly;
+  EXPECT_NO_THROW(
+      coll::run_collective(sim::cluster_by_name("Frontera"),
+                           sim::Topology{2, 2}, coll::Algorithm::kAgRing, 512,
+                           timing));
+}
+
+TEST_F(ChaosTest, FaultPlansSurviveJsonRoundTripsThroughTheOnlineStage) {
+  // Plans are artifacts too: a scenario written to disk, enveloped, and
+  // reloaded drives the exact same simulation.
+  for (const auto& [name, plan] : fault_scenarios()) {
+    SCOPED_TRACE(name);
+    const std::string file = (dir_ / "plan.json").string();
+    write_artifact(file, plan.to_json(), "fault-plan");
+    const sim::FaultPlan back = sim::FaultPlan::from_json(
+        artifact_payload(Json::parse(read_file(file)), "fault-plan"));
+
+    sim::RunOptions a;
+    a.payload = sim::PayloadMode::kTimingOnly;
+    a.faults = plan;
+    sim::RunOptions b = a;
+    b.faults = back;
+    const auto run = [](const sim::RunOptions& opts) {
+      return coll::run_collective(sim::cluster_by_name("Frontera"),
+                                  sim::Topology{4, 2},
+                                  coll::Algorithm::kAgBruck, 4096, opts)
+          .seconds;
+    };
+    EXPECT_EQ(run(a), run(b));
+  }
+}
+
+}  // namespace
+}  // namespace pml

@@ -61,9 +61,27 @@ def load_metrics(data):
 
 
 def load_file(path):
-    """(times, counters) for either supported format."""
-    with open(path, "r", encoding="utf-8") as f:
-        data = json.load(f)
+    """(times, counters) for either supported format.
+
+    Bad inputs (missing file, truncated/invalid JSON) are diagnosed on
+    stderr and exit with status 2 — a CI log should show what went wrong,
+    not a traceback.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as err:
+        print(f"error: cannot read {path}: {err.strerror or err}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as err:
+        print(f"error: {path} is not valid JSON (truncated?): {err}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(data, dict):
+        print(f"error: {path} is not a JSON object "
+              f"(got {type(data).__name__})", file=sys.stderr)
+        raise SystemExit(2)
     if data.get("format") == "pml-metrics-v1":
         return load_metrics(data)
     return load_benchmark_times(data), {}

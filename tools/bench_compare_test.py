@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Self-check for bench_compare.py's input handling.
+
+Run directly or via ctest (bench_compare_robustness). Plain python — no
+pytest in the image — but each check prints pytest-style PASSED/FAILED
+lines and the script exits nonzero on the first failure.
+
+Covers the failure modes a CI pipeline actually produces: a benchmark
+that crashed before writing its output (missing file), a run killed
+mid-write (truncated JSON), and the healthy path as a control.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def run(*argv):
+    return subprocess.run([sys.executable, SCRIPT, *argv],
+                          capture_output=True, text=True)
+
+
+def check(name, result, want_rc, want_stderr=""):
+    ok = result.returncode == want_rc
+    if want_stderr:
+        ok = ok and want_stderr in result.stderr
+    # A traceback is a bug in any mode: diagnostics must be deliberate.
+    ok = ok and "Traceback" not in result.stderr
+    verdict = "PASSED" if ok else "FAILED"
+    print(f"{name} ... {verdict}")
+    if not ok:
+        print(f"  rc={result.returncode} (want {want_rc})")
+        print(f"  stderr: {result.stderr!r}")
+        sys.exit(1)
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="bench_compare_test_") as tmp:
+        good = os.path.join(tmp, "good.json")
+        with open(good, "w", encoding="utf-8") as f:
+            json.dump({"benchmarks": [
+                {"name": "BM_x", "real_time": 100.0},
+            ]}, f)
+
+        truncated = os.path.join(tmp, "truncated.json")
+        with open(truncated, "w", encoding="utf-8") as f:
+            f.write(open(good, encoding="utf-8").read()[:20])
+
+        not_an_object = os.path.join(tmp, "list.json")
+        with open(not_an_object, "w", encoding="utf-8") as f:
+            f.write("[1, 2, 3]\n")
+
+        missing = os.path.join(tmp, "does_not_exist.json")
+
+        check("missing baseline file", run(missing, good), 2, "error:")
+        check("missing candidate file", run(good, missing), 2, "error:")
+        check("truncated JSON", run(good, truncated), 2, "not valid JSON")
+        check("non-object JSON", run(good, not_an_object), 2,
+              "not a JSON object")
+        check("healthy pair", run(good, good), 0)
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,16 +27,24 @@
 //   pml stats   --metrics metrics.json
 //       Pretty-print a metrics.json summary written by --metrics.
 //
+//   pml doctor  [--dir artifacts/ | --path artifact.json] [--strict]
+//       Audit on-disk JSON artifacts: classify each as ok / legacy /
+//       stale-schema / corrupt / unreadable. Exit 0 always, unless
+//       --strict (then nonzero when anything is less than ok).
+//
 // Global options (any command): --trace out.json writes a chrome://tracing
 // file for the run; --metrics out.json writes the flat span/counter summary.
 //
 // Exit statuses: 0 success, 1 unexpected failure, 2 usage error, then one
 // per pml::ErrorCode (3 config, 4 io, 5 json, 6 sim, 7 ml, 8 tuning).
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/artifact.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -50,8 +58,8 @@ using namespace pml;
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: pml <train|compile|query|inspect|clusters|stats> "
-               "[options]\n"
+               "usage: pml <train|compile|query|inspect|clusters|stats|"
+               "doctor> [options]\n"
                "Global options: --trace out.json, --metrics out.json\n"
                "Run `pml <command>` with missing options to see what it "
                "needs; see the header of tools/pml_tool.cpp for details.\n");
@@ -104,7 +112,9 @@ std::vector<int> parse_ints(const std::string& csv, const std::string& what) {
 sim::ClusterSpec load_cluster(const std::string& name_or_path) {
   if (name_or_path.size() > 5 &&
       name_or_path.substr(name_or_path.size() - 5) == ".json") {
-    return sim::ClusterSpec::from_json(Json::parse(read_file(name_or_path)));
+    // Bare cluster documents and pml-artifact-v1 envelopes both load.
+    return sim::ClusterSpec::from_json(
+        artifact_payload(Json::parse(read_file(name_or_path)), "cluster"));
   }
   return sim::cluster_by_name(name_or_path);
 }
@@ -140,14 +150,13 @@ int cmd_train(const std::map<std::string, std::string>& args) {
 
   std::printf("training on %zu clusters...\n", training.size());
   const auto fw = core::PmlFramework::train(training, options);
-  write_file(out, fw.to_json().dump());
+  write_artifact(out, fw.to_json(), "model");
   std::printf("model bundle written to %s\n", out.c_str());
   return 0;
 }
 
 int cmd_compile(const std::map<std::string, std::string>& args) {
-  auto fw = core::PmlFramework::load(
-      Json::parse(read_file(require(args, "model"))));
+  auto fw = core::PmlFramework::load_file(require(args, "model"));
   const sim::ClusterSpec cluster = load_cluster(require(args, "cluster"));
   const std::string out = require(args, "out");
 
@@ -163,7 +172,7 @@ int cmd_compile(const std::map<std::string, std::string>& args) {
   }
 
   const core::TuningTable table = fw.compile_for(cluster, options);
-  write_file(out, table.to_json().dump(2));
+  write_artifact(out, table.to_json(), "tuning-table");
   std::printf("tuning table for '%s' written to %s (inference: %s)\n",
               cluster.name.c_str(), out.c_str(),
               format_time(fw.inference_seconds()).c_str());
@@ -171,8 +180,8 @@ int cmd_compile(const std::map<std::string, std::string>& args) {
 }
 
 int cmd_query(const std::map<std::string, std::string>& args) {
-  const core::TuningTable table = core::TuningTable::from_json(
-      Json::parse(read_file(require(args, "table"))));
+  const core::TuningTable table = core::TuningTable::from_json(artifact_payload(
+      Json::parse(read_file(require(args, "table"))), "tuning-table"));
   const auto collective =
       coll::collective_from_string(require(args, "collective"));
   const int nodes = parse_int(require(args, "nodes"), "--nodes");
@@ -184,8 +193,7 @@ int cmd_query(const std::map<std::string, std::string>& args) {
 }
 
 int cmd_inspect(const std::map<std::string, std::string>& args) {
-  const auto fw = core::PmlFramework::load(
-      Json::parse(read_file(require(args, "model"))));
+  const auto fw = core::PmlFramework::load_file(require(args, "model"));
   for (const auto collective : coll::all_collectives()) {
     std::vector<double> importances;
     try {
@@ -265,12 +273,84 @@ int cmd_stats(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+/// `pml doctor`: audit artifact files. Parses argv directly because
+/// --strict is a boolean flag and parse_args() requires --key value pairs.
+int cmd_doctor(int argc, char** argv) {
+  bool strict = false;
+  std::string dir;
+  std::string path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if ((arg == "--dir" || arg == "--path") && i + 1 < argc) {
+      (arg == "--dir" ? dir : path) = argv[++i];
+    } else {
+      usage(("doctor: unexpected argument: " + arg).c_str());
+    }
+  }
+  if (!dir.empty() && !path.empty()) {
+    usage("doctor: pass --dir or --path, not both");
+  }
+
+  std::vector<std::string> files;
+  if (!path.empty()) {
+    files.push_back(path);
+  } else {
+    const std::string root = dir.empty() ? "." : dir;
+    if (!std::filesystem::is_directory(root)) {
+      throw IoError("doctor: not a directory: " + root);
+    }
+    for (const auto& entry : std::filesystem::directory_iterator(root)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".json") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  }
+  if (files.empty()) {
+    std::printf("no artifacts found\n");
+    return 0;
+  }
+
+  int tally[5] = {0, 0, 0, 0, 0};
+  TextTable t({"artifact", "verdict", "kind", "schema", "detail"});
+  for (const auto& file : files) {
+    const ArtifactInfo info = inspect_artifact(file);
+    ++tally[static_cast<int>(info.status)];
+    t.add_row({file, to_string(info.status), info.kind,
+               info.schema > 0 ? std::to_string(info.schema) : "-",
+               info.detail});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("%d ok, %d legacy, %d stale-schema, %d corrupt, %d unreadable\n",
+              tally[static_cast<int>(ArtifactStatus::kOk)],
+              tally[static_cast<int>(ArtifactStatus::kLegacy)],
+              tally[static_cast<int>(ArtifactStatus::kStaleSchema)],
+              tally[static_cast<int>(ArtifactStatus::kCorrupt)],
+              tally[static_cast<int>(ArtifactStatus::kUnreadable)]);
+
+  if (strict) {
+    if (tally[static_cast<int>(ArtifactStatus::kUnreadable)] > 0) {
+      return exit_status(ErrorCode::kIo);
+    }
+    if (tally[static_cast<int>(ArtifactStatus::kCorrupt)] > 0 ||
+        tally[static_cast<int>(ArtifactStatus::kStaleSchema)] > 0 ||
+        tally[static_cast<int>(ArtifactStatus::kLegacy)] > 0) {
+      return exit_status(ErrorCode::kJson);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
+    // doctor takes a boolean flag, so it parses argv itself.
+    if (command == "doctor") return cmd_doctor(argc, argv);
     const auto args = parse_args(argc, argv, 2);
     if (command == "stats") return cmd_stats(args);
 
