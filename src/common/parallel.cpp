@@ -1,6 +1,7 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace pml {
 
@@ -43,6 +44,17 @@ void ThreadPool::worker_loop() {
   tls_in_pool_worker = true;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    // post()ed tasks first: they are rare (async recompiles) and small in
+    // number, and parallel_for callers participate in their own jobs, so
+    // job latency is not starved by draining the task queue eagerly.
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      run_task(task);
+      lock.lock();
+      continue;
+    }
     // Find a job that still has unclaimed indices and a free worker slot;
     // prune fully-claimed jobs as we go (their callers hold the storage and
     // wait for active == 0, so dropping the queue entry is safe).
@@ -89,6 +101,28 @@ void ThreadPool::run(Job& job) {
       }
     }
   }
+}
+
+void ThreadPool::run_task(const std::function<void()>& task) noexcept {
+  try {
+    task();
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "pml: warning: posted task threw: %s\n", err.what());
+  } catch (...) {
+    std::fprintf(stderr, "pml: warning: posted task threw\n");
+  }
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!workers_.empty() && !stop_) {
+      tasks_.push_back(std::move(task));
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  run_task(task);  // no workers (or shutting down): degrade to inline
 }
 
 void ThreadPool::parallel_for(int threads, std::size_t n, const Body& body) {

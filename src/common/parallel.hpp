@@ -57,6 +57,16 @@ class ThreadPool {
   /// captured exception, if any.
   void parallel_for(int threads, std::size_t n, const Body& body);
 
+  /// Fire-and-forget task submission on the same workers (used by the
+  /// serve layer for async tuning-table recompiles). Never blocks: with no
+  /// workers the task runs inline on the caller. The pool provides no
+  /// completion signal — callers that must observe completion (or outlive
+  /// the pool) track it themselves. Tasks must not throw; an escaped
+  /// exception is swallowed after a stderr warning. Tasks still queued
+  /// when the pool is destroyed are discarded. A task may call
+  /// parallel_for, which then runs serially (nested-call rule).
+  void post(std::function<void()> task);
+
   /// Process-wide pool shared by all library hot paths. Sized so that the
   /// pool plus a caller saturate the machine.
   static ThreadPool& shared();
@@ -75,11 +85,14 @@ class ThreadPool {
 
   void worker_loop();
   void run(Job& job);
+  /// Run one post()ed task, containing any escaped exception (warn+drop).
+  static void run_task(const std::function<void()>& task) noexcept;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers wait for queued jobs
   std::condition_variable done_cv_;  ///< callers wait for job completion
   std::deque<Job*> queue_;
+  std::deque<std::function<void()>> tasks_;  ///< post()ed one-shot tasks
   std::vector<std::thread> workers_;
   bool stop_ = false;
 };

@@ -119,9 +119,14 @@ void warn_degraded(const std::string& message) {
   std::fprintf(stderr, "pml: warning: %s\n", message.c_str());
 }
 
+/// A table covers a request only if it was compiled for the same silicon
+/// (name + hardware fingerprint) over the same sweep. Matching on the name
+/// alone silently reused a same-named table compiled for different
+/// hardware; tables predating the fingerprint never match and get
+/// recompiled/upgraded in passing.
 bool covers(const TuningTable& table, const sim::ClusterSpec& cluster,
             const ResolvedSweep& sweep) {
-  return table.cluster_name() == cluster.name && !table.empty() &&
+  return table.matches_cluster(cluster) && !table.empty() &&
          table.matches_sweep(sweep.node_counts, sweep.ppn_values,
                              sweep.message_sizes);
 }
@@ -320,8 +325,11 @@ TuningTable PmlFramework::compile_for(const sim::ClusterSpec& cluster,
                                             sweep.message_sizes, trained,
                                             threads);
   const auto end = std::chrono::steady_clock::now();
-  inference_seconds_ =
-      std::chrono::duration<double>(end - start).count();
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  // Relaxed atomic: concurrent compiles on one framework last-writer-win
+  // here; the authoritative per-compile timing rides on the table itself.
+  inference_seconds_.store(seconds, std::memory_order_relaxed);
+  table.set_compile_seconds(seconds);
   return table;
 }
 
@@ -329,14 +337,11 @@ const TuningTable& PmlFramework::compile_or_cached(
     const sim::ClusterSpec& cluster, const CompileOptions& options,
     TuningTable& cache) {
   // Fig. 4: an existing table bypasses ML tuning — but only if it was
-  // generated over the same sweep grids; a cluster-name match alone would
-  // silently serve a table compiled for different node/ppn/message sweeps.
+  // generated for this hardware (name + fingerprint) over the same sweep
+  // grids; a cluster-name match alone would silently serve a table
+  // compiled for different silicon or different node/ppn/message sweeps.
   const ResolvedSweep sweep = resolve_sweep(cluster, options);
-  if (cache.cluster_name() == cluster.name && !cache.empty() &&
-      cache.matches_sweep(sweep.node_counts, sweep.ppn_values,
-                          sweep.message_sizes)) {
-    return cache;
-  }
+  if (covers(cache, cluster, sweep)) return cache;
   cache = compile_for(cluster, options);
   return cache;
 }
@@ -454,6 +459,16 @@ PmlFramework PmlFramework::load(const Json& j) {
 PmlFramework PmlFramework::load_file(const std::string& path) {
   const Json doc = Json::parse(read_file(path));
   return load(artifact_payload(doc, "model"));
+}
+
+CompileOptions resolve_compile_sweep(const sim::ClusterSpec& cluster,
+                                     const CompileOptions& options) {
+  const ResolvedSweep sweep = resolve_sweep(cluster, options);
+  CompileOptions resolved = options;
+  resolved.node_counts = sweep.node_counts;
+  resolved.ppn_values = sweep.ppn_values;
+  resolved.message_sizes = sweep.message_sizes;
+  return resolved;
 }
 
 TuningTable heuristic_table(const sim::ClusterSpec& cluster,

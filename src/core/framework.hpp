@@ -12,10 +12,12 @@
 // table for use at application runtime.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "coll/collective.hpp"
@@ -93,6 +95,15 @@ struct CompileOptions {
   }
 };
 
+// Thread-safety contract: once constructed (train/load), a PmlFramework is
+// immutable apart from two knobs — the threads_ setting and the
+// inference_seconds_ timing, the latter an atomic. select(), compile_for()
+// and the compile_or_cached overload that takes a caller-owned cache are
+// therefore safe to call concurrently from any number of threads on one
+// instance (each caller must own its `cache` argument); the trained parts_
+// map is only ever read after construction and all select() scratch is
+// thread_local. Do not call set_threads() or move/assign the framework
+// concurrently with queries.
 class PmlFramework final : public Selector {
  public:
   /// Trained model plus the feature columns it consumes (public so the
@@ -101,6 +112,32 @@ class PmlFramework final : public Selector {
     ml::RandomForest forest;
     std::vector<std::size_t> columns;  ///< feature columns the model sees
   };
+
+  PmlFramework() = default;
+  // Copies/moves exist for factory returns (train/load) and for tests
+  // that clone a shared fixture; they are not synchronised — never copy
+  // or move a framework that other threads are querying. Spelled out
+  // because the atomic member suppresses the implicit ones.
+  PmlFramework(const PmlFramework& other)
+      : parts_(other.parts_),
+        inference_seconds_(other.inference_seconds_.load()),
+        threads_(other.threads_) {}
+  PmlFramework& operator=(const PmlFramework& other) {
+    parts_ = other.parts_;
+    inference_seconds_.store(other.inference_seconds_.load());
+    threads_ = other.threads_;
+    return *this;
+  }
+  PmlFramework(PmlFramework&& other) noexcept
+      : parts_(std::move(other.parts_)),
+        inference_seconds_(other.inference_seconds_.load()),
+        threads_(other.threads_) {}
+  PmlFramework& operator=(PmlFramework&& other) noexcept {
+    parts_ = std::move(other.parts_);
+    inference_seconds_.store(other.inference_seconds_.load());
+    threads_ = other.threads_;
+    return *this;
+  }
 
   /// Offline training on a list of clusters (exclude the evaluation
   /// cluster to reproduce the paper's leave-cluster-out protocol).
@@ -153,9 +190,13 @@ class PmlFramework final : public Selector {
                                        std::span<const std::uint64_t> msg_sizes,
                                        TuningTable& cache);
 
-  /// Wall-clock seconds of the last compile_for call (the paper's
-  /// "less than a second of model inference overhead").
-  double inference_seconds() const noexcept { return inference_seconds_; }
+  /// Wall-clock seconds of the most recent compile_for call on any thread
+  /// (the paper's "less than a second of model inference overhead"). With
+  /// concurrent compiles this is a last-writer-wins convenience for the
+  /// CLI; per-compile timing travels on TuningTable::compile_seconds().
+  double inference_seconds() const noexcept {
+    return inference_seconds_.load(std::memory_order_relaxed);
+  }
 
   /// Threads used by compile_for sweeps; <= 0 = all hardware threads.
   /// Inherited from TrainOptions::threads at train time, default for
@@ -188,10 +229,22 @@ class PmlFramework final : public Selector {
  private:
   const PerCollective& part(coll::Collective collective) const;
 
+  /// Read-only after construction (the thread-safety contract above).
   std::map<coll::Collective, PerCollective> parts_;
-  double inference_seconds_ = 0.0;
+  /// Written by every compile_for; atomic so concurrent compiles on one
+  /// framework race benignly (last writer wins) instead of being UB.
+  std::atomic<double> inference_seconds_{0.0};
   int threads_ = 0;
 };
+
+/// Resolve a CompileOptions sweep against a target cluster: empty grid
+/// axes are replaced by the cluster's own benchmarked grid (a cluster
+/// without listed sizes gets the paper's 2^0..2^20 sweep), exactly as
+/// compile_for does internally. Cache layers use this to compute the
+/// effective sweep — and hence the cache key — before compiling. Throws
+/// ConfigError on invalid grids (validate()).
+CompileOptions resolve_compile_sweep(const sim::ClusterSpec& cluster,
+                                     const CompileOptions& options);
 
 // --- Graceful degradation (online stage) -------------------------------------
 //

@@ -1,0 +1,710 @@
+#include "core/serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "common/artifact.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/strings.hpp"
+#include "core/selectors.hpp"
+#include "sim/hardware.hpp"
+
+namespace pml::core {
+
+namespace {
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+void warn(const std::string& message) {
+  std::fprintf(stderr, "pml: warning: %s\n", message.c_str());
+}
+
+// --- request parsing --------------------------------------------------------
+
+const Json& require_field(const Json& request, const char* key) {
+  if (!request.contains(key)) {
+    throw ConfigError(std::string("serve: request missing \"") + key +
+                      "\" field");
+  }
+  return request.at(key);
+}
+
+int require_positive_int(const Json& request, const char* key) {
+  const std::int64_t v = require_field(request, key).as_int();
+  if (v < 1) {
+    throw ConfigError(std::string("serve: \"") + key + "\" must be >= 1");
+  }
+  return static_cast<int>(v);
+}
+
+bool truthy_flag(const Json& request, const char* key) {
+  return request.contains(key) && request.at(key).is_bool() &&
+         request.at(key).as_bool();
+}
+
+/// "cluster" is either a builtin cluster name or an inline ClusterSpec
+/// document — the same shapes `pml compile --cluster` accepts.
+sim::ClusterSpec parse_cluster(const Json& request) {
+  const Json& c = require_field(request, "cluster");
+  if (c.is_string()) return sim::cluster_by_name(c.as_string());
+  if (c.is_object()) return sim::ClusterSpec::from_json(c);
+  throw ConfigError(
+      "serve: \"cluster\" must be a builtin name or a cluster spec object");
+}
+
+/// Optional per-request sweep override for "table" requests.
+void apply_sweep_overrides(const Json& request, CompileOptions& options) {
+  if (request.contains("node_counts")) {
+    options.node_counts.clear();
+    for (const Json& n : request.at("node_counts").as_array()) {
+      options.node_counts.push_back(static_cast<int>(n.as_int()));
+    }
+  }
+  if (request.contains("ppn_values")) {
+    options.ppn_values.clear();
+    for (const Json& p : request.at("ppn_values").as_array()) {
+      options.ppn_values.push_back(static_cast<int>(p.as_int()));
+    }
+  }
+  if (request.contains("msg_sizes")) {
+    options.message_sizes.clear();
+    for (const Json& m : request.at("msg_sizes").as_array()) {
+      options.message_sizes.push_back(static_cast<std::uint64_t>(m.as_int()));
+    }
+  }
+}
+
+std::string error_reply(const std::string& what, ErrorCode code) {
+  Json j = Json::object();
+  j["ok"] = false;
+  j["error"] = what;
+  j["code"] = std::string(to_string(code));
+  j["status"] = exit_status(code);
+  return j.dump();
+}
+
+}  // namespace
+
+// --- ServeOptions -----------------------------------------------------------
+
+void ServeOptions::validate() const {
+  if (shards < 1) throw ConfigError("serve: shards must be >= 1");
+  if (shard_capacity < 1) {
+    throw ConfigError("serve: shard_capacity must be >= 1");
+  }
+  compile.validate();
+}
+
+// --- ServeCache -------------------------------------------------------------
+
+ServeCache::ServeCache(int shards, std::size_t shard_capacity)
+    : shards_(static_cast<std::size_t>(std::max(1, shards))),
+      capacity_(std::max<std::size_t>(1, shard_capacity)) {}
+
+ServeCache::Shard& ServeCache::shard_for(const std::string& key) {
+  return shards_[fnv1a64(key) % shards_.size()];
+}
+
+std::shared_ptr<const ServedTable> ServeCache::get(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.first);
+  return it->second.second;
+}
+
+void ServeCache::put(const std::string& key,
+                     std::shared_ptr<const ServedTable> entry) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    it->second.second = std::move(entry);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.first);
+    return;
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, std::make_pair(shard.lru.begin(), std::move(entry)));
+  if (shard.entries.size() > capacity_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+  }
+}
+
+std::size_t ServeCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+// --- ModelHost --------------------------------------------------------------
+
+ModelHost::ModelHost(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  load_locked();
+}
+
+std::shared_ptr<PmlFramework> ModelHost::framework() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return framework_;
+}
+
+std::string ModelHost::checksum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return checksum_;
+}
+
+bool ModelHost::revalidate() {
+  if (path_.empty()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return load_locked();
+}
+
+bool ModelHost::load_locked() {
+  std::string bytes;
+  try {
+    bytes = read_file(path_);
+  } catch (const Error& err) {
+    if (framework_ != nullptr) {
+      static obs::Counter unusable("serve.model.unusable");
+      unusable.increment();
+      warn("serve: model artifact became unreadable (" +
+           std::string(err.what()) + "); degrading to heuristic serving");
+    }
+    framework_.reset();
+    checksum_.clear();
+    return false;
+  }
+  const std::string sum = "fnv1a64:" + hex16(fnv1a64(bytes));
+  if (sum == checksum_ && framework_ != nullptr) return true;  // unchanged
+  try {
+    const Json doc = Json::parse(bytes);
+    auto loaded = std::make_shared<PmlFramework>(
+        PmlFramework::load(artifact_payload(doc, "model")));
+    framework_ = std::move(loaded);
+    checksum_ = sum;
+    static obs::Counter reloaded("serve.model.loaded");
+    reloaded.increment();
+    return true;
+  } catch (const Error& err) {
+    // The artifact on disk is the model's source of truth: once its
+    // bytes no longer validate, keep serving heuristics rather than
+    // answers from a bundle we can no longer vouch for. Tables already
+    // cached under the old checksum stay servable (they were compiled
+    // from a then-valid model), so established clients see no errors.
+    static obs::Counter unusable("serve.model.unusable");
+    unusable.increment();
+    warn("serve: model artifact failed to load (" + std::string(err.what()) +
+         "); degrading to heuristic serving");
+    framework_.reset();
+    checksum_.clear();
+    return false;
+  }
+}
+
+// --- ServeEngine ------------------------------------------------------------
+
+ServeEngine::LatencyRecorder::LatencyRecorder()
+    : p50_("serve.latency.p50_ns"), p99_("serve.latency.p99_ns") {
+  ring_.resize(kWindow, 0);
+}
+
+void ServeEngine::LatencyRecorder::record(std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[count_ % kWindow] = ns;
+  ++count_;
+  if (count_ % kUpdateEvery != 0 && count_ != 1) return;
+  std::vector<std::uint64_t> window(
+      ring_.begin(),
+      ring_.begin() + static_cast<std::ptrdiff_t>(std::min(count_, kWindow)));
+  const auto nth = [&window](double q) {
+    const std::size_t i = static_cast<std::size_t>(
+        q * static_cast<double>(window.size() - 1) + 0.5);
+    std::nth_element(window.begin(),
+                     window.begin() + static_cast<std::ptrdiff_t>(i),
+                     window.end());
+    return static_cast<std::int64_t>(window[i]);
+  };
+  p50_.set(nth(0.50));
+  p99_.set(nth(0.99));
+}
+
+ServeEngine::ServeEngine(ServeOptions options)
+    : options_(std::move(options)),
+      model_(options_.model_path),
+      cache_(options_.shards, options_.shard_capacity) {
+  options_.validate();
+}
+
+ServeEngine::~ServeEngine() { drain(); }
+
+void ServeEngine::drain() {
+  std::unique_lock<std::mutex> lock(jobs_mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ServeEngine::Stats ServeEngine::stats() const {
+  Stats s;
+  s.requests = requests_.load();
+  s.cache_hits = cache_hits_.load();
+  s.cache_misses = cache_misses_.load();
+  s.compiles = compiles_.load();
+  s.degraded = degraded_.load();
+  s.errors = errors_.load();
+  return s;
+}
+
+std::string ServeEngine::cache_key(const std::string& checksum,
+                                   const sim::ClusterSpec& cluster,
+                                   const CompileOptions& resolved) const {
+  std::string sweep;
+  for (const int n : resolved.node_counts) {
+    sweep += std::to_string(n);
+    sweep += ',';
+  }
+  sweep += ';';
+  for (const int p : resolved.ppn_values) {
+    sweep += std::to_string(p);
+    sweep += ',';
+  }
+  sweep += ';';
+  for (const std::uint64_t m : resolved.message_sizes) {
+    sweep += std::to_string(m);
+    sweep += ',';
+  }
+  return checksum + "/" + hex16(cluster.hardware_fingerprint()) + "/" +
+         hex16(fnv1a64(sweep));
+}
+
+std::shared_ptr<ServeEngine::CompileJob> ServeEngine::ensure_compile(
+    const std::string& key, const sim::ClusterSpec& cluster,
+    const CompileOptions& resolved) {
+  std::shared_ptr<CompileJob> job;
+  bool created = false;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const auto it = jobs_.find(key);
+    if (it != jobs_.end()) {
+      job = it->second;
+    } else {
+      job = std::make_shared<CompileJob>();
+      jobs_.emplace(key, job);
+      ++in_flight_;
+      created = true;
+    }
+  }
+  if (created) {
+    // Captures by value: the transport thread that triggered the miss
+    // may be gone (client hung up) before the compile runs.
+    auto run = [this, job, key, cluster, resolved] {
+      run_compile(job, key, cluster, resolved);
+    };
+    if (options_.async_compile) {
+      ThreadPool::shared().post(std::move(run));
+    } else {
+      run();
+    }
+  }
+  return job;
+}
+
+void ServeEngine::run_compile(const std::shared_ptr<CompileJob>& job,
+                              const std::string& requested_key,
+                              const sim::ClusterSpec& cluster,
+                              const CompileOptions& resolved) noexcept {
+  std::shared_ptr<const ServedTable> result;
+  try {
+    obs::Span span("serve.compile");
+    // Re-read the artifact first: this is both how a redeployed model is
+    // picked up and how a corrupted one drops the ladder to heuristics.
+    model_.revalidate();
+    if (const std::shared_ptr<PmlFramework> framework = model_.framework()) {
+      auto entry = std::make_shared<ServedTable>();
+      entry->table = framework->compile_for(cluster, resolved);
+      entry->json = entry->table.to_json().dump();
+      // Key under the model's *current* identity: if the artifact was
+      // swapped while this job sat in the queue, cache under the new
+      // checksum so the next request (which recomputes the key) hits.
+      cache_.put(cache_key(model_.checksum(), cluster, resolved), entry);
+      compiles_.fetch_add(1);
+      static obs::Counter compiled("serve.compiles");
+      compiled.increment();
+      result = std::move(entry);
+    }
+  } catch (const std::exception& err) {
+    static obs::Counter failed("serve.compile_failed");
+    failed.increment();
+    warn("serve: recompile failed (" + std::string(err.what()) +
+         "); waiters fall back to heuristics");
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->result = result;
+    job->done = true;
+  }
+  job->cv.notify_all();
+  {
+    // Erase strictly after the cache put + done flag above: a concurrent
+    // request either finds the job (and waits on it) or misses the map
+    // and sees the freshly cached entry — never neither. Notify while
+    // still holding the lock: once it drops with in_flight_ == 0 the
+    // destructor's drain() may return and destroy the condition variable.
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.erase(requested_key);
+    --in_flight_;
+    idle_cv_.notify_all();
+  }
+}
+
+std::shared_ptr<const ServedTable> ServeEngine::wait_for(CompileJob& job) {
+  std::unique_lock<std::mutex> lock(job.mutex);
+  job.cv.wait(lock, [&job] { return job.done; });
+  return job.result;
+}
+
+std::string ServeEngine::handle_select(const Json& request) {
+  const coll::Collective collective = coll::collective_from_string(
+      require_field(request, "collective").as_string());
+  const int nodes = require_positive_int(request, "nodes");
+  const int ppn = require_positive_int(request, "ppn");
+  const std::uint64_t msg_bytes = static_cast<std::uint64_t>(
+      require_field(request, "msg_bytes").as_int());
+  const std::string checksum = model_.checksum();
+
+  // A cached select must not pay for what only a miss needs: for a named
+  // cluster under the default sweep the cache key is a pure function of
+  // (model checksum, name), so probe the memo first and materialize the
+  // ClusterSpec + resolved sweep lazily, on the slow paths only.
+  const Json& cluster_field = require_field(request, "cluster");
+  std::string key;
+  if (cluster_field.is_string()) {
+    std::lock_guard<std::mutex> lock(select_keys_mutex_);
+    const auto it = select_keys_.find(cluster_field.as_string());
+    if (it != select_keys_.end() && it->second.first == checksum) {
+      key = it->second.second;
+    }
+  }
+  std::optional<sim::ClusterSpec> cluster;
+  std::optional<CompileOptions> resolved;
+  const auto materialize = [&] {
+    if (!cluster.has_value()) {
+      cluster = parse_cluster(request);
+      resolved = resolve_compile_sweep(*cluster, options_.compile);
+    }
+  };
+  if (key.empty()) {
+    materialize();
+    key = cache_key(checksum, *cluster, *resolved);
+    if (cluster_field.is_string()) {
+      std::lock_guard<std::mutex> lock(select_keys_mutex_);
+      select_keys_[cluster_field.as_string()] = {checksum, key};
+    }
+  }
+
+  std::string cache_state = "hit";
+  std::string source = "table";
+  bool degraded = false;
+  coll::Algorithm algorithm{};
+
+  std::shared_ptr<const ServedTable> entry = cache_.get(key);
+  if (entry != nullptr) {
+    cache_hits_.fetch_add(1);
+    static obs::Counter hits("serve.cache.hit");
+    hits.increment();
+  } else {
+    cache_misses_.fetch_add(1);
+    static obs::Counter misses("serve.cache.miss");
+    misses.increment();
+    materialize();
+    const std::shared_ptr<CompileJob> job =
+        ensure_compile(key, *cluster, *resolved);
+    if (truthy_flag(request, "wait")) {
+      entry = wait_for(*job);
+      if (entry != nullptr) cache_state = "compiled";
+    }
+  }
+
+  if (entry != nullptr) {
+    algorithm = entry->table.lookup(collective, nodes, ppn, msg_bytes);
+  } else if (const std::shared_ptr<PmlFramework> framework =
+                 model_.framework()) {
+    // Miss, not waiting, model healthy: answer by direct inference while
+    // the table compiles in the background. Same model, same quality —
+    // not a degraded reply.
+    cache_state = "miss";
+    source = "model";
+    materialize();
+    algorithm = framework->select(collective, *cluster,
+                                  sim::Topology{nodes, ppn}, msg_bytes);
+  } else {
+    // Bottom rung: no table, no model. Same counter the batch online
+    // stage uses, so dashboards see one ladder.
+    cache_state = "miss";
+    source = "heuristic";
+    degraded = true;
+    degraded_.fetch_add(1);
+    static obs::Counter fallback("online.fallback.heuristic");
+    fallback.increment();
+    static obs::Counter served_degraded("serve.degraded");
+    served_degraded.increment();
+    materialize();
+    algorithm = HeuristicSelector().select(collective, *cluster,
+                                           sim::Topology{nodes, ppn},
+                                           msg_bytes);
+  }
+
+  Json reply = Json::object();
+  reply["ok"] = true;
+  reply["op"] = std::string("select");
+  reply["algorithm"] = coll::to_string(algorithm);
+  reply["display_name"] = coll::display_name(algorithm);
+  reply["cache"] = cache_state;
+  reply["source"] = source;
+  reply["degraded"] = degraded;
+  return reply.dump();
+}
+
+std::string ServeEngine::handle_table(const Json& request) {
+  const sim::ClusterSpec cluster = parse_cluster(request);
+  CompileOptions options = options_.compile;
+  apply_sweep_overrides(request, options);
+  const CompileOptions resolved = resolve_compile_sweep(cluster, options);
+  const std::string key = cache_key(model_.checksum(), cluster, resolved);
+
+  std::string cache_state = "hit";
+  std::shared_ptr<const ServedTable> entry = cache_.get(key);
+  if (entry != nullptr) {
+    cache_hits_.fetch_add(1);
+    static obs::Counter hits("serve.cache.hit");
+    hits.increment();
+  } else {
+    cache_misses_.fetch_add(1);
+    static obs::Counter misses("serve.cache.miss");
+    misses.increment();
+    const std::shared_ptr<CompileJob> job =
+        ensure_compile(key, cluster, resolved);
+    if (truthy_flag(request, "wait")) {
+      entry = wait_for(*job);
+      if (entry != nullptr) cache_state = "compiled";
+    }
+  }
+
+  if (entry != nullptr) {
+    // Splice the pre-serialized table in verbatim: replies for one cache
+    // entry are byte-identical, request after request.
+    std::string reply = "{\"ok\":true,\"op\":\"table\",\"cache\":\"";
+    reply += cache_state;
+    reply += "\",\"source\":\"model\",\"degraded\":false,\"table\":";
+    reply += entry->json;
+    reply += "}";
+    return reply;
+  }
+
+  // Heuristic rung: answer now, never cache (a later compile supersedes
+  // this, and the ladder contract is that heuristic output is transient).
+  degraded_.fetch_add(1);
+  static obs::Counter fallback("online.fallback.heuristic");
+  fallback.increment();
+  static obs::Counter served_degraded("serve.degraded");
+  served_degraded.increment();
+  const TuningTable table = heuristic_table(cluster, resolved);
+  std::string reply =
+      "{\"ok\":true,\"op\":\"table\",\"cache\":\"miss\","
+      "\"source\":\"heuristic\",\"degraded\":true,\"table\":";
+  reply += table.to_json().dump();
+  reply += "}";
+  return reply;
+}
+
+std::string ServeEngine::handle_stats() {
+  const Stats s = stats();
+  Json reply = Json::object();
+  reply["ok"] = true;
+  reply["op"] = std::string("stats");
+  reply["requests"] = static_cast<std::int64_t>(s.requests);
+  reply["cache_hits"] = static_cast<std::int64_t>(s.cache_hits);
+  reply["cache_misses"] = static_cast<std::int64_t>(s.cache_misses);
+  reply["compiles"] = static_cast<std::int64_t>(s.compiles);
+  reply["degraded"] = static_cast<std::int64_t>(s.degraded);
+  reply["errors"] = static_cast<std::int64_t>(s.errors);
+  reply["tables_cached"] = static_cast<std::int64_t>(cache_.size());
+  reply["model_loaded"] = model_loaded();
+  const std::string checksum = model_.checksum();
+  if (!checksum.empty()) reply["model_checksum"] = checksum;
+  return reply.dump();
+}
+
+std::string ServeEngine::handle_line(const std::string& line) {
+  static obs::Counter requests("serve.requests");
+  requests.increment();
+  requests_.fetch_add(1);
+  obs::Span span("serve.request");
+  const std::uint64_t start_ns = obs::now_ns();
+  std::string reply;
+  try {
+    const Json request = Json::parse(line);
+    const std::string op = require_field(request, "op").as_string();
+    if (op == "select") {
+      reply = handle_select(request);
+    } else if (op == "table") {
+      reply = handle_table(request);
+    } else if (op == "stats") {
+      reply = handle_stats();
+    } else if (op == "ping") {
+      Json pong = Json::object();
+      pong["ok"] = true;
+      pong["op"] = std::string("ping");
+      pong["model_loaded"] = model_loaded();
+      reply = pong.dump();
+    } else {
+      throw ConfigError("serve: unknown op \"" + op + "\"");
+    }
+  } catch (const Error& err) {
+    errors_.fetch_add(1);
+    static obs::Counter errors("serve.errors");
+    errors.increment();
+    reply = error_reply(err.what(), err.code());
+  } catch (const std::exception& err) {
+    errors_.fetch_add(1);
+    static obs::Counter errors("serve.errors");
+    errors.increment();
+    reply = error_reply(err.what(), ErrorCode::kUnknown);
+  }
+  latency_.record(obs::now_ns() - start_ns);
+  return reply;
+}
+
+// --- stdio transport --------------------------------------------------------
+
+void serve_stdio(ServeEngine& engine, std::FILE* in, std::FILE* out) {
+  std::string line;
+  for (int c = std::fgetc(in);; c = std::fgetc(in)) {
+    if (c != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) {
+      const std::string reply = engine.handle_line(line);
+      std::fwrite(reply.data(), 1, reply.size(), out);
+      std::fputc('\n', out);
+      std::fflush(out);
+      line.clear();
+    }
+    if (c == EOF) return;
+  }
+}
+
+// --- TCP transport ----------------------------------------------------------
+
+int TcpServer::start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw IoError("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("serve: cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return port_;
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;  // transient accept failure (e.g. EINTR)
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    client_fds_.push_back(fd);
+    client_threads_.emplace_back([this, fd] { client_loop(fd); });
+  }
+}
+
+void TcpServer::client_loop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string reply = engine_.handle_line(line);
+      reply.push_back('\n');
+      std::size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t w = ::send(fd, reply.data() + sent, reply.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (w <= 0) return;  // fd closed below, via stop() or dtor
+        sent += static_cast<std::size_t>(w);
+      }
+    }
+  }
+}
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller (e.g. dtor after explicit stop): nothing to do.
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fds.swap(client_fds_);
+    threads.swap(client_threads_);
+  }
+  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& t : threads) t.join();
+  for (const int fd : fds) ::close(fd);
+  listen_fd_ = -1;
+}
+
+void TcpServer::wait() {
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+}  // namespace pml::core

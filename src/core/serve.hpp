@@ -1,0 +1,308 @@
+// pml::core serve — selector-as-a-service.
+//
+// A long-running, zero-new-dependency daemon that answers the online
+// stage's two query shapes over a newline-delimited JSON protocol
+// (docs/API.md, "Serve protocol"):
+//
+//   {"op":"table",  "cluster":...}                          -> tuning table
+//   {"op":"select", "cluster":..., "collective":"allgather",
+//    "nodes":8, "ppn":4, "msg_bytes":65536}                 -> one algorithm
+//
+// plus "ping" and "stats" for health checks. One engine instance serves
+// any number of transport threads (stdio pipe, TCP connections): all
+// shared state is behind a sharded LRU cache of compiled tuning tables
+// keyed by (model artifact checksum, cluster hardware fingerprint,
+// resolved sweep grids), so a redeployed model or a respec'd cluster can
+// never be answered from a stale table.
+//
+// Cache misses never block the reply (unless the client asks to "wait"):
+// a recompile is posted to ThreadPool::shared() — whose workers also
+// batch the FlatForest inference inside each compile via parallel_for —
+// and the miss is answered immediately one rung down the degradation
+// ladder: direct model inference for "select", HeuristicSelector for
+// "table". Heuristic answers are marked "degraded" and are never cached,
+// and each one bumps the same online.fallback.* counters as the batch
+// online stage.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "obs/obs.hpp"
+
+namespace pml::core {
+
+struct ServeOptions {
+  /// Model bundle path (pml-artifact-v1 "model" envelope or legacy
+  /// bundle). Empty, unreadable, or corrupt => the engine starts in (or
+  /// degrades to) heuristic-only serving instead of failing; every
+  /// compile attempt re-reads the file, so replacing or repairing the
+  /// artifact on disk is picked up without a restart.
+  std::string model_path;
+  /// LRU shards (>= 1). More shards = less lock contention across
+  /// transport threads; keys spread by FNV-1a hash.
+  int shards = 4;
+  /// Compiled tables kept per shard (>= 1).
+  std::size_t shard_capacity = 8;
+  /// Base compile options for cache-miss recompiles: sweep grid defaults
+  /// (empty axes = the target cluster's own grid) and sweep threads.
+  /// cache_dir / cache_retry / heuristic_fallback are unused here — the
+  /// serve cache is in-memory and the ladder is always on.
+  CompileOptions compile;
+  /// When false, cache misses compile synchronously on the request
+  /// thread (deterministic tests); the reply still reports its rung.
+  bool async_compile = true;
+
+  /// Throws pml::ConfigError on non-positive shards/capacity or an
+  /// invalid compile sweep.
+  void validate() const;
+};
+
+/// One cached compile result: the table plus its pre-serialized compact
+/// JSON, so "table" replies are built once and byte-stable across
+/// requests, shards, and runs (lookup tie-breaks are deterministic too;
+/// see TuningTable::lookup).
+struct ServedTable {
+  TuningTable table;
+  std::string json;
+};
+
+/// Sharded LRU map: cache key -> immutable ServedTable. Each shard has
+/// its own mutex and LRU list; entries are shared_ptr so a hit can be
+/// used lock-free after the (brief) shard lock drops, even if the entry
+/// is evicted concurrently.
+class ServeCache {
+ public:
+  ServeCache(int shards, std::size_t shard_capacity);
+
+  ServeCache(const ServeCache&) = delete;
+  ServeCache& operator=(const ServeCache&) = delete;
+
+  /// nullptr on miss; refreshes LRU order on hit.
+  std::shared_ptr<const ServedTable> get(const std::string& key);
+
+  /// Insert (or replace) an entry, evicting the shard's least recently
+  /// used entry when over capacity.
+  void put(const std::string& key, std::shared_ptr<const ServedTable> entry);
+
+  /// Total entries across shards (point-in-time; shards are sampled one
+  /// at a time).
+  std::size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::string> lru;
+    std::unordered_map<std::string,
+                       std::pair<std::list<std::string>::iterator,
+                                 std::shared_ptr<const ServedTable>>>
+        entries;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::vector<Shard> shards_;
+  std::size_t capacity_;
+};
+
+/// Owns the loaded model and its identity. The identity is the FNV-1a
+/// checksum of the artifact's file bytes: cache keys embed it, so a
+/// model redeploy (new bytes) naturally invalidates every cached table
+/// without an explicit flush. revalidate() re-reads the file and
+/// reloads only when the bytes changed; a now-corrupt artifact drops
+/// the engine to heuristic-only serving (the file on disk is the source
+/// of truth — the in-memory copy is not kept once it can no longer be
+/// vouched for).
+class ModelHost {
+ public:
+  /// Lenient: a missing/corrupt artifact logs a warning and starts
+  /// degraded instead of throwing. An empty path never loads.
+  explicit ModelHost(std::string path);
+
+  bool has_path() const noexcept { return !path_.empty(); }
+
+  /// Current model, or nullptr while degraded. The framework is safe
+  /// for concurrent select()/compile_for() (see framework.hpp).
+  std::shared_ptr<PmlFramework> framework() const;
+
+  /// "fnv1a64:<16 hex>" over the artifact file bytes; "" while degraded.
+  std::string checksum() const;
+
+  /// Re-read the artifact; reload if its bytes changed. Returns true
+  /// when a usable model is loaded afterwards.
+  bool revalidate();
+
+ private:
+  bool load_locked();
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::shared_ptr<PmlFramework> framework_;
+  std::string checksum_;
+};
+
+/// The transport-independent request handler. Thread-safe: handle_line
+/// may be called concurrently from any number of transport threads.
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeOptions options);
+  /// Blocks until in-flight async recompiles finish (they capture
+  /// `this`).
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Handle one request line (no trailing newline) and return the reply
+  /// line (no trailing newline). Never throws: every failure becomes an
+  /// {"ok":false,...} reply carrying the error-taxonomy code and the
+  /// exit status `pml <verb>` would have returned for the same failure.
+  std::string handle_line(const std::string& line);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t compiles = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t errors = 0;
+  };
+  Stats stats() const;
+
+  std::size_t cached_tables() const { return cache_.size(); }
+  bool model_loaded() const { return model_.framework() != nullptr; }
+
+  /// Block until no async recompiles are in flight (tests).
+  void drain();
+
+ private:
+  struct CompileJob {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const ServedTable> result;  ///< nullptr on failure
+  };
+
+  std::string handle_select(const Json& request);
+  std::string handle_table(const Json& request);
+  std::string handle_stats();
+
+  /// Find-or-start the compile job for `key`. At most one job per key is
+  /// in flight; duplicates wait on the same job.
+  std::shared_ptr<CompileJob> ensure_compile(const std::string& key,
+                                             const sim::ClusterSpec& cluster,
+                                             const CompileOptions& resolved);
+  void run_compile(const std::shared_ptr<CompileJob>& job,
+                   const std::string& requested_key,
+                   const sim::ClusterSpec& cluster,
+                   const CompileOptions& resolved) noexcept;
+  std::shared_ptr<const ServedTable> wait_for(CompileJob& job);
+
+  /// "<checksum>/<fingerprint hex>/<sweep hash hex>".
+  std::string cache_key(const std::string& checksum,
+                        const sim::ClusterSpec& cluster,
+                        const CompileOptions& resolved) const;
+
+  /// Memoized select-path cache keys for *named* clusters under the
+  /// default sweep: name -> (checksum the key was derived under, key).
+  /// A cached-select hit then costs one map probe instead of a
+  /// ClusterSpec copy + hardware-fingerprint hash + sweep-token build;
+  /// entries self-invalidate when the model checksum moves. Bounded by
+  /// the builtin-cluster census (inline spec objects bypass the memo).
+  std::mutex select_keys_mutex_;
+  std::unordered_map<std::string, std::pair<std::string, std::string>>
+      select_keys_;
+
+  /// Rolling reply-latency percentiles, exported as the
+  /// serve.latency.p50_ns / p99_ns gauges.
+  class LatencyRecorder {
+   public:
+    LatencyRecorder();
+    void record(std::uint64_t ns);
+
+   private:
+    static constexpr std::size_t kWindow = 1024;
+    static constexpr std::size_t kUpdateEvery = 64;
+
+    std::mutex mutex_;
+    std::vector<std::uint64_t> ring_;
+    std::size_t count_ = 0;
+    obs::Gauge p50_;
+    obs::Gauge p99_;
+  };
+
+  ServeOptions options_;
+  ModelHost model_;
+  ServeCache cache_;
+  LatencyRecorder latency_;
+
+  std::mutex jobs_mutex_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<std::string, std::shared_ptr<CompileJob>> jobs_;
+  int in_flight_ = 0;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> compiles_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+/// Serve newline-delimited requests from `in` to `out` until EOF (the
+/// `pml serve --stdio` transport; also what the protocol round-trip
+/// tests drive through a shell pipe). Blank lines are ignored.
+void serve_stdio(ServeEngine& engine, std::FILE* in, std::FILE* out);
+
+/// Minimal TCP transport: accepts loopback connections and runs one
+/// thread per connection, each feeding lines to the shared engine.
+/// POSIX sockets only — no new dependencies.
+class TcpServer {
+ public:
+  explicit TcpServer(ServeEngine& engine) : engine_(engine) {}
+  ~TcpServer() { stop(); }
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral), start the accept thread, and
+  /// return the bound port. Throws pml::IoError on socket failure.
+  int start(int port);
+
+  /// Close the listener and all live connections; join every thread.
+  /// Idempotent.
+  void stop();
+
+  /// Block until stop() is called from another thread (or the accept
+  /// loop dies). The CLI foreground mode parks on this.
+  void wait();
+
+  int port() const noexcept { return port_; }
+
+ private:
+  void accept_loop();
+  void client_loop(int fd);
+
+  ServeEngine& engine_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex mutex_;
+  std::vector<int> client_fds_;          ///< live connection sockets
+  std::vector<std::thread> client_threads_;
+};
+
+}  // namespace pml::core

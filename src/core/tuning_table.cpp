@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 #include "common/error.hpp"
@@ -47,12 +49,26 @@ const JobTable* TuningTable::nearest(coll::Collective collective, int nodes,
     const double dp = std::log2(static_cast<double>(j.ppn)) -
                       std::log2(static_cast<double>(ppn));
     const double dist = dn * dn + dp * dp;
-    if (dist < best_dist) {
+    // Ties (e.g. 2x and 8x nodes around a 4x query) are broken by the
+    // fixed (nodes, ppn) order documented in the header, not by which job
+    // happened to be registered first, so lookups are reproducible for any
+    // job ordering. The comparison is exact: tied shapes compute the same
+    // squared distance from identical log2 terms.
+    const bool tie_wins =
+        best != nullptr && dist == best_dist &&
+        (j.nodes < best->nodes ||
+         (j.nodes == best->nodes && j.ppn < best->ppn));
+    if (dist < best_dist || tie_wins) {
       best_dist = dist;
       best = &j;
     }
   }
   return best;
+}
+
+bool TuningTable::matches_cluster(const sim::ClusterSpec& cluster) const {
+  return cluster_name_ == cluster.name && cluster_fingerprint_ != 0 &&
+         cluster_fingerprint_ == cluster.hardware_fingerprint();
 }
 
 bool TuningTable::has(coll::Collective collective, int nodes, int ppn) const {
@@ -109,6 +125,7 @@ TuningTable TuningTable::generate(Selector& selector,
   if (msg_sizes.empty()) throw TuningError("generate: empty size sweep");
   TuningTable table(cluster.name);
   table.set_sweep(node_counts, ppn_values, msg_sizes);
+  table.set_cluster_fingerprint(cluster.hardware_fingerprint());
 
   // Enumerate the job cells up front and fill them into pre-sized slots, so
   // the parallel sweep registers jobs in exactly the serial order.
@@ -156,6 +173,14 @@ Json TuningTable::to_json() const {
   Json j = Json::object();
   j["format"] = "pml-mpi-tuning-table-v1";
   j["cluster"] = cluster_name_;
+  if (cluster_fingerprint_ != 0) {
+    // Hex string, not a number: uint64 digests overflow the double-backed
+    // Json number type.
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(cluster_fingerprint_));
+    j["cluster_fingerprint"] = std::string(hex);
+  }
   if (!sweep_nodes_.empty()) {
     Json sweep = Json::object();
     Json nodes = Json::array();
@@ -195,6 +220,10 @@ TuningTable TuningTable::from_json(const Json& j) {
     throw TuningError("not a pml-mpi tuning table");
   }
   TuningTable table(j.at("cluster").as_string());
+  if (j.contains("cluster_fingerprint")) {  // absent in pre-fingerprint tables
+    table.cluster_fingerprint_ = std::strtoull(
+        j.at("cluster_fingerprint").as_string().c_str(), nullptr, 16);
+  }
   if (j.contains("sweep")) {  // absent in pre-provenance tables
     const Json& sweep = j.at("sweep");
     for (const Json& n : sweep.at("nodes").as_array()) {

@@ -52,7 +52,10 @@ class TuningTable {
   /// Algorithm for the job shape and message size. Exact (nodes, ppn) match
   /// preferred; otherwise the geometrically nearest registered shape of the
   /// collective is used (as MPI libraries fall back to the closest tuned
-  /// configuration). Throws TuningError if the collective has no entries.
+  /// configuration). Distance ties are broken deterministically — smaller
+  /// nodes first, then smaller ppn — so the result is independent of job
+  /// registration order and lookup replies are byte-stable across runs and
+  /// cache shards. Throws TuningError if the collective has no entries.
   coll::Algorithm lookup(coll::Collective collective, int nodes, int ppn,
                          std::uint64_t msg_bytes) const;
 
@@ -61,8 +64,10 @@ class TuningTable {
   /// `collectives` defaults to the two the paper evaluates. With
   /// threads > 1 the (collective, nodes, ppn) job cells are filled
   /// concurrently — the selector's select() must then be thread-safe
-  /// (stateless selectors and PmlFramework qualify; RandomSelector does
-  /// not) — and the output ordering is identical to the serial sweep.
+  /// (stateless selectors qualify, as does PmlFramework for select() *and*
+  /// compile paths — see the thread-safety contract in core/framework.hpp;
+  /// RandomSelector does not) — and the output ordering is identical to
+  /// the serial sweep.
   static TuningTable generate(Selector& selector,
                               const sim::ClusterSpec& cluster,
                               std::span<const int> node_counts,
@@ -76,10 +81,11 @@ class TuningTable {
                               std::span<const coll::Collective> collectives,
                               int threads = 1);
 
-  // --- Sweep provenance ------------------------------------------------------
-  // generate() records the grids it swept so cache layers can tell whether
-  // an existing table actually covers a requested sweep (hand-built tables
-  // have empty grids and never match).
+  // --- Sweep & cluster provenance --------------------------------------------
+  // generate() records the grids it swept and the target's hardware
+  // fingerprint so cache layers can tell whether an existing table actually
+  // covers a requested sweep *and* the same silicon (hand-built tables have
+  // empty grids / a zero fingerprint and never match).
 
   void set_sweep(std::span<const int> node_counts,
                  std::span<const int> ppn_values,
@@ -91,6 +97,31 @@ class TuningTable {
   const std::vector<int>& sweep_ppn() const noexcept { return sweep_ppn_; }
   const std::vector<std::uint64_t>& sweep_msg_sizes() const noexcept {
     return sweep_msgs_;
+  }
+
+  /// sim::ClusterSpec::hardware_fingerprint() of the compiled-for cluster;
+  /// 0 for hand-built tables and artifacts predating the field. Serialized,
+  /// so persisted caches keep distinguishing same-name clusters.
+  std::uint64_t cluster_fingerprint() const noexcept {
+    return cluster_fingerprint_;
+  }
+  void set_cluster_fingerprint(std::uint64_t fp) noexcept {
+    cluster_fingerprint_ = fp;
+  }
+
+  /// True when this table was compiled for `cluster` (name and hardware
+  /// fingerprint both match) — the cache-hit precondition alongside
+  /// matches_sweep(). Tables without a fingerprint never match: recompiling
+  /// upgrades them, exactly like pre-envelope cache entries.
+  bool matches_cluster(const sim::ClusterSpec& cluster) const;
+
+  /// Wall-clock seconds of the compile_for sweep that produced this table
+  /// (the paper's "model inference overhead"); 0 for hand-built or loaded
+  /// tables. Not serialized: artifacts must stay byte-identical across
+  /// runs of identical inputs.
+  double compile_seconds() const noexcept { return compile_seconds_; }
+  void set_compile_seconds(double seconds) noexcept {
+    compile_seconds_ = seconds;
   }
 
   Json to_json() const;
@@ -106,6 +137,8 @@ class TuningTable {
   std::vector<int> sweep_nodes_;
   std::vector<int> sweep_ppn_;
   std::vector<std::uint64_t> sweep_msgs_;
+  std::uint64_t cluster_fingerprint_ = 0;
+  double compile_seconds_ = 0.0;
 };
 
 }  // namespace pml::core

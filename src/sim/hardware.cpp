@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/artifact.hpp"
 #include "common/error.hpp"
 
 namespace pml::sim {
@@ -105,6 +106,17 @@ HardwareSpec HardwareSpec::from_json(const Json& j) {
   hw.hca_link_speed_gbps = j.at("hca_link_speed_gbps").as_number();
   hw.hca_link_width = static_cast<int>(j.at("hca_link_width").as_int());
   return hw;
+}
+
+std::uint64_t ClusterSpec::hardware_fingerprint() const {
+  // Canonical hardware-identity document: insertion order is fixed and the
+  // grids/name are left out on purpose (see the header), so the digest is
+  // stable across serialization round-trips and renamed deployments.
+  Json j = Json::object();
+  j["processor"] = processor;
+  j["interconnect"] = to_string(interconnect);
+  j["hardware"] = hw.to_json();
+  return fnv1a64(j.dump());
 }
 
 Json ClusterSpec::to_json() const {

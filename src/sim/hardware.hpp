@@ -71,6 +71,14 @@ struct ClusterSpec {
   std::vector<int> ppn_values;    ///< process-per-node values benchmarked
   std::vector<std::uint64_t> message_sizes;  ///< bytes, powers of two
 
+  /// Stable 64-bit digest of the cluster's hardware identity: processor,
+  /// interconnect, and every HardwareSpec field — deliberately *not* the
+  /// name or the benchmark grids. Two specs sharing a name but differing
+  /// in hardware fingerprint differently, so table caches keyed on it
+  /// never serve a table compiled for different silicon (the grids are
+  /// covered separately by TuningTable sweep provenance).
+  std::uint64_t hardware_fingerprint() const;
+
   Json to_json() const;
   static ClusterSpec from_json(const Json& j);
 };

@@ -174,6 +174,35 @@ TEST(Framework, CompileOrCachedRecompilesWhenSweepChanges) {
   EXPECT_EQ(fw.inference_seconds(), after);
 }
 
+TEST(Framework, CompileOrCachedRecompilesWhenHardwareChangesUnderOneName) {
+  // Regression: the in-memory cache used to match on cluster name + sweep
+  // only, so two same-named specs with different silicon silently shared
+  // one table. Coverage now requires the hardware fingerprint to match.
+  auto fw = shared_framework();
+  sim::ClusterSpec original = sim::cluster_by_name("MRI");
+  sim::ClusterSpec respeced = original;
+  respeced.hw.cores = original.hw.cores * 2;
+  respeced.hw.mem_bw_gbs = original.hw.mem_bw_gbs / 2.0;
+  ASSERT_NE(original.hardware_fingerprint(), respeced.hardware_fingerprint());
+
+  const CompileOptions options =
+      CompileOptions::sweep({1, 2}, {64}, sim::power_of_two_sizes(8));
+  TuningTable cache;
+  fw.compile_or_cached(original, options, cache);
+  EXPECT_TRUE(cache.matches_cluster(original));
+  EXPECT_FALSE(cache.matches_cluster(respeced));
+
+  const double before = fw.inference_seconds();
+  fw.compile_or_cached(respeced, options, cache);
+  EXPECT_NE(fw.inference_seconds(), before);  // recompiled, no stale reuse
+  EXPECT_TRUE(cache.matches_cluster(respeced));
+
+  // The fingerprint is provenance: it survives a JSON round trip.
+  const TuningTable back = TuningTable::from_json(cache.to_json());
+  EXPECT_TRUE(back.matches_cluster(respeced));
+  EXPECT_EQ(back.cluster_fingerprint(), respeced.hardware_fingerprint());
+}
+
 TEST(Framework, ParallelTrainingIsByteIdenticalToSerial) {
   TrainOptions serial_options = fast_options();
   serial_options.forest.n_trees = 8;

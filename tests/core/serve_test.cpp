@@ -1,0 +1,305 @@
+// Unit tests for the serve layer: cache policy, protocol round trips,
+// error-taxonomy mapping, degradation, and the checksum+fingerprint+sweep
+// cache keying. Concurrency is exercised separately by the hammer suite
+// (tests/integration/serve_hammer_test.cpp).
+#include "core/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/artifact.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/framework.hpp"
+
+namespace pml::core {
+namespace {
+
+PmlFramework& trained() {
+  static PmlFramework fw = [] {
+    TrainOptions options;
+    options.forest.n_trees = 8;
+    const std::vector<sim::ClusterSpec> clusters = {
+        sim::cluster_by_name("RI"), sim::cluster_by_name("Rome")};
+    return PmlFramework::train(clusters, options);
+  }();
+  return fw;
+}
+
+std::shared_ptr<const ServedTable> entry_named(const std::string& tag) {
+  auto entry = std::make_shared<ServedTable>();
+  entry->json = tag;
+  return entry;
+}
+
+TEST(ServeCache, LruEvictsLeastRecentlyUsedPerShard) {
+  ServeCache cache(/*shards=*/1, /*shard_capacity=*/2);
+  cache.put("a", entry_named("a"));
+  cache.put("b", entry_named("b"));
+  ASSERT_NE(cache.get("a"), nullptr);  // refresh a: b is now LRU
+  cache.put("c", entry_named("c"));
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServeCache, PutReplacesExistingEntry) {
+  ServeCache cache(4, 2);
+  cache.put("k", entry_named("old"));
+  cache.put("k", entry_named("new"));
+  ASSERT_NE(cache.get("k"), nullptr);
+  EXPECT_EQ(cache.get("k")->json, "new");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ServeOptions, ValidateRejectsBadShapes) {
+  ServeOptions options;
+  options.shards = 0;
+  EXPECT_THROW(options.validate(), ConfigError);
+  options.shards = 1;
+  options.shard_capacity = 0;
+  EXPECT_THROW(options.validate(), ConfigError);
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pml_serve_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    write_artifact(model_path(), trained().to_json(), "model");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string model_path() const { return (dir_ / "model.json").string(); }
+
+  /// Synchronous engine over a small fixed sweep: every reply is
+  /// deterministic and misses compile inline.
+  ServeOptions options() const {
+    ServeOptions o;
+    o.model_path = model_path();
+    o.async_compile = false;
+    o.compile =
+        CompileOptions::sweep({2, 4}, {16}, {1024, 65536});
+    return o;
+  }
+
+  static Json reply_of(ServeEngine& engine, const std::string& request) {
+    const std::string reply = engine.handle_line(request);
+    return Json::parse(reply);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ServeTest, PingReportsModelHealth) {
+  ServeEngine engine(options());
+  const Json pong = reply_of(engine, R"({"op":"ping"})");
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_TRUE(pong.at("model_loaded").as_bool());
+}
+
+TEST_F(ServeTest, MalformedJsonMapsToJsonErrorStatus) {
+  ServeEngine engine(options());
+  const Json reply = reply_of(engine, "{not json");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("code").as_string(), "json");
+  EXPECT_EQ(reply.at("status").as_int(), exit_status(ErrorCode::kJson));
+}
+
+TEST_F(ServeTest, UnknownOpAndMissingFieldsMapToConfigError) {
+  ServeEngine engine(options());
+  for (const char* request :
+       {R"({"op":"frobnicate"})", R"({"op":"select","cluster":"MRI"})",
+        R"({"cluster":"MRI"})", R"({"op":"select","cluster":"Nope",
+            "collective":"allgather","nodes":2,"ppn":16,"msg_bytes":64})"}) {
+    const Json reply = reply_of(engine, request);
+    EXPECT_FALSE(reply.at("ok").as_bool()) << request;
+    EXPECT_EQ(reply.at("code").as_string(), "config") << request;
+    EXPECT_EQ(reply.at("status").as_int(), exit_status(ErrorCode::kConfig));
+  }
+}
+
+TEST_F(ServeTest, SelectMissAnswersFromModelThenHitsTheCompiledTable) {
+  ServeEngine engine(options());
+  const std::string request =
+      R"({"op":"select","cluster":"MRI","collective":"alltoall",)"
+      R"("nodes":4,"ppn":16,"msg_bytes":65536})";
+  const Json first = reply_of(engine, request);
+  ASSERT_TRUE(first.at("ok").as_bool());
+  EXPECT_EQ(first.at("cache").as_string(), "miss");
+  EXPECT_EQ(first.at("source").as_string(), "model");
+  EXPECT_FALSE(first.at("degraded").as_bool());
+
+  const Json second = reply_of(engine, request);
+  ASSERT_TRUE(second.at("ok").as_bool());
+  EXPECT_EQ(second.at("cache").as_string(), "hit");
+  EXPECT_EQ(second.at("source").as_string(), "table");
+  // Same model, same sweep: the miss-path inference and the hit-path table
+  // lookup agree on the algorithm.
+  EXPECT_EQ(second.at("algorithm").as_string(),
+            first.at("algorithm").as_string());
+
+  const Json stats = reply_of(engine, R"({"op":"stats"})");
+  EXPECT_EQ(stats.at("cache_hits").as_int(), 1);
+  EXPECT_EQ(stats.at("cache_misses").as_int(), 1);
+  EXPECT_EQ(stats.at("compiles").as_int(), 1);
+  EXPECT_EQ(stats.at("tables_cached").as_int(), 1);
+}
+
+TEST_F(ServeTest, SelectWithWaitReturnsTheCompiledAnswer) {
+  ServeEngine engine(options());
+  const Json reply = reply_of(
+      engine,
+      R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+      R"("nodes":2,"ppn":16,"msg_bytes":1024,"wait":true})");
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("cache").as_string(), "compiled");
+  EXPECT_EQ(reply.at("source").as_string(), "table");
+  EXPECT_FALSE(reply.at("degraded").as_bool());
+}
+
+TEST_F(ServeTest, TableRepliesAreByteStableAcrossRequests) {
+  ServeEngine engine(options());
+  const std::string request = R"({"op":"table","cluster":"MRI","wait":true})";
+  engine.handle_line(request);  // warm: compiles and caches ("compiled")
+  const std::string first = engine.handle_line(request);
+  const std::string second = engine.handle_line(request);
+  EXPECT_EQ(first, second);  // cache hits splice the same serialized bytes
+
+  const Json reply = Json::parse(second);
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("cache").as_string(), "hit");
+  const TuningTable table = TuningTable::from_json(reply.at("table"));
+  EXPECT_TRUE(table.matches_cluster(sim::cluster_by_name("MRI")));
+  EXPECT_EQ(table.lookup(coll::Collective::kAllgather, 2, 16, 1024),
+            trained().compile_for(sim::cluster_by_name("MRI"),
+                                  options().compile)
+                .lookup(coll::Collective::kAllgather, 2, 16, 1024));
+}
+
+TEST_F(ServeTest, NoModelServesHeuristicsMarkedDegraded) {
+  ServeOptions o = options();
+  o.model_path.clear();
+  ServeEngine engine(o);
+  EXPECT_FALSE(engine.model_loaded());
+
+  const Json select = reply_of(
+      engine,
+      R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+      R"("nodes":2,"ppn":16,"msg_bytes":1024})");
+  ASSERT_TRUE(select.at("ok").as_bool());
+  EXPECT_TRUE(select.at("degraded").as_bool());
+  EXPECT_EQ(select.at("source").as_string(), "heuristic");
+  // Short names can be ambiguous across collectives ("bruck"): qualify
+  // with the request's collective to round-trip the reply.
+  EXPECT_NO_THROW(coll::algorithm_from_string(
+      "allgather:" + select.at("algorithm").as_string()));
+
+  const Json table = reply_of(engine, R"({"op":"table","cluster":"MRI"})");
+  ASSERT_TRUE(table.at("ok").as_bool());
+  EXPECT_TRUE(table.at("degraded").as_bool());
+  EXPECT_EQ(table.at("source").as_string(), "heuristic");
+  // Heuristic tables are transient: never cached.
+  EXPECT_EQ(engine.cached_tables(), 0u);
+}
+
+TEST_F(ServeTest, InlineClusterSpecsAreKeyedByHardwareFingerprint) {
+  ServeEngine engine(options());
+  const Json base = sim::cluster_by_name("MRI").to_json();
+  Json respeced = base;
+  respeced["hardware"]["cores"] = 96;  // same name, different silicon
+  respeced["hardware"]["mem_bw_gbs"] = 700.0;
+
+  const auto request = [](const Json& cluster) {
+    Json r = Json::object();
+    r["op"] = "table";
+    r["cluster"] = cluster;
+    r["wait"] = true;
+    return r.dump();
+  };
+  const Json first = Json::parse(engine.handle_line(request(base)));
+  const Json second = Json::parse(engine.handle_line(request(respeced)));
+  ASSERT_TRUE(first.at("ok").as_bool());
+  ASSERT_TRUE(second.at("ok").as_bool());
+  // Two compiles, two cached tables: the same-named respec was not served
+  // the original cluster's table.
+  EXPECT_EQ(engine.cached_tables(), 2u);
+  const Json stats = reply_of(engine, R"({"op":"stats"})");
+  EXPECT_EQ(stats.at("compiles").as_int(), 2);
+}
+
+TEST_F(ServeTest, StdioTransportRoundTrips) {
+  ServeEngine engine(options());
+  const std::string in_path = (dir_ / "in.txt").string();
+  const std::string out_path = (dir_ / "out.txt").string();
+  write_file(in_path,
+             "{\"op\":\"ping\"}\n\n{\"op\":\"stats\"}\n");  // blank line skipped
+  std::FILE* in = std::fopen(in_path.c_str(), "r");
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  serve_stdio(engine, in, out);
+  std::fclose(in);
+  std::fclose(out);
+
+  const std::vector<std::string> lines = split(read_file(out_path), '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_TRUE(Json::parse(lines[0]).at("ok").as_bool());
+  const Json stats = Json::parse(lines[1]);
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("requests").as_int(), 2);
+}
+
+TEST_F(ServeTest, TcpTransportServesConcurrentConnections) {
+  ServeEngine engine(options());
+  TcpServer server(engine);
+  const int port = server.start(0);
+  ASSERT_GT(port, 0);
+
+  // Raw-socket client kept local to the test: the protocol is plain
+  // newline-delimited JSON over TCP, nothing more.
+  const auto query = [port](const std::string& line) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+        0);
+    const std::string payload = line + "\n";
+    EXPECT_EQ(::send(fd, payload.data(), payload.size(), 0),
+              static_cast<ssize_t>(payload.size()));
+    std::string reply;
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1 && c != '\n') reply.push_back(c);
+    ::close(fd);
+    return reply;
+  };
+
+  const Json pong = Json::parse(query(R"({"op":"ping"})"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  const Json select = Json::parse(
+      query(R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+            R"("nodes":2,"ppn":16,"msg_bytes":1024,"wait":true})"));
+  EXPECT_TRUE(select.at("ok").as_bool());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pml::core

@@ -51,6 +51,40 @@ TEST(TuningTable, NearestJobShapeFallback) {
   EXPECT_EQ(t.lookup(Collective::kAllgather, 15, 30, 64), Algorithm::kAgRing);
 }
 
+TEST(TuningTable, NearestTieBreakIsDeterministicAcrossRegistrationOrder) {
+  // (4,8) is equidistant in log-space from (2,8) and (8,8). The fixed
+  // tie-break (smaller nodes, then smaller ppn) must win regardless of
+  // which job was added first — serve replies depend on lookup being
+  // byte-stable for any job ordering.
+  JobTable low = simple_job(Collective::kAllgather, 2, 8);
+  low.entries = {TuningEntry{1 << 20, Algorithm::kAgBruck}};
+  JobTable high = simple_job(Collective::kAllgather, 8, 8);
+  high.entries = {TuningEntry{1 << 20, Algorithm::kAgRing}};
+
+  TuningTable low_first("X");
+  low_first.add(low);
+  low_first.add(high);
+  TuningTable high_first("X");
+  high_first.add(high);
+  high_first.add(low);
+
+  EXPECT_EQ(low_first.lookup(Collective::kAllgather, 4, 8, 64),
+            Algorithm::kAgBruck);
+  EXPECT_EQ(high_first.lookup(Collective::kAllgather, 4, 8, 64),
+            Algorithm::kAgBruck);
+
+  // Same story on the ppn axis: (4,4) ties between (4,2) and (4,8).
+  JobTable narrow = simple_job(Collective::kAlltoall, 4, 2);
+  narrow.entries = {TuningEntry{1 << 20, Algorithm::kAaBruck}};
+  JobTable wide = simple_job(Collective::kAlltoall, 4, 8);
+  wide.entries = {TuningEntry{1 << 20, Algorithm::kAaPairwise}};
+  TuningTable wide_first("X");
+  wide_first.add(wide);
+  wide_first.add(narrow);
+  EXPECT_EQ(wide_first.lookup(Collective::kAlltoall, 4, 4, 64),
+            Algorithm::kAaBruck);
+}
+
 TEST(TuningTable, MissingCollectiveThrows) {
   TuningTable t("X");
   t.add(simple_job(Collective::kAllgather, 4, 8));

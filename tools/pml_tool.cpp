@@ -32,6 +32,15 @@
 //       stale-schema / corrupt / unreadable. Exit 0 always, unless
 //       --strict (then nonzero when anything is less than ok).
 //
+//   pml serve   [--model model.json] [--port N | --stdio] [--shards N]
+//               [--capacity N] [--threads N]
+//       Selector-as-a-service: answer newline-delimited JSON requests
+//       (ops: select, table, ping, stats — see docs/API.md, "Serve
+//       protocol") over TCP on 127.0.0.1:N (0 = ephemeral, printed on
+//       stdout) or over stdin/stdout with --stdio. Without --model, or
+//       when the artifact is corrupt, serves heuristic answers marked
+//       "degraded" and keeps re-checking the artifact on cache misses.
+//
 // Global options (any command): --trace out.json writes a chrome://tracing
 // file for the run; --metrics out.json writes the flat span/counter summary.
 //
@@ -49,6 +58,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/framework.hpp"
+#include "core/serve.hpp"
 #include "obs/export.hpp"
 
 namespace {
@@ -59,7 +69,7 @@ using namespace pml;
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
                "usage: pml <train|compile|query|inspect|clusters|stats|"
-               "doctor> [options]\n"
+               "doctor|serve> [options]\n"
                "Global options: --trace out.json, --metrics out.json\n"
                "Run `pml <command>` with missing options to see what it "
                "needs; see the header of tools/pml_tool.cpp for details.\n");
@@ -343,14 +353,73 @@ int cmd_doctor(int argc, char** argv) {
   return 0;
 }
 
+/// `pml serve`: the selector-as-a-service daemon. Parses argv directly
+/// (like doctor) because --stdio is a boolean flag; installs its own
+/// trace/metrics capture so --trace/--metrics keep working. The metrics
+/// file is written when the transport loop ends — i.e. on stdin EOF for
+/// --stdio; a TCP daemon killed by a signal writes nothing.
+int cmd_serve(int argc, char** argv) {
+  core::ServeOptions options;
+  bool stdio = false;
+  int port = 0;
+  obs::Sink sink;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--model") {
+      options.model_path = value();
+    } else if (arg == "--port") {
+      port = parse_int(value(), "--port");
+    } else if (arg == "--shards") {
+      options.shards = parse_int(value(), "--shards");
+    } else if (arg == "--capacity") {
+      options.shard_capacity =
+          static_cast<std::size_t>(parse_int(value(), "--capacity"));
+    } else if (arg == "--threads") {
+      options.compile.threads = parse_int(value(), "--threads");
+    } else if (arg == "--trace") {
+      sink.chrome_trace = value();
+    } else if (arg == "--metrics") {
+      sink.metrics = value();
+    } else {
+      usage(("serve: unexpected argument: " + arg).c_str());
+    }
+  }
+  obs::ScopedCapture capture(std::move(sink));
+
+  core::ServeEngine engine(options);
+  if (!options.model_path.empty() && !engine.model_loaded()) {
+    std::fprintf(stderr,
+                 "pml: warning: serve: model '%s' unusable; serving "
+                 "heuristic answers until it is repaired\n",
+                 options.model_path.c_str());
+  }
+  if (stdio) {
+    core::serve_stdio(engine, stdin, stdout);
+    return 0;
+  }
+  core::TcpServer server(engine);
+  const int bound = server.start(port);
+  std::printf("pml serve listening on 127.0.0.1:%d\n", bound);
+  std::fflush(stdout);
+  server.wait();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
-    // doctor takes a boolean flag, so it parses argv itself.
+    // doctor and serve take boolean flags, so they parse argv themselves.
     if (command == "doctor") return cmd_doctor(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
     const auto args = parse_args(argc, argv, 2);
     if (command == "stats") return cmd_stats(args);
 
