@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 
 #include "common/strings.hpp"
@@ -152,6 +153,89 @@ ArtifactInfo inspect_artifact(const std::string& path) {
   }
   info.status = ArtifactStatus::kOk;
   return info;
+}
+
+const char* to_string(RepairAction action) noexcept {
+  switch (action) {
+    case RepairAction::kNone: return "none";
+    case RepairAction::kUpgraded: return "upgraded";
+    case RepairAction::kQuarantined: return "quarantined";
+    case RepairAction::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string legacy_kind_for_format(std::string_view format) noexcept {
+  if (format == "pml-mpi-model-v1") return "model";
+  if (format == "pml-mpi-tuning-table-v1") return "tuning-table";
+  if (format == "pml-fault-plan-v1") return "fault-plan";
+  if (format == "pml-dataset-v1") return "dataset";
+  return {};
+}
+
+namespace {
+
+/// Move `path` into a `.quarantine/` directory beside it, appending ".1",
+/// ".2", ... on name collisions so repeated repairs never overwrite an
+/// earlier capture.
+std::string quarantine_file(const std::filesystem::path& path) {
+  namespace fs = std::filesystem;
+  const fs::path dir = path.parent_path() / ".quarantine";
+  fs::create_directories(dir);
+  fs::path dest = dir / path.filename();
+  for (int suffix = 1; fs::exists(dest); ++suffix) {
+    dest = dir / (path.filename().string() + "." + std::to_string(suffix));
+  }
+  fs::rename(path, dest);
+  return dest.string();
+}
+
+}  // namespace
+
+RepairResult repair_artifact(const std::string& path) {
+  RepairResult result;
+  result.info = inspect_artifact(path);
+  try {
+    switch (result.info.status) {
+      case ArtifactStatus::kOk:
+      case ArtifactStatus::kStaleSchema:
+        result.action = RepairAction::kNone;
+        result.detail = result.info.status == ArtifactStatus::kOk
+                            ? "already a valid envelope"
+                            : "stale schema: version skew, not damage";
+        break;
+      case ArtifactStatus::kLegacy: {
+        const std::string kind = legacy_kind_for_format(result.info.kind);
+        if (kind.empty()) {
+          result.action = RepairAction::kFailed;
+          result.detail = "no envelope kind mapping for legacy format '" +
+                          result.info.kind + "'";
+          break;
+        }
+        // Re-parse and rewrap: write_artifact computes the checksum and
+        // replaces the file atomically, so a crash mid-repair leaves the
+        // original legacy document intact.
+        write_artifact(path, Json::parse(read_file(path)), kind);
+        result.action = RepairAction::kUpgraded;
+        result.detail = "wrapped legacy '" + result.info.kind +
+                        "' document in a checksummed envelope (kind '" +
+                        kind + "')";
+        break;
+      }
+      case ArtifactStatus::kCorrupt:
+        result.action = RepairAction::kQuarantined;
+        result.detail = "moved to " + quarantine_file(path);
+        break;
+      case ArtifactStatus::kUnreadable:
+        result.action = RepairAction::kFailed;
+        result.detail = "unreadable: " + result.info.detail;
+        break;
+    }
+  } catch (const std::exception& err) {
+    result.action = RepairAction::kFailed;
+    result.detail = err.what();
+  }
+  return result;
 }
 
 namespace detail {

@@ -82,6 +82,39 @@ struct ArtifactInfo {
 /// not exceptions.
 ArtifactInfo inspect_artifact(const std::string& path);
 
+/// What `pml doctor --repair` did to one file.
+enum class RepairAction {
+  kNone,         ///< ok or stale-schema: left untouched
+  kUpgraded,     ///< legacy document rewrapped in a checksummed envelope
+  kQuarantined,  ///< corrupt file moved to the .quarantine/ sibling directory
+  kFailed,       ///< unreadable, unmappable legacy format, or the fix itself failed
+};
+
+/// Stable action name ("none", "upgraded", "quarantined", "failed").
+const char* to_string(RepairAction action) noexcept;
+
+struct RepairResult {
+  ArtifactInfo info;  ///< verdict the repair decision was based on
+  RepairAction action = RepairAction::kNone;
+  std::string detail;  ///< what happened (quarantine destination, skip reason)
+};
+
+/// Envelope kind for a legacy document's format key ("pml-mpi-model-v1" ->
+/// "model", ...), or "" when this build knows no mapping (such files are
+/// left untouched: quarantining data we merely fail to recognise would be
+/// destructive).
+std::string legacy_kind_for_format(std::string_view format) noexcept;
+
+/// Fix one artifact file in place for `pml doctor --repair`:
+///  - legacy documents with a known format key are rewrapped in a fresh
+///    checksummed envelope via an atomic rewrite;
+///  - corrupt files are moved to a `.quarantine/` directory next to the
+///    file (created on demand; name collisions get a numeric suffix);
+///  - ok/stale-schema files are never touched (stale schemas are a
+///    version skew for a human, not damage to erase).
+/// Failures become RepairAction::kFailed verdicts, not exceptions.
+RepairResult repair_artifact(const std::string& path);
+
 /// Bounded-exponential-backoff retry policy for transient IO failures.
 struct RetryPolicy {
   int max_attempts = 3;                ///< total attempts, including the first

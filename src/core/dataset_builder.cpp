@@ -1,9 +1,13 @@
 #include "core/dataset_builder.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "coll/cost.hpp"
+#include "coll/runner.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -12,24 +16,66 @@
 
 namespace pml::core {
 
+namespace {
+
+/// Splitmix64 sponge shared by the seed derivations below: fold each
+/// component into the state, then replace the state with the splitmix64 mix
+/// of it. Folding the *output* back (not just advancing the counter) makes
+/// absorption positional — swapping two components yields a different seed,
+/// unlike additive chaining.
+struct SeedSponge {
+  std::uint64_t state;
+  explicit SeedSponge(std::uint64_t seed) : state(seed) {}
+  void absorb(std::uint64_t value) {
+    state ^= value;
+    state = splitmix64(state);
+  }
+  std::uint64_t squeeze() { return splitmix64(state); }
+};
+
+}  // namespace
+
 std::uint64_t cell_seed(std::uint64_t seed, std::string_view cluster,
                         coll::Collective collective, int nodes, int ppn,
                         std::uint64_t msg_bytes) {
-  // Sponge construction: fold each component into the state, then replace
-  // the state with the splitmix64 mix of it. Folding the *output* back (not
-  // just advancing the counter) makes absorption positional — swapping two
-  // components yields a different seed, unlike additive chaining.
-  std::uint64_t state = seed;
-  const auto absorb = [&state](std::uint64_t value) {
-    state ^= value;
-    state = splitmix64(state);
-  };
-  for (const char ch : cluster) absorb(static_cast<unsigned char>(ch));
-  absorb(static_cast<std::uint64_t>(collective));
-  absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(nodes)));
-  absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ppn)));
-  absorb(msg_bytes);
-  return splitmix64(state);
+  SeedSponge sponge(seed);
+  for (const char ch : cluster) sponge.absorb(static_cast<unsigned char>(ch));
+  sponge.absorb(static_cast<std::uint64_t>(collective));
+  sponge.absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(nodes)));
+  sponge.absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ppn)));
+  sponge.absorb(msg_bytes);
+  return sponge.squeeze();
+}
+
+std::uint64_t measurement_seed(std::uint64_t cell, std::size_t algorithm,
+                               int iteration) {
+  SeedSponge sponge(cell);
+  sponge.absorb(static_cast<std::uint64_t>(algorithm));
+  sponge.absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(iteration)));
+  return sponge.squeeze();
+}
+
+std::string sweep_cell_context(std::string_view cluster,
+                               coll::Collective collective, int nodes, int ppn,
+                               std::uint64_t msg_bytes) {
+  return "cluster '" + std::string(cluster) + "' " + coll::to_string(collective) +
+         " (nodes=" + std::to_string(nodes) + ", ppn=" + std::to_string(ppn) +
+         ", msg_bytes=" + std::to_string(msg_bytes) + ")";
+}
+
+std::string to_string(CostSource source) {
+  switch (source) {
+    case CostSource::kAnalytic: return "analytic";
+    case CostSource::kEngine: return "engine";
+  }
+  return "unknown";
+}
+
+CostSource cost_source_from_string(const std::string& name) {
+  if (name == "analytic") return CostSource::kAnalytic;
+  if (name == "engine") return CostSource::kEngine;
+  throw ConfigError("unknown cost source '" + name +
+                    "' (expected 'analytic' or 'engine')");
 }
 
 namespace {
@@ -40,6 +86,15 @@ struct GridCell {
   int nodes = 0;
   int ppn = 0;
   std::uint64_t msg = 0;
+};
+
+/// Per-cell measurement tallies, summed into BuildStats after the parallel
+/// loop (each cell writes its own slot, so the sum is order-independent).
+struct CellStats {
+  std::uint32_t measured = 0;
+  std::uint32_t pruned = 0;
+  std::uint32_t epsilon = 0;
+  std::uint32_t mispredicted = 0;
 };
 
 /// Append a cluster's sweep cells in the canonical (nodes, ppn, msg) order.
@@ -56,17 +111,86 @@ void enumerate_cells(const sim::ClusterSpec& cluster,
   }
 }
 
-/// Benchmark one cell: every valid algorithm, averaged noisy iterations,
-/// labelled with the argmin. Self-contained (fresh NetworkModel, per-cell
-/// RNG), so cells can run concurrently in any order.
+/// Engine-mode measurement of one (cell, algorithm): averaged timing-only
+/// engine runs, one independently seeded jitter stream per iteration. The
+/// per-thread engine/arena reuse inside run_collective makes the steady
+/// state allocation-free; virtual time is a pure function of the arguments.
+double engine_cost(const GridCell& cell, sim::Topology topo,
+                   coll::Algorithm algorithm, std::size_t algorithm_index,
+                   std::uint64_t cellseed, const BuildOptions& options) {
+  sim::RunOptions run;
+  run.payload = sim::PayloadMode::kTimingOnly;
+  run.noise_sigma = options.noise_sigma;
+  run.faults = options.faults;
+  double total = 0.0;
+  for (int it = 0; it < options.iterations; ++it) {
+    run.seed = measurement_seed(cellseed, algorithm_index, it);
+    total += coll::run_collective(*cell.cluster, topo, algorithm, cell.msg, run)
+                 .seconds;
+  }
+  return total / options.iterations;
+}
+
+/// The engine-mode measurement plan for one cell: which algorithms the
+/// pruning layer keeps. Top-k by noise-free analytic cost plus one
+/// Bernoulli(ε) draw per pruned algorithm, in enum order, from the cell's
+/// RNG — deterministic for the cell regardless of thread count.
+std::vector<bool> pruned_selection(const sim::NetworkModel& model,
+                                   std::span<const coll::Algorithm> algorithms,
+                                   const std::vector<std::size_t>& valid,
+                                   const GridCell& cell,
+                                   const BuildOptions& options, Rng& rng,
+                                   CellStats& stats) {
+  std::vector<double> analytic(algorithms.size(),
+                               std::numeric_limits<double>::infinity());
+  for (const std::size_t a : valid) {
+    analytic[a] = coll::analytic_cost(model, algorithms[a], cell.msg);
+  }
+  std::vector<std::size_t> order = valid;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return analytic[a] < analytic[b];
+  });
+
+  std::vector<bool> keep(algorithms.size(), false);
+  const auto k = static_cast<std::size_t>(options.prune_topk);
+  // The cut is tie-inclusive: every algorithm whose cost equals the k-th
+  // ranked cost is kept. The closed forms coincide for whole algorithm
+  // families (e.g. the log-step alltoalls at power-of-2 p), and breaking
+  // such a tie by enum order would prune the true winner on a coin flip.
+  const double cutoff = k <= order.size()
+                            ? analytic[order[k - 1]]
+                            : std::numeric_limits<double>::infinity();
+  for (const std::size_t a : valid) {
+    if (analytic[a] <= cutoff) keep[a] = true;
+  }
+  // ε-draws iterate the pruned algorithms in enum order (a fixed order, so
+  // the draw an algorithm receives never depends on the analytic ranking).
+  for (const std::size_t a : valid) {
+    if (keep[a]) continue;
+    if (options.prune_epsilon > 0.0 && rng.bernoulli(options.prune_epsilon)) {
+      keep[a] = true;
+      ++stats.epsilon;
+    } else {
+      ++stats.pruned;
+    }
+  }
+  return keep;
+}
+
+/// Benchmark one cell: valid algorithms through the configured cost source,
+/// averaged noisy iterations, labelled with the argmin of the measured set.
+/// Self-contained (fresh NetworkModel, per-cell RNG), so cells can run
+/// concurrently in any order.
 TuningRecord build_cell(const GridCell& cell, coll::Collective collective,
-                        const BuildOptions& options) {
+                        const BuildOptions& options, CellStats& stats) {
   obs::Span span("dataset.cell");
   const sim::ClusterSpec& cluster = *cell.cluster;
   const sim::Topology topo{cell.nodes, cell.ppn};
   const sim::NetworkModel model(cluster, topo);
-  Rng rng(cell_seed(options.seed, cluster.name, collective, cell.nodes,
-                    cell.ppn, cell.msg));
+  const std::uint64_t cellseed = cell_seed(options.seed, cluster.name,
+                                           collective, cell.nodes, cell.ppn,
+                                           cell.msg);
+  Rng rng(cellseed);
 
   const auto& algorithms = coll::algorithms_for(collective);
   TuningRecord rec;
@@ -77,25 +201,77 @@ TuningRecord build_cell(const GridCell& cell, coll::Collective collective,
   rec.collective = collective;
   rec.features = extract_features(cluster, cell.nodes, cell.ppn, cell.msg);
   rec.times.assign(algorithms.size(), std::numeric_limits<double>::infinity());
+
+  std::vector<std::size_t> valid;
   for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    if (!coll::algorithm_supports(algorithms[a], topo.world_size())) continue;
-    rec.times[a] = coll::measured_cost(model, algorithms[a], cell.msg,
-                                       options.iterations, rng,
-                                       options.noise_sigma);
+    if (coll::algorithm_supports(algorithms[a], topo.world_size())) {
+      valid.push_back(a);
+    }
+  }
+  if (valid.empty()) {
+    throw TuningError("no valid algorithm at world size " +
+                      std::to_string(topo.world_size()) + " for " +
+                      sweep_cell_context(cluster.name, collective, cell.nodes,
+                                         cell.ppn, cell.msg));
+  }
+
+  const bool engine = options.cost_source == CostSource::kEngine;
+  // Pruning needs the analytic ranking to be meaningful, which a non-empty
+  // FaultPlan breaks (the closed forms are fault-blind) and degenerate tiny
+  // worlds break too (kPruneWorldFloor): both are measured exhaustively.
+  const bool prune = engine && options.prune_topk > 0 &&
+                     options.faults.empty() &&
+                     topo.world_size() >= kPruneWorldFloor &&
+                     static_cast<std::size_t>(options.prune_topk) < valid.size();
+  std::vector<bool> keep;
+  if (prune) {
+    keep = pruned_selection(model, algorithms, valid, cell, options, rng, stats);
+  }
+
+  for (const std::size_t a : valid) {
+    if (prune && !options.prune_audit && !keep[a]) continue;
+    rec.times[a] = engine
+                       ? engine_cost(cell, topo, algorithms[a], a, cellseed,
+                                     options)
+                       : coll::measured_cost(model, algorithms[a], cell.msg,
+                                             options.iterations, rng,
+                                             options.noise_sigma);
+    ++stats.measured;
   }
   const auto best = std::min_element(rec.times.begin(), rec.times.end());
   if (!std::isfinite(*best)) {
-    throw TuningError("no valid algorithm at world size " +
-                      std::to_string(topo.world_size()));
+    throw TuningError("no measured algorithm at world size " +
+                      std::to_string(topo.world_size()) + " for " +
+                      sweep_cell_context(cluster.name, collective, cell.nodes,
+                                         cell.ppn, cell.msg));
   }
   rec.label = static_cast<int>(best - rec.times.begin());
+  if (prune && options.prune_audit &&
+      !keep[static_cast<std::size_t>(rec.label)]) {
+    ++stats.mispredicted;
+  }
   return rec;
+}
+
+void validate_options(const BuildOptions& options) {
+  if (options.iterations < 1) throw TuningError("iterations must be >= 1");
+  if (options.prune_epsilon < 0.0 || options.prune_epsilon > 1.0 ||
+      !std::isfinite(options.prune_epsilon)) {
+    throw TuningError("prune_epsilon must be in [0, 1]");
+  }
+  if (options.cost_source == CostSource::kAnalytic && !options.faults.empty()) {
+    throw TuningError(
+        "analytic cost source cannot honor a fault plan (the closed-form "
+        "model is fault-blind); build faulted grids with "
+        "CostSource::kEngine");
+  }
 }
 
 std::vector<TuningRecord> build_cells(std::span<const sim::ClusterSpec> clusters,
                                       coll::Collective collective,
-                                      const BuildOptions& options) {
-  if (options.iterations < 1) throw TuningError("iterations must be >= 1");
+                                      const BuildOptions& options,
+                                      BuildStats& stats) {
+  validate_options(options);
   std::vector<GridCell> cells;
   for (const sim::ClusterSpec& cluster : clusters) {
     enumerate_cells(cluster, cells);
@@ -104,12 +280,29 @@ std::vector<TuningRecord> build_cells(std::span<const sim::ClusterSpec> clusters
   // independent indices, so any thread count is bit-identical to serial.
   obs::Span span("dataset.build");
   std::vector<TuningRecord> records(cells.size());
+  std::vector<CellStats> cell_stats(cells.size());
   parallel_for(options.threads, cells.size(), [&](std::size_t i) {
-    records[i] = build_cell(cells[i], collective, options);
+    records[i] = build_cell(cells[i], collective, options, cell_stats[i]);
   });
+
+  stats.cells += records.size();
+  for (const CellStats& c : cell_stats) {
+    stats.measured_evals += c.measured;
+    stats.pruned_evals += c.pruned;
+    stats.epsilon_evals += c.epsilon;
+    stats.prune_mispredictions += c.mispredicted;
+  }
   if (obs::enabled()) {
-    static obs::Counter built("dataset.cells_built");
+    static obs::Counter built("dataset.cells");
+    static obs::Counter measured("dataset.measured_evals");
+    static obs::Counter pruned("dataset.pruned_evals");
+    static obs::Counter epsilon("dataset.epsilon_evals");
+    static obs::Counter mispredicted("dataset.prune_mispredictions");
     built.add(records.size());
+    measured.add(stats.measured_evals);
+    pruned.add(stats.pruned_evals);
+    epsilon.add(stats.epsilon_evals);
+    mispredicted.add(stats.prune_mispredictions);
   }
   return records;
 }
@@ -119,13 +312,94 @@ std::vector<TuningRecord> build_cells(std::span<const sim::ClusterSpec> clusters
 std::vector<TuningRecord> build_cluster_records(const sim::ClusterSpec& cluster,
                                                 coll::Collective collective,
                                                 const BuildOptions& options) {
-  return build_cells({&cluster, 1}, collective, options);
+  BuildStats stats;
+  return build_cells({&cluster, 1}, collective, options, stats);
 }
 
 std::vector<TuningRecord> build_records(
     std::span<const sim::ClusterSpec> clusters, coll::Collective collective,
     const BuildOptions& options) {
-  return build_cells(clusters, collective, options);
+  BuildStats stats;
+  return build_cells(clusters, collective, options, stats);
+}
+
+std::vector<TuningRecord> build_records(
+    std::span<const sim::ClusterSpec> clusters, coll::Collective collective,
+    const BuildOptions& options, BuildStats& stats) {
+  return build_cells(clusters, collective, options, stats);
+}
+
+Json records_to_json(std::span<const TuningRecord> records,
+                     coll::Collective collective) {
+  Json j = Json::object();
+  j["format"] = "pml-dataset-v1";
+  j["collective"] = coll::to_string(collective);
+  Json rows = Json::array();
+  for (const TuningRecord& rec : records) {
+    if (rec.collective != collective) {
+      throw TuningError("record collective mismatch");
+    }
+    Json row = Json::object();
+    row["cluster"] = rec.cluster;
+    row["nodes"] = rec.nodes;
+    row["ppn"] = rec.ppn;
+    row["msg_bytes"] = static_cast<std::int64_t>(rec.msg_bytes);
+    Json features = Json::array();
+    for (const double f : rec.features) features.push_back(f);
+    row["features"] = std::move(features);
+    Json times = Json::array();
+    for (const double t : rec.times) {
+      // +inf (invalid/pruned) is not representable in JSON: encode as null.
+      if (std::isfinite(t)) {
+        times.push_back(t);
+      } else {
+        times.push_back(Json());
+      }
+    }
+    row["times"] = std::move(times);
+    row["label"] = rec.label;
+    rows.push_back(std::move(row));
+  }
+  j["records"] = std::move(rows);
+  return j;
+}
+
+std::vector<TuningRecord> records_from_json(const Json& j) {
+  if (!j.contains("format") || !j.at("format").is_string() ||
+      j.at("format").as_string() != "pml-dataset-v1") {
+    throw TuningError("not a pml-dataset-v1 document");
+  }
+  const auto collective =
+      coll::collective_from_string(j.at("collective").as_string());
+  const std::size_t n_algorithms = coll::algorithms_for(collective).size();
+  std::vector<TuningRecord> records;
+  for (const Json& row : j.at("records").as_array()) {
+    TuningRecord rec;
+    rec.collective = collective;
+    rec.cluster = row.at("cluster").as_string();
+    rec.nodes = static_cast<int>(row.at("nodes").as_int());
+    rec.ppn = static_cast<int>(row.at("ppn").as_int());
+    rec.msg_bytes = static_cast<std::uint64_t>(row.at("msg_bytes").as_int());
+    for (const Json& f : row.at("features").as_array()) {
+      rec.features.push_back(f.as_number());
+    }
+    for (const Json& t : row.at("times").as_array()) {
+      rec.times.push_back(t.is_null()
+                              ? std::numeric_limits<double>::infinity()
+                              : t.as_number());
+    }
+    rec.label = static_cast<int>(row.at("label").as_int());
+    if (rec.times.size() != n_algorithms || rec.label < 0 ||
+        static_cast<std::size_t>(rec.label) >= n_algorithms ||
+        !std::isfinite(rec.times[static_cast<std::size_t>(rec.label)]) ||
+        rec.features.size() != feature_count()) {
+      throw TuningError("malformed dataset record for " +
+                        sweep_cell_context(rec.cluster, collective, rec.nodes,
+                                           rec.ppn, rec.msg_bytes));
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
 }
 
 ml::Dataset to_ml_dataset(std::span<const TuningRecord> records,

@@ -19,7 +19,7 @@
 //
 // Usage:
 //
-//   static obs::Counter cells("dataset.cells_built");
+//   static obs::Counter cells("dataset.cells");
 //   void build_cell(...) {
 //     obs::Span span("dataset.cell");   // RAII: records [ctor, dtor)
 //     ...

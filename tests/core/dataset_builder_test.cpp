@@ -178,6 +178,215 @@ TEST(DatasetBuilder, ParallelSweepIsByteIdenticalToSerial) {
   }
 }
 
+/// A deliberately tiny grid so engine-mode tests stay fast: Frontera's
+/// hardware at p ∈ {8, 16} with two message sizes (8 cells).
+sim::ClusterSpec small_engine_grid() {
+  sim::ClusterSpec grid = sim::cluster_by_name("Frontera");
+  grid.node_counts = {2, 4};
+  grid.ppn_values = {4};
+  grid.message_sizes = {256, 4096};
+  return grid;
+}
+
+BuildOptions engine_options() {
+  BuildOptions options;
+  options.cost_source = CostSource::kEngine;
+  options.iterations = 2;
+  return options;
+}
+
+TEST(DatasetBuilder, CostSourceNamesRoundTrip) {
+  EXPECT_EQ(to_string(CostSource::kAnalytic), "analytic");
+  EXPECT_EQ(to_string(CostSource::kEngine), "engine");
+  EXPECT_EQ(cost_source_from_string("analytic"), CostSource::kAnalytic);
+  EXPECT_EQ(cost_source_from_string("engine"), CostSource::kEngine);
+  EXPECT_THROW(cost_source_from_string("exact"), ConfigError);
+}
+
+TEST(DatasetBuilder, MeasurementSeedSeparatesComponents) {
+  const auto base = measurement_seed(7, 1, 0);
+  EXPECT_NE(base, measurement_seed(8, 1, 0));
+  EXPECT_NE(base, measurement_seed(7, 2, 0));
+  EXPECT_NE(base, measurement_seed(7, 1, 1));
+  EXPECT_NE(base, measurement_seed(7, 0, 1));  // positional, not summed
+  EXPECT_EQ(base, measurement_seed(7, 1, 0));
+}
+
+TEST(DatasetBuilder, SweepCellContextNamesTheCell) {
+  const std::string context = sweep_cell_context(
+      "Frontera", coll::Collective::kAlltoall, 4, 28, 65536);
+  EXPECT_NE(context.find("Frontera"), std::string::npos);
+  EXPECT_NE(context.find("alltoall"), std::string::npos);
+  EXPECT_NE(context.find("nodes=4"), std::string::npos);
+  EXPECT_NE(context.find("ppn=28"), std::string::npos);
+  EXPECT_NE(context.find("msg_bytes=65536"), std::string::npos);
+}
+
+TEST(DatasetBuilder, EngineRecordsBitIdenticalAcrossThreads) {
+  // The tentpole acceptance: engine-mode records (measurement jitter comes
+  // from measurement_seed, a pure function of the cell) are bit-identical
+  // at 1, 2, and 8 threads.
+  const std::vector<sim::ClusterSpec> clusters = {small_engine_grid()};
+  BuildOptions serial = engine_options();
+  serial.threads = 1;
+  const auto base =
+      build_records(clusters, coll::Collective::kAlltoall, serial);
+  for (const int threads : {2, 8}) {
+    BuildOptions opts = engine_options();
+    opts.threads = threads;
+    const auto got =
+        build_records(clusters, coll::Collective::kAlltoall, opts);
+    ASSERT_EQ(got.size(), base.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(got[i].times, base[i].times)
+          << "threads=" << threads << " record=" << i;
+      EXPECT_EQ(got[i].label, base[i].label);
+    }
+  }
+}
+
+TEST(DatasetBuilder, PruningSkipsMeasurements) {
+  const std::vector<sim::ClusterSpec> clusters = {small_engine_grid()};
+  BuildOptions options = engine_options();
+  options.prune_topk = 1;
+  options.prune_epsilon = 0.0;
+  BuildStats stats;
+  const auto records =
+      build_records(clusters, coll::Collective::kAlltoall, options, stats);
+  EXPECT_EQ(stats.cells, records.size());
+  EXPECT_GT(stats.pruned_evals, 0u);
+  EXPECT_EQ(stats.epsilon_evals, 0u);
+  EXPECT_EQ(stats.prune_mispredictions, 0u);  // audit off
+  for (const auto& rec : records) {
+    std::size_t finite = 0;
+    for (const double t : rec.times) finite += std::isfinite(t);
+    // Top-1 plus any analytic ties; strictly fewer than the 5 alltoall
+    // algorithms, so something was provably skipped.
+    EXPECT_GE(finite, 1u);
+    EXPECT_LT(finite, rec.times.size());
+  }
+}
+
+TEST(DatasetBuilder, PruningKeepsSharedMeasurementsBitIdentical) {
+  // Pruning must never perturb the measurements it keeps: every finite
+  // entry of a pruned build equals the exhaustive build's entry exactly.
+  const std::vector<sim::ClusterSpec> clusters = {small_engine_grid()};
+  BuildOptions exhaustive = engine_options();
+  exhaustive.prune_topk = 0;
+  const auto base =
+      build_records(clusters, coll::Collective::kAlltoall, exhaustive);
+  BuildOptions pruned = engine_options();
+  pruned.prune_topk = 2;
+  pruned.prune_epsilon = 0.25;
+  const auto got =
+      build_records(clusters, coll::Collective::kAlltoall, pruned);
+  ASSERT_EQ(got.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (std::size_t a = 0; a < base[i].times.size(); ++a) {
+      if (std::isfinite(got[i].times[a])) {
+        EXPECT_EQ(got[i].times[a], base[i].times[a])
+            << "record=" << i << " algorithm=" << a;
+      }
+    }
+  }
+}
+
+TEST(DatasetBuilder, FaultPlanForcesExhaustiveEngineMeasurement) {
+  // The acceptance criterion: a non-empty FaultPlan bypasses pruning (the
+  // analytic ranking is fault-blind), so every valid algorithm is measured
+  // even with an aggressive top-k.
+  const std::vector<sim::ClusterSpec> clusters = {small_engine_grid()};
+  BuildOptions options = engine_options();
+  options.prune_topk = 1;
+  options.prune_epsilon = 0.0;
+  options.faults.stragglers.push_back({0, 4.0});
+  BuildStats stats;
+  const auto records =
+      build_records(clusters, coll::Collective::kAlltoall, options, stats);
+  EXPECT_EQ(stats.pruned_evals, 0u);
+  EXPECT_EQ(stats.epsilon_evals, 0u);
+  const auto& algos = coll::algorithms_for(coll::Collective::kAlltoall);
+  for (const auto& rec : records) {
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      if (coll::algorithm_supports(algos[a], rec.nodes * rec.ppn)) {
+        EXPECT_TRUE(std::isfinite(rec.times[a]));
+      }
+    }
+  }
+}
+
+TEST(DatasetBuilder, FaultPlanChangesEngineMeasurements) {
+  const std::vector<sim::ClusterSpec> clusters = {small_engine_grid()};
+  BuildOptions clean = engine_options();
+  clean.prune_topk = 0;
+  const auto base =
+      build_records(clusters, coll::Collective::kAllgather, clean);
+  BuildOptions faulted = clean;
+  faulted.faults.stragglers.push_back({0, 4.0});
+  const auto got =
+      build_records(clusters, coll::Collective::kAllgather, faulted);
+  ASSERT_EQ(got.size(), base.size());
+  bool any_slower = false;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    any_slower = any_slower || got[i].times != base[i].times;
+  }
+  EXPECT_TRUE(any_slower);
+}
+
+TEST(DatasetBuilder, AuditMeasuresEverythingAndCountsMispredictions) {
+  const std::vector<sim::ClusterSpec> clusters = {small_engine_grid()};
+  BuildOptions audit = engine_options();
+  audit.prune_topk = 1;
+  audit.prune_epsilon = 0.0;
+  audit.prune_audit = true;
+  BuildStats stats;
+  const auto records =
+      build_records(clusters, coll::Collective::kAlltoall, audit, stats);
+  // Audit keeps the records exhaustive (labels match the unpruned build)
+  // while still tallying the simulated pruning decision.
+  BuildOptions exhaustive = engine_options();
+  exhaustive.prune_topk = 0;
+  const auto base =
+      build_records(clusters, coll::Collective::kAlltoall, exhaustive);
+  ASSERT_EQ(records.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(records[i].times, base[i].times);
+    EXPECT_EQ(records[i].label, base[i].label);
+  }
+  EXPECT_GT(stats.pruned_evals, 0u);
+  EXPECT_LE(stats.prune_mispredictions, stats.cells);
+}
+
+TEST(DatasetBuilder, AnalyticCostSourceRejectsFaultPlan) {
+  BuildOptions options;  // kAnalytic
+  options.faults.stragglers.push_back({0, 2.0});
+  EXPECT_THROW(
+      build_cluster_records(ri(), coll::Collective::kAllgather, options),
+      TuningError);
+}
+
+TEST(DatasetBuilder, RecordsJsonRoundTrip) {
+  // Frontera's sweep includes ppn=28 worlds, so some times are +inf
+  // (invalid algorithms) and the round trip covers the null encoding.
+  BuildOptions options;
+  options.iterations = 2;
+  const auto records = build_cluster_records(
+      sim::cluster_by_name("Frontera"), coll::Collective::kAlltoall, options);
+  const Json doc = records_to_json(records, coll::Collective::kAlltoall);
+  const auto parsed = records_from_json(doc);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].cluster, records[i].cluster);
+    EXPECT_EQ(parsed[i].nodes, records[i].nodes);
+    EXPECT_EQ(parsed[i].ppn, records[i].ppn);
+    EXPECT_EQ(parsed[i].msg_bytes, records[i].msg_bytes);
+    EXPECT_EQ(parsed[i].collective, records[i].collective);
+    EXPECT_EQ(parsed[i].features, records[i].features);
+    EXPECT_EQ(parsed[i].times, records[i].times);
+    EXPECT_EQ(parsed[i].label, records[i].label);
+  }
+}
+
 TEST(DatasetBuilder, LabelsAreDiverseAcrossSweep) {
   // Over a full sweep of a multi-node cluster, more than one algorithm
   // must win somewhere (otherwise there is nothing to learn).

@@ -2,11 +2,27 @@
 //
 //   pml train   --out model.json [--exclude Frontera,MRI] [--trees N]
 //               [--top-features K] [--collectives allgather,alltoall,...]
-//               [--threads N]
+//               [--threads N] [--cost-source analytic|engine]
+//               [--prune-topk K] [--prune-epsilon P]
 //       Offline stage: build the tuning dataset from the built-in Table-I
 //       clusters (minus exclusions) and write the pre-trained bundle.
 //       --threads caps training parallelism (0 = all hardware threads,
 //       1 = serial); the bundle is bit-identical at any thread count.
+//       --cost-source engine measures cells on the event engine with
+//       analytic top-k pruning (--prune-topk, --prune-epsilon; see
+//       `pml dataset`).
+//
+//   pml dataset --out dataset.json --collective alltoall
+//               [--clusters A,B | --exclude A,B] [--cost-source ...]
+//               [--prune-topk K] [--prune-epsilon P] [--audit]
+//               [--fault-plan plan.json] [--iterations N] [--seed S]
+//               [--threads N]
+//       Build (and persist) one collective's tuning dataset without
+//       training: a "dataset"-kind artifact holding every record. The
+//       engine cost source accepts a fault plan (which disables pruning —
+//       the analytic ranking is fault-blind) and prints the build's
+//       measurement/pruning tallies; --audit measures exhaustively and
+//       reports the cells pruning would have mislabeled.
 //
 //   pml compile --model model.json --cluster NAME|spec.json
 //               --out table.json [--nodes 1,2,4,8,16] [--ppn 28,56]
@@ -28,9 +44,14 @@
 //       Pretty-print a metrics.json summary written by --metrics.
 //
 //   pml doctor  [--dir artifacts/ | --path artifact.json] [--strict]
+//               [--repair]
 //       Audit on-disk JSON artifacts: classify each as ok / legacy /
 //       stale-schema / corrupt / unreadable. Exit 0 always, unless
-//       --strict (then nonzero when anything is less than ok).
+//       --strict (then nonzero when anything is less than ok). --repair
+//       additionally fixes what it can: legacy documents are rewrapped
+//       in checksummed envelopes (atomic rewrite), corrupt files are
+//       moved to a .quarantine/ sibling directory; ok and stale-schema
+//       files are never touched.
 //
 //   pml serve   [--model model.json] [--port N | --stdio] [--shards N]
 //               [--capacity N] [--threads N]
@@ -68,8 +89,8 @@ using namespace pml;
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: pml <train|compile|query|inspect|clusters|stats|"
-               "doctor|serve> [options]\n"
+               "usage: pml <train|dataset|compile|query|inspect|clusters|"
+               "stats|doctor|serve> [options]\n"
                "Global options: --trace out.json, --metrics out.json\n"
                "Run `pml <command>` with missing options to see what it "
                "needs; see the header of tools/pml_tool.cpp for details.\n");
@@ -113,6 +134,58 @@ std::uint64_t parse_u64(const std::string& text, const std::string& what) {
   }
 }
 
+double parse_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw ConfigError("invalid " + what + ": '" + text + "'");
+  }
+}
+
+/// Shared sweep knobs for the commands that build datasets (train and
+/// dataset): cost source and the engine-mode pruning layer.
+void apply_sweep_args(const std::map<std::string, std::string>& args,
+                      core::BuildOptions& build) {
+  if (args.contains("cost-source")) {
+    build.cost_source = core::cost_source_from_string(args.at("cost-source"));
+  }
+  if (args.contains("prune-topk")) {
+    build.prune_topk = parse_int(args.at("prune-topk"), "--prune-topk");
+  }
+  if (args.contains("prune-epsilon")) {
+    build.prune_epsilon =
+        parse_double(args.at("prune-epsilon"), "--prune-epsilon");
+  }
+}
+
+/// Built-in Table-I clusters filtered by --clusters (keep-list) or
+/// --exclude (drop-list); both at once is a usage error.
+std::vector<sim::ClusterSpec> select_clusters(
+    const std::map<std::string, std::string>& args) {
+  if (args.contains("clusters") && args.contains("exclude")) {
+    usage("pass --clusters or --exclude, not both");
+  }
+  if (args.contains("clusters")) {
+    std::vector<sim::ClusterSpec> picked;
+    for (const auto& name : split(args.at("clusters"), ',')) {
+      picked.push_back(sim::cluster_by_name(name));
+    }
+    return picked;
+  }
+  std::vector<std::string> excluded;
+  if (args.contains("exclude")) excluded = split(args.at("exclude"), ',');
+  std::vector<sim::ClusterSpec> kept;
+  for (const auto& c : sim::builtin_clusters()) {
+    bool skip = false;
+    for (const auto& name : excluded) skip = skip || c.name == name;
+    if (!skip) kept.push_back(c);
+  }
+  return kept;
+}
+
 std::vector<int> parse_ints(const std::string& csv, const std::string& what) {
   std::vector<int> out;
   for (const auto& part : split(csv, ',')) out.push_back(parse_int(part, what));
@@ -131,17 +204,10 @@ sim::ClusterSpec load_cluster(const std::string& name_or_path) {
 
 int cmd_train(const std::map<std::string, std::string>& args) {
   const std::string out = require(args, "out");
-  std::vector<std::string> excluded;
-  if (args.contains("exclude")) excluded = split(args.at("exclude"), ',');
-
-  std::vector<sim::ClusterSpec> training;
-  for (const auto& c : sim::builtin_clusters()) {
-    bool skip = false;
-    for (const auto& name : excluded) skip = skip || c.name == name;
-    if (!skip) training.push_back(c);
-  }
+  const std::vector<sim::ClusterSpec> training = select_clusters(args);
 
   core::TrainOptions options;
+  apply_sweep_args(args, options.build);
   if (args.contains("trees")) {
     options.forest.n_trees = parse_int(args.at("trees"), "--trees");
   }
@@ -162,6 +228,73 @@ int cmd_train(const std::map<std::string, std::string>& args) {
   const auto fw = core::PmlFramework::train(training, options);
   write_artifact(out, fw.to_json(), "model");
   std::printf("model bundle written to %s\n", out.c_str());
+  return 0;
+}
+
+/// `pml dataset`: build and persist one collective's tuning dataset.
+/// Parses argv directly because --audit is a boolean flag.
+int cmd_dataset(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  bool audit = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--audit") {
+      audit = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      usage(("dataset: unexpected argument: " + arg).c_str());
+    }
+    if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+    args[arg.substr(2)] = argv[++i];
+  }
+
+  obs::Sink sink;
+  if (args.contains("trace")) sink.chrome_trace = args.at("trace");
+  if (args.contains("metrics")) sink.metrics = args.at("metrics");
+  obs::ScopedCapture capture(std::move(sink));
+
+  const std::string out = require(args, "out");
+  const auto collective =
+      coll::collective_from_string(require(args, "collective"));
+  const std::vector<sim::ClusterSpec> clusters = select_clusters(args);
+
+  core::BuildOptions options;
+  apply_sweep_args(args, options);
+  options.prune_audit = audit;
+  if (args.contains("iterations")) {
+    options.iterations = parse_int(args.at("iterations"), "--iterations");
+  }
+  if (args.contains("seed")) {
+    options.seed = parse_u64(args.at("seed"), "--seed");
+  }
+  if (args.contains("threads")) {
+    options.threads = parse_int(args.at("threads"), "--threads");
+  }
+  if (args.contains("fault-plan")) {
+    options.faults = sim::FaultPlan::from_json(artifact_payload(
+        Json::parse(read_file(args.at("fault-plan"))), "fault-plan"));
+  }
+
+  std::printf("building MPI_%s dataset on %zu clusters (%s cost source)...\n",
+              coll::to_string(collective).c_str(), clusters.size(),
+              core::to_string(options.cost_source).c_str());
+  core::BuildStats stats;
+  const auto records =
+      core::build_records(clusters, collective, options, stats);
+  write_artifact(out, core::records_to_json(records, collective), "dataset");
+  std::printf("%llu records written to %s\n",
+              static_cast<unsigned long long>(stats.cells), out.c_str());
+  std::printf("measured %llu evaluations (%llu pruned, %llu rescued by the "
+              "epsilon-sample)\n",
+              static_cast<unsigned long long>(stats.measured_evals),
+              static_cast<unsigned long long>(stats.pruned_evals),
+              static_cast<unsigned long long>(stats.epsilon_evals));
+  if (audit) {
+    std::printf("audit: pruning would have mislabeled %llu/%llu cells\n",
+                static_cast<unsigned long long>(stats.prune_mispredictions),
+                static_cast<unsigned long long>(stats.cells));
+  }
   return 0;
 }
 
@@ -284,15 +417,19 @@ int cmd_stats(const std::map<std::string, std::string>& args) {
 }
 
 /// `pml doctor`: audit artifact files. Parses argv directly because
-/// --strict is a boolean flag and parse_args() requires --key value pairs.
+/// --strict/--repair are boolean flags and parse_args() requires --key
+/// value pairs.
 int cmd_doctor(int argc, char** argv) {
   bool strict = false;
+  bool repair = false;
   std::string dir;
   std::string path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--repair") {
+      repair = true;
     } else if ((arg == "--dir" || arg == "--path") && i + 1 < argc) {
       (arg == "--dir" ? dir : path) = argv[++i];
     } else {
@@ -324,15 +461,28 @@ int cmd_doctor(int argc, char** argv) {
   }
 
   int tally[5] = {0, 0, 0, 0, 0};
-  TextTable t({"artifact", "verdict", "kind", "schema", "detail"});
-  for (const auto& file : files) {
-    const ArtifactInfo info = inspect_artifact(file);
-    ++tally[static_cast<int>(info.status)];
-    t.add_row({file, to_string(info.status), info.kind,
-               info.schema > 0 ? std::to_string(info.schema) : "-",
-               info.detail});
+  int failed_repairs = 0;
+  if (repair) {
+    TextTable t({"artifact", "verdict", "action", "detail"});
+    for (const auto& file : files) {
+      const RepairResult fix = repair_artifact(file);
+      ++tally[static_cast<int>(fix.info.status)];
+      failed_repairs += fix.action == RepairAction::kFailed;
+      t.add_row({file, to_string(fix.info.status), to_string(fix.action),
+                 fix.detail});
+    }
+    std::printf("%s", t.str().c_str());
+  } else {
+    TextTable t({"artifact", "verdict", "kind", "schema", "detail"});
+    for (const auto& file : files) {
+      const ArtifactInfo info = inspect_artifact(file);
+      ++tally[static_cast<int>(info.status)];
+      t.add_row({file, to_string(info.status), info.kind,
+                 info.schema > 0 ? std::to_string(info.schema) : "-",
+                 info.detail});
+    }
+    std::printf("%s", t.str().c_str());
   }
-  std::printf("%s", t.str().c_str());
   std::printf("%d ok, %d legacy, %d stale-schema, %d corrupt, %d unreadable\n",
               tally[static_cast<int>(ArtifactStatus::kOk)],
               tally[static_cast<int>(ArtifactStatus::kLegacy)],
@@ -341,10 +491,18 @@ int cmd_doctor(int argc, char** argv) {
               tally[static_cast<int>(ArtifactStatus::kUnreadable)]);
 
   if (strict) {
+    // --repair fixes legacy and corrupt files, so only what it could not
+    // fix (plus schema skew, which is not damage) stays gating.
+    if (repair && failed_repairs == 0) {
+      return tally[static_cast<int>(ArtifactStatus::kStaleSchema)] > 0
+                 ? exit_status(ErrorCode::kJson)
+                 : 0;
+    }
     if (tally[static_cast<int>(ArtifactStatus::kUnreadable)] > 0) {
       return exit_status(ErrorCode::kIo);
     }
-    if (tally[static_cast<int>(ArtifactStatus::kCorrupt)] > 0 ||
+    if (repair ||
+        tally[static_cast<int>(ArtifactStatus::kCorrupt)] > 0 ||
         tally[static_cast<int>(ArtifactStatus::kStaleSchema)] > 0 ||
         tally[static_cast<int>(ArtifactStatus::kLegacy)] > 0) {
       return exit_status(ErrorCode::kJson);
@@ -417,9 +575,11 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
-    // doctor and serve take boolean flags, so they parse argv themselves.
+    // doctor, serve, and dataset take boolean flags, so they parse argv
+    // themselves.
     if (command == "doctor") return cmd_doctor(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "dataset") return cmd_dataset(argc, argv);
     const auto args = parse_args(argc, argv, 2);
     if (command == "stats") return cmd_stats(args);
 
