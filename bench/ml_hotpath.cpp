@@ -13,7 +13,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 
 #include "bench_util.hpp"
@@ -33,6 +35,11 @@
 
 namespace {
 std::atomic<std::size_t> g_alloc_count{0};
+// Set by BM_BatchInference when the batched kernel's output diverges from
+// the scalar path; main() turns it into a nonzero exit so the CI smoke run
+// fails on wrong answers even though google-benchmark treats SkipWithError
+// as a reporting detail.
+std::atomic<bool> g_batch_mismatch{false};
 }  // namespace
 
 void* operator new(std::size_t size) {
@@ -179,6 +186,97 @@ void BM_ForestPredictNodeWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestPredictNodeWalk);
 
+// ---- batched inference kernels ----------------------------------------------
+// BM_ScalarLoopInference is the baseline the tentpole gate compares
+// against: the same rows pushed one at a time through predict_proba_into.
+// BM_BatchInference runs the tree-major blocked kernel and first verifies
+// (outside the timed loop) that its output is byte-identical to the scalar
+// loop — the bench doubles as a correctness smoke in CI, where timing on
+// shared runners is meaningless but divergence is not.
+
+void BM_ScalarLoopInference(benchmark::State& state) {
+  const auto& f = tree_fixture();
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto d = synthetic_dataset(rows, 10, 4, 1234);
+  ml::Matrix out(rows, 4);
+  const std::size_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      f.flat.predict_proba_into(d.x.row(r), out.row(r));
+    }
+    benchmark::DoNotOptimize(out.row(0).data());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(rows),
+      benchmark::Counter::kIsRate);
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_alloc_count.load() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ScalarLoopInference)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->ArgName("rows");
+
+void BM_BatchInference(benchmark::State& state) {
+  const auto& f = tree_fixture();
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto d = synthetic_dataset(rows, 10, 4, 1234);
+  ml::Matrix out(rows, 4);
+  ml::Matrix ref(rows, 4);
+  for (std::size_t r = 0; r < rows; ++r) {
+    f.flat.predict_proba_into(d.x.row(r), ref.row(r));
+  }
+  f.flat.predict_batch(d.x, out);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (std::memcmp(out.row(r).data(), ref.row(r).data(),
+                    4 * sizeof(double)) != 0) {
+      g_batch_mismatch.store(true);
+      state.SkipWithError("batched output diverges from the scalar path");
+      return;
+    }
+  }
+  const std::size_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    f.flat.predict_batch(d.x, out);
+    benchmark::DoNotOptimize(out.row(0).data());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(rows),
+      benchmark::Counter::kIsRate);
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_alloc_count.load() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BatchInference)->Arg(64)->Arg(1024)->Arg(4096)->ArgName("rows");
+
+// The compile inner kernel: one tuning-table cell's whole message sweep
+// answered by a single select_many (feature assembly + one batched forest
+// sweep + per-size ranking), the unit TuningTable::generate now issues.
+void BM_BatchCompileSweep(benchmark::State& state) {
+  auto& fw = framework();
+  const auto& frontera = sim::cluster_by_name("Frontera");
+  const auto sizes = sim::power_of_two_sizes(21);
+  std::vector<coll::Algorithm> out(sizes.size());
+  const sim::Topology topo{16, 56};
+  // Warm the thread_local scratch so the loop measures steady state.
+  fw.select_many(coll::Collective::kAlltoall, frontera, topo, sizes, out);
+  const std::size_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    fw.select_many(coll::Collective::kAlltoall, frontera, topo, sizes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(sizes.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_alloc_count.load() - allocs_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_BatchCompileSweep);
+
 // ---- framework-level headline series (shared with inference_latency) -------
 
 void BM_SingleInference(benchmark::State& state) {
@@ -235,4 +333,15 @@ BENCHMARK(BM_TrainFramework)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (g_batch_mismatch.load()) {
+    std::fprintf(stderr,
+                 "FAIL: batched inference diverged from the scalar path\n");
+    return 1;
+  }
+  return 0;
+}

@@ -269,16 +269,41 @@ const PmlFramework::PerCollective& PmlFramework::part(
   return it->second;
 }
 
+namespace {
+
+/// Rank classes by probability (index sort, descending) and return the
+/// best algorithm valid at this world size (the model may favour e.g.
+/// power-of-two-only recursive doubling). Shared by select() and
+/// select_batch() so the two paths break probability ties identically —
+/// that is what makes batched table compiles bit-identical to scalar ones.
+coll::Algorithm pick_ranked(std::span<const double> proba,
+                            std::span<const coll::Algorithm> algorithms,
+                            std::vector<std::size_t>& order, int world_size) {
+  order.resize(proba.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return proba[a] > proba[b]; });
+  for (const std::size_t c : order) {
+    if (coll::algorithm_supports(algorithms[c], world_size)) {
+      return algorithms[c];
+    }
+  }
+  throw TuningError("no valid algorithm for world size " +
+                    std::to_string(world_size));
+}
+
+}  // namespace
+
 coll::Algorithm PmlFramework::select(Collective collective,
                                      const sim::ClusterSpec& cluster,
                                      sim::Topology topo,
                                      std::uint64_t msg_bytes) {
   const PerCollective& p = part(collective);
 
-  // Hot path: one select() per tuning-table cell per message size, from
-  // many threads during compile_for sweeps. All scratch is thread_local and
-  // only ever grows to num_classes/feature_count, so a steady-state call
-  // performs zero heap allocations (guarded by the ml_hotpath bench).
+  // Hot path: one select() per uncached serve request. All scratch is
+  // thread_local and only ever grows to num_classes/feature_count, so a
+  // steady-state call performs zero heap allocations (guarded by the
+  // ml_hotpath bench).
   thread_local std::vector<double> full;
   thread_local std::vector<double> row;
   thread_local std::vector<double> proba;
@@ -293,21 +318,64 @@ coll::Algorithm PmlFramework::select(Collective collective,
   obs::Span span("online.inference");
   proba.resize(static_cast<std::size_t>(p.forest.num_classes()));
   p.forest.predict_proba_into(row, proba);
+  return pick_ranked(proba, coll::algorithms_for(collective), order,
+                     topo.world_size());
+}
 
-  // Rank classes by probability, return the best one valid at this world
-  // size (the model may favour e.g. power-of-two-only recursive doubling).
-  const auto& algorithms = coll::algorithms_for(collective);
-  order.resize(proba.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return proba[a] > proba[b]; });
-  for (const std::size_t c : order) {
-    if (coll::algorithm_supports(algorithms[c], topo.world_size())) {
-      return algorithms[c];
+void PmlFramework::select_batch(Collective collective,
+                                const sim::ClusterSpec& cluster,
+                                std::span<const SelectQuery> queries,
+                                std::span<coll::Algorithm> out) {
+  if (queries.size() != out.size()) {
+    throw TuningError("select_batch: " + std::to_string(queries.size()) +
+                      " queries but " + std::to_string(out.size()) +
+                      " output slots");
+  }
+  if (queries.empty()) return;
+  const PerCollective& p = part(collective);
+
+  // The compile/serve hot path: one call per tuning-table cell (or serve
+  // micro-batch), from many threads. Same thread_local scratch discipline
+  // as select() — the matrices only ever grow, so steady-state batches
+  // allocate nothing.
+  thread_local std::vector<double> full;
+  thread_local std::vector<double> row;
+  thread_local std::vector<std::size_t> order;
+  thread_local ml::Matrix features;
+  thread_local ml::Matrix proba;
+
+  {
+    obs::Span span("online.feature_extraction");
+    features.resize(queries.size(), p.columns.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      extract_features_into(cluster, queries[i].topo.nodes, queries[i].topo.ppn,
+                            queries[i].msg_bytes, full);
+      project_features_into(full, p.columns, row);
+      std::ranges::copy(row, features.row(i).begin());
     }
   }
-  throw TuningError("no valid algorithm for world size " +
-                    std::to_string(topo.world_size()));
+  obs::Span span("online.inference");
+  proba.resize(queries.size(), static_cast<std::size_t>(p.forest.num_classes()));
+  p.forest.predict_batch(features, proba);
+
+  const auto& algorithms = coll::algorithms_for(collective);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i] = pick_ranked(proba.row(i), algorithms, order,
+                         queries[i].topo.world_size());
+  }
+}
+
+void PmlFramework::select_many(Collective collective,
+                               const sim::ClusterSpec& cluster,
+                               sim::Topology topo,
+                               std::span<const std::uint64_t> msg_sizes,
+                               std::span<coll::Algorithm> out) {
+  thread_local std::vector<SelectQuery> queries;
+  queries.resize(msg_sizes.size());
+  for (std::size_t i = 0; i < msg_sizes.size(); ++i) {
+    queries[i] = SelectQuery{topo, msg_sizes[i]};
+  }
+  select_batch(collective, cluster, queries, out);
 }
 
 TuningTable PmlFramework::compile_for(const sim::ClusterSpec& cluster,

@@ -11,6 +11,20 @@ namespace pml::core {
 using coll::Algorithm;
 using coll::Collective;
 
+void Selector::select_many(Collective collective,
+                           const sim::ClusterSpec& cluster, sim::Topology topo,
+                           std::span<const std::uint64_t> msg_sizes,
+                           std::span<Algorithm> out) {
+  if (msg_sizes.size() != out.size()) {
+    throw TuningError("select_many: " + std::to_string(msg_sizes.size()) +
+                      " sizes but " + std::to_string(out.size()) +
+                      " output slots");
+  }
+  for (std::size_t i = 0; i < msg_sizes.size(); ++i) {
+    out[i] = select(collective, cluster, topo, msg_sizes[i]);
+  }
+}
+
 coll::Algorithm first_supported(
     std::initializer_list<coll::Algorithm> preference, int p) {
   for (const Algorithm a : preference) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "coll/collective.hpp"
@@ -35,6 +36,16 @@ class Selector {
                                  const sim::ClusterSpec& cluster,
                                  sim::Topology topo,
                                  std::uint64_t msg_bytes) = 0;
+
+  /// Batched select over one (collective, cluster, topology) cell: fills
+  /// out[i] with the choice for msg_sizes[i] (sizes must equal out size).
+  /// The default loops select(); model-backed selectors override it to run
+  /// one batched inference per cell. Overrides must return exactly what a
+  /// select() loop would (table compilation depends on it).
+  virtual void select_many(coll::Collective collective,
+                           const sim::ClusterSpec& cluster, sim::Topology topo,
+                           std::span<const std::uint64_t> msg_sizes,
+                           std::span<coll::Algorithm> out);
 };
 
 class MvapichDefaultSelector final : public Selector {

@@ -104,6 +104,7 @@ void ServeOptions::validate() const {
   if (shard_capacity < 1) {
     throw ConfigError("serve: shard_capacity must be >= 1");
   }
+  if (micro_batch < 1) throw ConfigError("serve: micro_batch must be >= 1");
   compile.validate();
 }
 
@@ -379,6 +380,103 @@ std::shared_ptr<const ServedTable> ServeEngine::wait_for(CompileJob& job) {
   return job.result;
 }
 
+// --- Select micro-batching ----------------------------------------------------
+//
+// Uncached selects answered by direct model inference are the one serve
+// path that still ran one forest sweep per request. Under concurrent
+// traffic those requests now coalesce: the first arrival becomes the
+// *leader* and drains the queue in groups of up to micro_batch compatible
+// requests — same model instance, same cluster hardware fingerprint
+// (the equivalence the cache key already relies on), same collective —
+// answering each group with one PmlFramework::select_batch call, i.e. one
+// tree-major blocked FlatForest sweep. Followers just block on their
+// stack-owned PendingSelect until the leader marks it done. Results and
+// errors are written under batch_mutex_, so the handoff is a plain
+// happens-before; the kernel itself is bit-identical to per-request
+// select(), so replies do not depend on who shared a batch with whom.
+
+void ServeEngine::drain_select_batches(std::unique_lock<std::mutex>& lock) {
+  static obs::Gauge batch_size("serve.batch.size");
+  thread_local std::vector<PendingSelect*> group;
+  thread_local std::vector<PmlFramework::SelectQuery> queries;
+  thread_local std::vector<coll::Algorithm> results;
+  while (!batch_queue_.empty()) {
+    // Peel the oldest request plus everything compatible with it, up to
+    // the micro_batch cap, preserving arrival order.
+    const PendingSelect* const head = batch_queue_.front();
+    const std::size_t cap = static_cast<std::size_t>(options_.micro_batch);
+    group.clear();
+    std::erase_if(batch_queue_, [&](PendingSelect* p) {
+      if (group.size() >= cap) return false;
+      if (p->framework != head->framework ||
+          p->fingerprint != head->fingerprint ||
+          p->collective != head->collective) {
+        return false;
+      }
+      group.push_back(p);
+      return true;
+    });
+
+    queries.resize(group.size());
+    results.resize(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      queries[i] = group[i]->query;
+    }
+    PmlFramework& framework = *group.front()->framework;
+    const sim::ClusterSpec& cluster = *group.front()->cluster;
+
+    lock.unlock();
+    batch_size.set(static_cast<std::int64_t>(group.size()));
+    std::exception_ptr error;
+    try {
+      framework.select_batch(head->collective, cluster, queries, results);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      group[i]->result = results[i];
+      group[i]->error = error;
+      group[i]->done = true;
+    }
+    batch_cv_.notify_all();
+  }
+}
+
+coll::Algorithm ServeEngine::batched_model_select(PmlFramework& framework,
+                                                  const sim::ClusterSpec& cluster,
+                                                  coll::Collective collective,
+                                                  sim::Topology topo,
+                                                  std::uint64_t msg_bytes) {
+  if (options_.micro_batch <= 1) {
+    return framework.select(collective, cluster, topo, msg_bytes);
+  }
+  PendingSelect pending;
+  pending.framework = &framework;
+  pending.cluster = &cluster;
+  pending.fingerprint = cluster.hardware_fingerprint();
+  pending.collective = collective;
+  pending.query = PmlFramework::SelectQuery{topo, msg_bytes};
+
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  batch_queue_.push_back(&pending);
+  while (!pending.done) {
+    if (!batch_leader_active_) {
+      // Become the leader; draining runs until the queue is empty, which
+      // necessarily answers our own request too.
+      batch_leader_active_ = true;
+      drain_select_batches(lock);
+      batch_leader_active_ = false;
+      batch_cv_.notify_all();
+    } else {
+      batch_cv_.wait(lock,
+                     [&] { return pending.done || !batch_leader_active_; });
+    }
+  }
+  if (pending.error != nullptr) std::rethrow_exception(pending.error);
+  return pending.result;
+}
+
 std::string ServeEngine::handle_select(const Json& request) {
   const coll::Collective collective = coll::collective_from_string(
       require_field(request, "collective").as_string());
@@ -451,8 +549,8 @@ std::string ServeEngine::handle_select(const Json& request) {
     cache_state = "miss";
     source = "model";
     materialize();
-    algorithm = framework->select(collective, *cluster,
-                                  sim::Topology{nodes, ppn}, msg_bytes);
+    algorithm = batched_model_select(*framework, *cluster, collective,
+                                     sim::Topology{nodes, ppn}, msg_bytes);
   } else {
     // Bottom rung: no table, no model. Same counter the batch online
     // stage uses, so dashboards see one ladder.

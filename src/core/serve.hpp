@@ -63,6 +63,14 @@ struct ServeOptions {
   /// When false, cache misses compile synchronously on the request
   /// thread (deterministic tests); the reply still reports its rung.
   bool async_compile = true;
+  /// Upper bound on the select micro-batch (>= 1). Concurrent uncached
+  /// "select" requests answered by direct model inference coalesce — per
+  /// (model instance, cluster hardware fingerprint, collective) — into
+  /// one batched FlatForest sweep, amortizing node-array traffic across
+  /// requests exactly like a tuning-table cell compile. 1 disables
+  /// coalescing. Replies are unchanged either way: the batched kernel is
+  /// bit-identical to per-request select().
+  int micro_batch = 16;
 
   /// Throws pml::ConfigError on non-positive shards/capacity or an
   /// invalid compile sweep.
@@ -199,6 +207,34 @@ class ServeEngine {
   std::string handle_table(const Json& request);
   std::string handle_stats();
 
+  /// One uncached select waiting for a model micro-batch. Stack-owned by
+  /// its blocked request thread (so the cluster pointer stays valid);
+  /// every field after `query` is written by the draining leader under
+  /// batch_mutex_.
+  struct PendingSelect {
+    PmlFramework* framework = nullptr;
+    const sim::ClusterSpec* cluster = nullptr;
+    std::uint64_t fingerprint = 0;
+    coll::Collective collective{};
+    PmlFramework::SelectQuery query;
+    coll::Algorithm result{};
+    std::exception_ptr error;
+    bool done = false;
+  };
+
+  /// Leader/follower micro-batching around PmlFramework::select_batch
+  /// (serve.cpp comment). Returns what framework->select(...) would, or
+  /// rethrows its error.
+  coll::Algorithm batched_model_select(PmlFramework& framework,
+                                       const sim::ClusterSpec& cluster,
+                                       coll::Collective collective,
+                                       sim::Topology topo,
+                                       std::uint64_t msg_bytes);
+
+  /// Drain batch_queue_ until empty, one compatible group at a time.
+  /// Pre: `lock` holds batch_mutex_ and this thread is the leader.
+  void drain_select_batches(std::unique_lock<std::mutex>& lock);
+
   /// Find-or-start the compile job for `key`. At most one job per key is
   /// in flight; duplicates wait on the same job.
   std::shared_ptr<CompileJob> ensure_compile(const std::string& key,
@@ -252,6 +288,12 @@ class ServeEngine {
   std::condition_variable idle_cv_;
   std::unordered_map<std::string, std::shared_ptr<CompileJob>> jobs_;
   int in_flight_ = 0;
+
+  /// Select micro-batcher state (batched_model_select).
+  std::mutex batch_mutex_;
+  std::condition_variable batch_cv_;
+  std::vector<PendingSelect*> batch_queue_;
+  bool batch_leader_active_ = false;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};

@@ -152,9 +152,17 @@ TuningTable TuningTable::generate(Selector& selector,
     job.collective = cell.collective;
     job.nodes = cell.nodes;
     job.ppn = cell.ppn;
-    for (const std::uint64_t msg : msg_sizes) {
-      const coll::Algorithm a = selector.select(
-          cell.collective, cluster, sim::Topology{cell.nodes, cell.ppn}, msg);
+    // One batched selection per cell: model-backed selectors answer the
+    // whole message sweep with a single blocked inference; plain selectors
+    // fall back to the per-size select() loop inside select_many. The
+    // reused thread_local keeps the sweep allocation-free in steady state.
+    thread_local std::vector<coll::Algorithm> algs;
+    algs.resize(msg_sizes.size());
+    selector.select_many(cell.collective, cluster,
+                         sim::Topology{cell.nodes, cell.ppn}, msg_sizes, algs);
+    for (std::size_t m = 0; m < msg_sizes.size(); ++m) {
+      const std::uint64_t msg = msg_sizes[m];
+      const coll::Algorithm a = algs[m];
       if (!job.entries.empty() && job.entries.back().algorithm == a) {
         job.entries.back().max_bytes = msg;  // extend the range
       } else {

@@ -39,6 +39,15 @@ class Matrix {
   /// Append one row; its length must equal cols() (or define cols if empty).
   void push_row(std::span<const double> row);
 
+  /// Reshape to rows x cols with every element zeroed. Reuses the existing
+  /// allocation when capacity allows, so batch consumers can recycle one
+  /// Matrix across calls without touching the heap in steady state.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -40,9 +40,10 @@ class RandomForest final : public Classifier {
   void predict_proba_into(std::span<const double> row,
                           std::span<double> out) const override;
 
-  /// predict_proba_into over every row of `rows`; `out` must be
-  /// rows.rows() x num_classes().
-  void predict_batch(const Matrix& rows, Matrix& out) const;
+  /// Batched prediction through the FlatForest tree-major blocked kernel;
+  /// `out` must be rows.rows() x num_classes(). Byte-identical to calling
+  /// predict_proba_into row by row.
+  void predict_batch(const Matrix& rows, Matrix& out) const override;
 
   /// The structure-of-arrays representation used for inference (rebuilt by
   /// fit() and from_json()).

@@ -76,9 +76,13 @@ double binary_auc(std::span<const double> scores,
   return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
 }
 
-double macro_ovr_auc(const std::vector<std::vector<double>>& proba,
-                     std::span<const int> truth, int num_classes) {
-  if (proba.size() != truth.size() || proba.empty()) {
+namespace {
+
+/// Shared macro-OvR core over any row accessor (Matrix row or vector row).
+template <typename RowAt>
+double macro_ovr_auc_impl(std::size_t n_rows, RowAt row_at,
+                          std::span<const int> truth, int num_classes) {
+  if (n_rows != truth.size() || n_rows == 0) {
     throw MlError("macro_ovr_auc: size mismatch or empty input");
   }
   double total = 0.0;
@@ -88,7 +92,7 @@ double macro_ovr_auc(const std::vector<std::vector<double>>& proba,
   for (int c = 0; c < num_classes; ++c) {
     std::size_t n_pos = 0;
     for (std::size_t r = 0; r < truth.size(); ++r) {
-      scores[r] = proba[r][static_cast<std::size_t>(c)];
+      scores[r] = row_at(r)[static_cast<std::size_t>(c)];
       positive[r] = truth[r] == c ? 1 : 0;
       n_pos += positive[r] ? 1u : 0u;
     }
@@ -102,30 +106,46 @@ double macro_ovr_auc(const std::vector<std::vector<double>>& proba,
   return total / classes_scored;
 }
 
+}  // namespace
+
+double macro_ovr_auc(const Matrix& proba, std::span<const int> truth,
+                     int num_classes) {
+  return macro_ovr_auc_impl(
+      proba.rows(), [&](std::size_t r) { return proba.row(r); }, truth,
+      num_classes);
+}
+
+double macro_ovr_auc(const std::vector<std::vector<double>>& proba,
+                     std::span<const int> truth, int num_classes) {
+  return macro_ovr_auc_impl(
+      proba.size(), [&](std::size_t r) { return std::span(proba[r]); }, truth,
+      num_classes);
+}
+
 std::vector<int> predict_all(const Classifier& model, const Dataset& data) {
+  // One predict_batch call (forest: the tree-major blocked kernel), then an
+  // argmax pass over the shared probability matrix — nothing per row.
+  Matrix proba;
+  predict_proba_all(model, data, proba);
   std::vector<int> out;
-  out.reserve(data.size());
-  // One probability buffer reused across all rows: with the no-alloc
-  // predict_proba_into overrides (forest, boosting) the whole scoring loop
-  // stays off the heap.
-  std::vector<double> proba(static_cast<std::size_t>(model.num_classes()));
-  for (std::size_t r = 0; r < data.x.rows(); ++r) {
-    model.predict_proba_into(data.x.row(r), proba);
-    out.push_back(static_cast<int>(
-        std::max_element(proba.begin(), proba.end()) - proba.begin()));
+  out.reserve(proba.rows());
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    const auto p = proba.row(r);
+    out.push_back(
+        static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin()));
   }
   return out;
 }
 
-std::vector<std::vector<double>> predict_proba_all(const Classifier& model,
-                                                   const Dataset& data) {
-  std::vector<std::vector<double>> out;
-  out.reserve(data.size());
-  const auto k = static_cast<std::size_t>(model.num_classes());
-  for (std::size_t r = 0; r < data.x.rows(); ++r) {
-    out.emplace_back(k);
-    model.predict_proba_into(data.x.row(r), out.back());
-  }
+void predict_proba_all(const Classifier& model, const Dataset& data,
+                       Matrix& out) {
+  out.resize(data.x.rows(), static_cast<std::size_t>(model.num_classes()));
+  model.predict_batch(data.x, out);
+}
+
+Matrix predict_proba_all(const Classifier& model, const Dataset& data) {
+  Matrix out;
+  predict_proba_all(model, data, out);
   return out;
 }
 

@@ -25,16 +25,28 @@ double binary_auc(std::span<const double> scores,
                   std::span<const char> is_positive);
 
 /// Macro-averaged one-vs-rest AUC over the classes present in `truth`.
-/// proba[i] are the per-class probability estimates of row i.
+/// proba row i holds the per-class probability estimates of row i.
+double macro_ovr_auc(const Matrix& proba, std::span<const int> truth,
+                     int num_classes);
+
+/// Convenience overload for hand-built probability rows (tests, callers
+/// without a Matrix); each inner vector must have num_classes entries.
 double macro_ovr_auc(const std::vector<std::vector<double>>& proba,
                      std::span<const int> truth, int num_classes);
 
-/// Predict every row of a dataset with a fitted classifier.
+/// Predict every row of a dataset with a fitted classifier (one
+/// predict_batch call; no per-row allocations).
 std::vector<int> predict_all(const Classifier& model, const Dataset& data);
 
-/// Per-row class probabilities for a whole dataset.
-std::vector<std::vector<double>> predict_proba_all(const Classifier& model,
-                                                   const Dataset& data);
+/// Per-row class probabilities for a whole dataset, written into the
+/// row-major `out` (resized to data rows x num_classes; reuses its
+/// allocation across calls). One predict_batch call, zero per-row
+/// allocations.
+void predict_proba_all(const Classifier& model, const Dataset& data,
+                       Matrix& out);
+
+/// Allocating convenience wrapper over the buffer-filling overload.
+Matrix predict_proba_all(const Classifier& model, const Dataset& data);
 
 /// Convenience: accuracy of a fitted model on a dataset.
 double evaluate_accuracy(const Classifier& model, const Dataset& data);

@@ -42,6 +42,25 @@ class Classifier {
     std::copy(p.begin(), p.end(), out.begin());
   }
 
+  /// Class probabilities for every row of `rows`, written into the
+  /// row-major `out` (rows.rows() x num_classes()). The default loops
+  /// predict_proba_into with one shape validation up front; RandomForest
+  /// overrides it with the FlatForest tree-major blocked kernel. Either
+  /// way out[r] is bit-identical to predict_proba_into(rows.row(r)).
+  virtual void predict_batch(const Matrix& rows, Matrix& out) const {
+    const auto k = static_cast<std::size_t>(num_classes());
+    if (out.rows() != rows.rows() || out.cols() != k) {
+      throw MlError(name() + ": predict_batch output shape is " +
+                    std::to_string(out.rows()) + "x" +
+                    std::to_string(out.cols()) + ", want " +
+                    std::to_string(rows.rows()) + "x" + std::to_string(k) +
+                    " (rows x num_classes)");
+    }
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      predict_proba_into(rows.row(r), out.row(r));
+    }
+  }
+
   /// Argmax of predict_proba.
   virtual int predict(std::span<const double> row) const {
     const auto p = predict_proba(row);

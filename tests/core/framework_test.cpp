@@ -51,6 +51,56 @@ TEST(Framework, SelectsValidAlgorithmsOnUnseenCluster) {
   }
 }
 
+TEST(Framework, SelectManyAndSelectBatchMatchScalarSelect) {
+  auto fw = shared_framework();
+  const auto& mri = sim::cluster_by_name("MRI");
+
+  // select_many: one cell's whole message sweep in a single batched
+  // inference must reproduce the per-size select() loop exactly (this is
+  // what makes batched tuning-table compiles bit-identical to scalar).
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 1) {
+    sizes.push_back(msg);
+  }
+  for (const auto collective :
+       {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
+    for (const int ppn : {7, 16, 28}) {
+      const sim::Topology topo{3, ppn};
+      std::vector<coll::Algorithm> batched(sizes.size());
+      fw.select_many(collective, mri, topo, sizes, batched);
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        EXPECT_EQ(batched[i], fw.select(collective, mri, topo, sizes[i]))
+            << "ppn " << ppn << " msg " << sizes[i];
+      }
+    }
+  }
+
+  // select_batch: mixed topologies in one micro-batch (the serve
+  // coalescer's shape) must also match query-by-query inference.
+  std::vector<PmlFramework::SelectQuery> queries;
+  for (const int nodes : {2, 3, 4}) {
+    for (const int ppn : {7, 16}) {
+      for (const std::uint64_t msg : {1u, 4096u, 1u << 20}) {
+        queries.push_back(
+            PmlFramework::SelectQuery{sim::Topology{nodes, ppn}, msg});
+      }
+    }
+  }
+  std::vector<coll::Algorithm> out(queries.size());
+  fw.select_batch(coll::Collective::kAlltoall, mri, queries, out);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(out[i], fw.select(coll::Collective::kAlltoall, mri,
+                                queries[i].topo, queries[i].msg_bytes))
+        << "query " << i;
+  }
+
+  // Shape mismatches fail loudly.
+  std::vector<coll::Algorithm> wrong(queries.size() + 1);
+  EXPECT_THROW(
+      fw.select_batch(coll::Collective::kAlltoall, mri, queries, wrong),
+      TuningError);
+}
+
 TEST(Framework, BeatsRandomSelectionOnUnseenCluster) {
   auto fw = shared_framework();
   RandomSelector random_sel(3);

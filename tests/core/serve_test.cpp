@@ -69,6 +69,9 @@ TEST(ServeOptions, ValidateRejectsBadShapes) {
   options.shards = 1;
   options.shard_capacity = 0;
   EXPECT_THROW(options.validate(), ConfigError);
+  options.shard_capacity = 1;
+  options.micro_batch = 0;
+  EXPECT_THROW(options.validate(), ConfigError);
 }
 
 class ServeTest : public ::testing::Test {
@@ -158,6 +161,28 @@ TEST_F(ServeTest, SelectMissAnswersFromModelThenHitsTheCompiledTable) {
   EXPECT_EQ(stats.at("cache_misses").as_int(), 1);
   EXPECT_EQ(stats.at("compiles").as_int(), 1);
   EXPECT_EQ(stats.at("tables_cached").as_int(), 1);
+}
+
+TEST_F(ServeTest, MicroBatchKnobDoesNotChangeAnswers) {
+  // micro_batch=1 bypasses the coalescer entirely; the default routes
+  // every uncached model answer through select_batch (a batch of one when
+  // traffic is serial). The batched kernel is bit-identical to scalar
+  // inference, so the two engines must produce identical replies,
+  // request for request.
+  ServeOptions scalar_options = options();
+  scalar_options.micro_batch = 1;
+  ServeEngine batched(options());
+  ServeEngine scalar(scalar_options);
+  for (const char* collective : {"allgather", "alltoall"}) {
+    for (const std::uint64_t msg : {1024u, 65536u}) {
+      const std::string request =
+          std::string(R"({"op":"select","cluster":"MRI","collective":")") +
+          collective + R"(","nodes":4,"ppn":16,"msg_bytes":)" +
+          std::to_string(msg) + "}";
+      EXPECT_EQ(batched.handle_line(request), scalar.handle_line(request))
+          << request;
+    }
+  }
 }
 
 TEST_F(ServeTest, SelectWithWaitReturnsTheCompiledAnswer) {

@@ -190,6 +190,63 @@ TEST_F(ServeHammerTest, ModelCorruptionMidServeDegradesWithoutDroppedRequests) {
   EXPECT_EQ(recovered.at("source").as_string(), "table");
 }
 
+// Micro-batch witness: many threads issue uncached selects against ONE
+// cluster, so the leader/follower coalescer actually groups them into
+// shared FlatForest sweeps (unique-fingerprint hammers above mostly batch
+// alone). Every query sticks to the engine's sweep grid, where the
+// model-inference rung and the compiled-table rung provably agree — so
+// every reply, whichever rung and whatever batch it rode, must equal
+// direct single-query inference on the same trained model.
+TEST_F(ServeHammerTest, CoalescedSelectsMatchDirectInference) {
+  ServeEngine engine(options());
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 50;
+
+  struct Query {
+    coll::Collective collective;
+    int nodes;
+    int ppn;
+    std::uint64_t msg_bytes;
+  };
+  const auto query_for = [](int t, int i) {
+    return Query{(t + i) % 2 == 0 ? coll::Collective::kAllgather
+                                  : coll::Collective::kAlltoall,
+                 (i % 4 < 2) ? 2 : 4, 16,
+                 (i % 2 == 0) ? std::uint64_t{1024} : std::uint64_t{65536}};
+  };
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const Query q = query_for(t, i);
+        const std::string request =
+            std::string(R"({"op":"select","cluster":"Frontera",)") +
+            R"("collective":")" + coll::to_string(q.collective) +
+            R"(","nodes":)" + std::to_string(q.nodes) +
+            R"(,"ppn":)" + std::to_string(q.ppn) + R"(,"msg_bytes":)" +
+            std::to_string(q.msg_bytes) + "}";
+        const Json reply = Json::parse(engine.handle_line(request));
+        if (!reply.at("ok").as_bool()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        const coll::Algorithm expected = trained().select(
+            q.collective, sim::cluster_by_name("Frontera"),
+            sim::Topology{q.nodes, q.ppn}, q.msg_bytes);
+        if (reply.at("algorithm").as_string() != coll::to_string(expected)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  engine.drain();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(engine.stats().errors, 0u);
+}
+
 // Satellite regression: compile_for used to write the non-atomic
 // inference_seconds_ member, so concurrent compiles on one framework were
 // a data race (TSan-visible). Concurrent compiles must now be clean and

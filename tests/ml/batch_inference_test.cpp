@@ -1,0 +1,155 @@
+// Regression guards for the tree-major blocked batch kernel:
+//  - predict_batch must be bit-identical to the scalar predict_proba_into
+//    path across class counts, ragged batch sizes (partial interleave
+//    groups, partial blocks), and forests rebuilt via from_json,
+//  - batch-level validation must fail loudly, with the offending shapes in
+//    the error text, instead of walking garbage.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ml/flat_forest.hpp"
+#include "ml/forest.hpp"
+
+namespace pml::ml {
+namespace {
+
+/// Same mixed discrete/continuous generator as hotpath_test.cpp — many
+/// exact feature ties, the hard case for traversal agreement.
+Dataset synthetic(std::size_t n, std::size_t cols, int classes,
+                  std::uint64_t seed) {
+  Dataset d;
+  d.num_classes = classes;
+  Rng rng(seed);
+  Matrix x(n, cols);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      x.at(r, c) = (c % 3 == 0)
+                       ? static_cast<double>(rng.uniform_index(8))
+                       : rng.uniform(-2.0, 2.0);
+    }
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) s += x.at(r, c) * ((c % 2) ? 1 : -1);
+    const int label = static_cast<int>(
+        (static_cast<long long>(s * 3.0) % classes + classes) % classes);
+    d.y.push_back(label);
+  }
+  d.x = x;
+  return d;
+}
+
+void expect_batch_matches_scalar(const RandomForest& forest, const Matrix& rows,
+                                 int classes, const std::string& context) {
+  const auto k = static_cast<std::size_t>(classes);
+  Matrix out(rows.rows(), k);
+  forest.predict_batch(rows, out);
+  std::vector<double> scalar(k);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    forest.predict_proba_into(rows.row(r), scalar);
+    ASSERT_EQ(std::memcmp(out.row(r).data(), scalar.data(),
+                          k * sizeof(double)),
+              0)
+        << context << ": row " << r << " diverges from the scalar path";
+  }
+}
+
+// ---- bit-identity matrix ----------------------------------------------------
+
+TEST(BatchInference, BitIdenticalAcrossClassCountsAndRaggedBatches) {
+  // 1: degenerate batch; 31/33: partial 4-row interleave groups; 32: exact
+  // groups but a partial 64-row block; 1000: many full blocks plus a
+  // ragged tail.
+  const std::size_t batch_sizes[] = {1, 31, 32, 33, 1000};
+  for (const int classes : {2, 5, 9}) {
+    const Dataset train =
+        synthetic(300, 6, classes, 17 * static_cast<std::uint64_t>(classes));
+    RandomForestParams fp;
+    fp.n_trees = 10;
+    fp.max_features = 2;
+    RandomForest forest(fp);
+    Rng rng(static_cast<std::uint64_t>(classes));
+    forest.fit(train, rng);
+    for (const std::size_t n : batch_sizes) {
+      const Dataset batch =
+          synthetic(n, 6, classes, 1000 + n + static_cast<std::uint64_t>(classes));
+      expect_batch_matches_scalar(
+          forest, batch.x, classes,
+          "classes " + std::to_string(classes) + " batch " + std::to_string(n));
+    }
+  }
+}
+
+TEST(BatchInference, BitIdenticalAfterFromJsonRebuild) {
+  const Dataset train = synthetic(250, 5, 5, 91);
+  RandomForest forest(RandomForestParams{.n_trees = 8, .max_features = 2});
+  Rng rng(6);
+  forest.fit(train, rng);
+  const RandomForest loaded = RandomForest::from_json(forest.to_json());
+
+  const Dataset batch = synthetic(333, 5, 5, 92);
+  expect_batch_matches_scalar(loaded, batch.x, 5, "post-from_json");
+
+  // And the rebuilt forest agrees with the original, batch for batch.
+  Matrix a(batch.x.rows(), 5);
+  Matrix b(batch.x.rows(), 5);
+  forest.predict_batch(batch.x, a);
+  loaded.predict_batch(batch.x, b);
+  for (std::size_t r = 0; r < batch.x.rows(); ++r) {
+    EXPECT_EQ(std::memcmp(a.row(r).data(), b.row(r).data(), 5 * sizeof(double)),
+              0)
+        << "row " << r;
+  }
+}
+
+// ---- batch-level validation -------------------------------------------------
+
+TEST(BatchInference, UnsealedForestThrows) {
+  FlatForest flat;
+  flat.begin_tree();
+  const double proba[] = {0.5, 0.5};
+  flat.add_leaf(proba);
+  // No finish(): the forest is a staging buffer, not a model.
+  const Matrix rows(4, 2);
+  Matrix out(4, 2);
+  EXPECT_THROW(flat.predict_batch(rows, out), MlError);
+}
+
+TEST(BatchInference, WrongShapeOutputReportsActualAndExpected) {
+  const Dataset train = synthetic(120, 5, 3, 44);
+  RandomForest forest(RandomForestParams{.n_trees = 4});
+  Rng rng(2);
+  forest.fit(train, rng);
+
+  const Dataset batch = synthetic(10, 5, 3, 45);
+  Matrix bad_rows(7, 3);  // wrong row count and class width
+  try {
+    forest.predict_batch(batch.x, bad_rows);
+    FAIL() << "wrong-shape output did not throw";
+  } catch (const MlError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("7x3"), std::string::npos) << what;
+    EXPECT_NE(what.find("10x3"), std::string::npos) << what;
+  }
+}
+
+TEST(BatchInference, ShortFeatureRowsReportWidths) {
+  const Dataset train = synthetic(120, 5, 3, 46);
+  RandomForest forest(RandomForestParams{.n_trees = 4});
+  Rng rng(2);
+  forest.fit(train, rng);
+
+  const Matrix narrow(6, 1);  // 1 feature; the forest references up to 5
+  Matrix out(6, 3);
+  try {
+    forest.predict_batch(narrow, out);
+    FAIL() << "narrow batch did not throw";
+  } catch (const MlError& err) {
+    EXPECT_NE(std::string(err.what()).find("1"), std::string::npos)
+        << err.what();
+  }
+}
+
+}  // namespace
+}  // namespace pml::ml

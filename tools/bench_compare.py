@@ -8,15 +8,18 @@ Two input formats are auto-detected per file:
 
 * google-benchmark JSON (``--benchmark_out``): benchmarks are matched by
   name, using the ``_median`` aggregate when present (repetitions were
-  requested) and the raw real_time otherwise.
+  requested) and the raw real_time otherwise. Throughput counters named
+  ``*_per_sec`` (e.g. the batch-inference ``rows_per_sec`` series) are also
+  compared, prefixed ``rate:``, with the regression direction inverted:
+  for a rate, *lower* is worse.
 * pml-metrics-v1 JSON (``pml --metrics`` / ``obs::write_metrics``): span
   summaries are matched by name (prefixed ``span:``) and compared on
   total_ns. Counter deltas are reported informationally and never fail the
   comparison — event counts are workload facts, not performance.
 
 Exits nonzero if any timed series present in both files regressed by more
-than the threshold (default 20%). New or removed entries are reported but
-never fail the comparison.
+than the threshold (default 20%) — slower for times, lower for rates. New
+or removed entries are reported but never fail the comparison.
 """
 
 import argparse
@@ -25,24 +28,47 @@ import sys
 
 
 def load_benchmark_times(data):
-    """Map of benchmark name -> representative real_time (ns-scale units)."""
+    """(times, rates) from a google-benchmark document.
+
+    ``times``: benchmark name -> representative real_time (ns-scale units).
+    ``rates``: ``rate:<name>/<counter>`` -> throughput for every user
+    counter ending in ``_per_sec`` (kIsRate counters land in the JSON as
+    plain keys on the benchmark object). Rates are higher-is-better.
+    """
     raw = {}
     medians = {}
+    raw_rates = {}
+    median_rates = {}
+
+    def rate_counters(b):
+        return {k: float(v) for k, v in b.items()
+                if k.endswith("_per_sec") and isinstance(v, (int, float))}
+
     for b in data.get("benchmarks", []):
         name = b.get("name", "")
         if b.get("run_type") == "aggregate":
             if b.get("aggregate_name") == "median":
-                medians[name.removesuffix("_median")] = float(b["real_time"])
+                base = name.removesuffix("_median")
+                medians[base] = float(b["real_time"])
+                for counter, value in rate_counters(b).items():
+                    median_rates[f"rate:{base}/{counter}"] = value
         elif name.endswith("_median"):
             medians[name.removesuffix("_median")] = float(b["real_time"])
         else:
             raw.setdefault(name, []).append(float(b["real_time"]))
+            for counter, value in rate_counters(b).items():
+                raw_rates.setdefault(f"rate:{name}/{counter}", []).append(value)
     times = {}
     for name, samples in raw.items():
         samples.sort()
         times[name] = samples[len(samples) // 2]
     times.update(medians)  # aggregates win over raw samples
-    return times
+    rates = {}
+    for name, samples in raw_rates.items():
+        samples.sort()
+        rates[name] = samples[len(samples) // 2]
+    rates.update(median_rates)
+    return times, rates
 
 
 def load_metrics(data):
@@ -61,7 +87,7 @@ def load_metrics(data):
 
 
 def load_file(path):
-    """(times, counters) for either supported format.
+    """(times, rates, counters) for either supported format.
 
     Bad inputs (missing file, truncated/invalid JSON) are diagnosed on
     stderr and exit with status 2 — a CI log should show what went wrong,
@@ -83,8 +109,10 @@ def load_file(path):
               f"(got {type(data).__name__})", file=sys.stderr)
         raise SystemExit(2)
     if data.get("format") == "pml-metrics-v1":
-        return load_metrics(data)
-    return load_benchmark_times(data), {}
+        times, counters = load_metrics(data)
+        return times, {}, counters
+    times, rates = load_benchmark_times(data)
+    return times, rates, {}
 
 
 def main():
@@ -99,8 +127,8 @@ def main():
     )
     args = parser.parse_args()
 
-    base, base_counters = load_file(args.baseline)
-    cand, cand_counters = load_file(args.candidate)
+    base, base_rates, base_counters = load_file(args.baseline)
+    cand, cand_rates, cand_counters = load_file(args.candidate)
     if not base:
         print(f"error: no timed series found in {args.baseline}",
               file=sys.stderr)
@@ -124,6 +152,25 @@ def main():
         delta = c / b - 1.0
         marker = "  ok     "
         if delta > args.threshold:
+            marker = "  REGRESS"
+            regressions.append((name, delta))
+        print(f"{marker}  {name}: {b:.1f} -> {c:.1f} ({delta:+.1%})")
+
+    # Throughput counters: same threshold, inverted direction — a rate
+    # that *drops* beyond the threshold is the regression.
+    for name in sorted(set(base_rates) | set(cand_rates)):
+        if name not in base_rates:
+            print(f"  NEW      {name}")
+            continue
+        if name not in cand_rates:
+            print(f"  REMOVED  {name}")
+            continue
+        b, c = base_rates[name], cand_rates[name]
+        if b <= 0.0:
+            continue
+        delta = c / b - 1.0
+        marker = "  ok     "
+        if delta < -args.threshold:
             marker = "  REGRESS"
             regressions.append((name, delta))
         print(f"{marker}  {name}: {b:.1f} -> {c:.1f} ({delta:+.1%})")

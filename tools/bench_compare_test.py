@@ -57,12 +57,30 @@ def main():
 
         missing = os.path.join(tmp, "does_not_exist.json")
 
+        # Throughput counters compare with the direction inverted: a rate
+        # that drops beyond the threshold fails, a rate that rises never
+        # does (and slower real_time still fails as before).
+        fast = os.path.join(tmp, "fast.json")
+        with open(fast, "w", encoding="utf-8") as f:
+            json.dump({"benchmarks": [
+                {"name": "BM_batch", "real_time": 100.0,
+                 "rows_per_sec": 1.0e6},
+            ]}, f)
+        slow = os.path.join(tmp, "slow.json")
+        with open(slow, "w", encoding="utf-8") as f:
+            json.dump({"benchmarks": [
+                {"name": "BM_batch", "real_time": 100.0,
+                 "rows_per_sec": 0.5e6},
+            ]}, f)
+
         check("missing baseline file", run(missing, good), 2, "error:")
         check("missing candidate file", run(good, missing), 2, "error:")
         check("truncated JSON", run(good, truncated), 2, "not valid JSON")
         check("non-object JSON", run(good, not_an_object), 2,
               "not a JSON object")
         check("healthy pair", run(good, good), 0)
+        check("rate drop regresses", run(fast, slow), 1, "regressed")
+        check("rate gain passes", run(slow, fast), 0)
     print("all checks passed")
     return 0
 

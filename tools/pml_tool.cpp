@@ -54,7 +54,7 @@
 //       files are never touched.
 //
 //   pml serve   [--model model.json] [--port N | --stdio] [--shards N]
-//               [--capacity N] [--threads N]
+//               [--capacity N] [--threads N] [--micro-batch N]
 //       Selector-as-a-service: answer newline-delimited JSON requests
 //       (ops: select, table, ping, stats — see docs/API.md, "Serve
 //       protocol") over TCP on 127.0.0.1:N (0 = ephemeral, printed on
@@ -540,6 +540,8 @@ int cmd_serve(int argc, char** argv) {
           static_cast<std::size_t>(parse_int(value(), "--capacity"));
     } else if (arg == "--threads") {
       options.compile.threads = parse_int(value(), "--threads");
+    } else if (arg == "--micro-batch") {
+      options.micro_batch = parse_int(value(), "--micro-batch");
     } else if (arg == "--trace") {
       sink.chrome_trace = value();
     } else if (arg == "--metrics") {
