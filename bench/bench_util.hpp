@@ -38,8 +38,10 @@ inline std::vector<sim::ClusterSpec> clusters_except(
   return out;
 }
 
-/// Per-algorithm noisy times at one benchmark point (shared across
-/// selectors). Index matches algorithms_for(collective); +inf = invalid.
+/// Per-candidate noisy times at one benchmark point (shared across
+/// selectors). Index matches coll::selection_space(collective) — the flat
+/// prefix draws its jitter first, so flat times are unchanged from the v1
+/// label space; +inf = invalid at this topology.
 inline std::vector<double> point_times(const sim::ClusterSpec& cluster,
                                        sim::Topology topo,
                                        coll::Collective collective,
@@ -48,35 +50,38 @@ inline std::vector<double> point_times(const sim::ClusterSpec& cluster,
                                        double noise_sigma = 0.015,
                                        int iterations = 3) {
   const sim::NetworkModel model(cluster, topo);
-  const auto& algorithms = coll::algorithms_for(collective);
+  const auto& space = coll::selection_space(collective);
   std::uint64_t material = seed;
   material ^= msg_bytes * std::uint64_t{0x9e3779b97f4a7c15ULL};
   material ^= static_cast<std::uint64_t>(topo.nodes) << 32;
   material ^= static_cast<std::uint64_t>(topo.ppn);
   Rng rng(splitmix64(material));
-  std::vector<double> times(algorithms.size(),
+  std::vector<double> times(space.size(),
                             std::numeric_limits<double>::infinity());
-  for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    if (!coll::algorithm_supports(algorithms[a], topo.world_size())) continue;
-    times[a] = coll::measured_cost(model, algorithms[a], msg_bytes, iterations,
-                                   rng, noise_sigma);
+  for (std::size_t a = 0; a < space.size(); ++a) {
+    if (!coll::selection_supports(space[a], topo)) continue;
+    times[a] = space[a].hierarchical()
+                   ? coll::measured_cost(cluster, topo, space[a], msg_bytes,
+                                         iterations, rng, noise_sigma)
+                   : coll::measured_cost(model, space[a].algorithm, msg_bytes,
+                                         iterations, rng, noise_sigma);
   }
   return times;
 }
 
-/// Time of the algorithm a selector picks, read from shared point times.
+/// Time of the selection a selector picks, read from shared point times.
 inline double selector_time(core::Selector& selector,
                             const sim::ClusterSpec& cluster,
                             sim::Topology topo, coll::Collective collective,
                             std::uint64_t msg_bytes,
                             const std::vector<double>& times) {
-  const coll::Algorithm choice =
+  const coll::Selection choice =
       selector.select(collective, cluster, topo, msg_bytes);
-  const auto& algorithms = coll::algorithms_for(collective);
-  for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    if (algorithms[a] == choice) return times[a];
+  const auto& space = coll::selection_space(collective);
+  for (std::size_t a = 0; a < space.size(); ++a) {
+    if (space[a] == choice) return times[a];
   }
-  throw ConfigError("selector returned an unknown algorithm");
+  throw ConfigError("selector returned an unknown selection");
 }
 
 /// "+36.6%" / "-5.6%" style percentage of baseline vs candidate.
@@ -123,14 +128,14 @@ inline double print_comparison(const std::string& title,
   std::vector<double> base_times;
   for (std::uint64_t msg = 1; msg <= max_msg; msg <<= 1) {
     const auto times = point_times(cluster, topo, collective, msg, seed);
-    const coll::Algorithm ca = candidate.select(collective, cluster, topo, msg);
-    const coll::Algorithm ba = baseline.select(collective, cluster, topo, msg);
+    const coll::Selection ca = candidate.select(collective, cluster, topo, msg);
+    const coll::Selection ba = baseline.select(collective, cluster, topo, msg);
     const double ct = selector_time(candidate, cluster, topo, collective, msg, times);
     const double bt = selector_time(baseline, cluster, topo, collective, msg, times);
     cand_times.push_back(ct);
     base_times.push_back(bt);
-    table.add_row({format_bytes(msg), coll::to_string(ca), format_time(ct),
-                   coll::to_string(ba), format_time(bt),
+    table.add_row({format_bytes(msg), ca.encode(), format_time(ct),
+                   ba.encode(), format_time(bt),
                    percent_faster(bt, ct)});
   }
   const double geo = geomean_ratio(base_times, cand_times);

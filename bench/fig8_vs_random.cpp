@@ -29,7 +29,7 @@ int main() {
     for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 1) {
       const auto times =
           bench::point_times(frontera, topo, collective, msg, 8);
-      const coll::Algorithm choice =
+      const coll::Selection choice =
           fw.select(collective, frontera, topo, msg);
       const double t_pml =
           bench::selector_time(fw, frontera, topo, collective, msg, times);
@@ -49,7 +49,7 @@ int main() {
       char wr[32], er[32];
       std::snprintf(wr, sizeof wr, "%.2fx", worst / t_pml);
       std::snprintf(er, sizeof er, "%.2fx", expected / t_pml);
-      table.add_row({format_bytes(msg), coll::to_string(choice),
+      table.add_row({format_bytes(msg), choice.encode(),
                      format_time(t_pml), format_time(worst),
                      format_time(expected), wr, er});
     }

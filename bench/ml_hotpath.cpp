@@ -258,7 +258,7 @@ void BM_BatchCompileSweep(benchmark::State& state) {
   auto& fw = framework();
   const auto& frontera = sim::cluster_by_name("Frontera");
   const auto sizes = sim::power_of_two_sizes(21);
-  std::vector<coll::Algorithm> out(sizes.size());
+  std::vector<coll::Selection> out(sizes.size());
   const sim::Topology topo{16, 56};
   // Warm the thread_local scratch so the loop measures steady state.
   fw.select_many(coll::Collective::kAlltoall, frontera, topo, sizes, out);

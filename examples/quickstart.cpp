@@ -50,12 +50,12 @@ int main() {
   // ---- 3. Application runtime ---------------------------------------------
   const sim::Topology topo{4, 28};
   for (const std::uint64_t msg : {64ull, 4096ull, 262144ull}) {
-    const coll::Algorithm choice =
+    const coll::Selection choice =
         table.lookup(coll::Collective::kAlltoall, topo.nodes, topo.ppn, msg);
-    const auto run = coll::run_collective(frontera, topo, choice, msg);
+    const auto run = coll::run_selection(frontera, topo, choice, msg);
     std::printf(
         "MPI_Alltoall %7s : table selects %-14s -> %-10s (payload %s)\n",
-        format_bytes(msg).c_str(), coll::display_name(choice).c_str(),
+        format_bytes(msg).c_str(), choice.display().c_str(),
         format_time(run.seconds).c_str(),
         run.verified ? "verified" : "unverified");
   }

@@ -77,17 +77,17 @@ int main() {
         table.lookup(coll::Collective::kAlltoall, topo.nodes, topo.ppn, msg);
     const auto pick_orc =
         oracle.select(coll::Collective::kAlltoall, novel, topo, msg);
-    const double t_def = coll::analytic_cost(model, pick_def, msg);
-    const double t_pml = coll::analytic_cost(model, pick_pml, msg);
-    const double t_orc = coll::analytic_cost(model, pick_orc, msg);
+    const double t_def = coll::analytic_cost(novel, topo, pick_def, msg);
+    const double t_pml = coll::analytic_cost(novel, topo, pick_pml, msg);
+    const double t_orc = coll::analytic_cost(novel, topo, pick_orc, msg);
     geo_def += std::log(t_def / t_orc);
     geo_pml += std::log(t_pml / t_orc);
     ++count;
     char rd[16], rp[16];
     std::snprintf(rd, sizeof rd, "%.2fx", t_def / t_orc);
     std::snprintf(rp, sizeof rp, "%.2fx", t_pml / t_orc);
-    results.add_row({format_bytes(msg), coll::to_string(pick_def),
-                     coll::to_string(pick_pml), coll::to_string(pick_orc), rd,
+    results.add_row({format_bytes(msg), pick_def.encode(),
+                     pick_pml.encode(), pick_orc.encode(), rd,
                      rp});
   }
   std::printf("%s\n", results.str().c_str());

@@ -28,9 +28,11 @@ double collective_seconds(const sim::NetworkModel& model,
     static obs::Counter invoked("app.collectives_invoked");
     invoked.increment();
   }
-  const coll::Algorithm a =
+  const coll::Selection s =
       selector.select(collective, cluster, topo, msg_bytes);
-  return coll::analytic_cost(model, a, msg_bytes);
+  return s.hierarchical()
+             ? coll::analytic_cost(cluster, topo, s, msg_bytes)
+             : coll::analytic_cost(model, s.algorithm, msg_bytes);
 }
 
 }  // namespace

@@ -368,4 +368,93 @@ double measured_cost(const sim::NetworkModel& m, Algorithm algorithm,
   return total / iterations;
 }
 
+namespace {
+
+/// Intra-node gather of one `bytes`-sized message from each of ppn-1 local
+/// ranks onto the leader (or the mirror-image scatter): the transfers
+/// serialise through the leader's memory system.
+double leader_stage_cost(const NetworkModel& node_model, int ppn,
+                         std::uint64_t bytes, std::uint64_t working_set) {
+  if (ppn <= 1 || bytes == 0) return 0.0;
+  return node_model.intra_alpha() +
+         node_model.memcpy_time(static_cast<std::uint64_t>(ppn - 1) * bytes,
+                                working_set) +
+         node_model.per_message_overhead() * 2.0 * (ppn - 1);
+}
+
+double leader_cost(const sim::ClusterSpec& cluster, sim::Topology topo,
+                   const Selection& s, std::uint64_t n) {
+  const sim::NetworkModel leaders(cluster, sim::Topology{topo.nodes, 1});
+  const sim::NetworkModel node(cluster, sim::Topology{1, topo.ppn});
+  const auto ppn = static_cast<std::uint64_t>(topo.ppn);
+  const auto p = static_cast<std::uint64_t>(topo.world_size());
+
+  switch (s.collective()) {
+    case Collective::kAllgather: {
+      // Gather blocks onto the leader, allgather ppn*n super-blocks among
+      // the leaders, broadcast the p*n result within each node.
+      const std::uint64_t super = ppn * n;
+      return leader_stage_cost(node, topo.ppn, n, super) +
+             node.memcpy_time(n, super) +
+             analytic_cost(leaders, s.algorithm, super) +
+             analytic_cost(node, s.intra, p * n);
+    }
+    case Collective::kAlltoall: {
+      // Gather full p*n send buffers, pack node super-blocks, exchange
+      // ppn^2*n node pairs among leaders, unpack, scatter p*n results.
+      const std::uint64_t node_bytes = ppn * p * n;
+      const double stage =
+          leader_stage_cost(node, topo.ppn, p * n, node_bytes);
+      const double repack = 2.0 * node.memcpy_time(node_bytes, node_bytes);
+      return 2.0 * stage + repack +
+             analytic_cost(leaders, s.algorithm, ppn * ppn * n);
+    }
+    case Collective::kAllreduce: {
+      // Binomial reduce onto the leader, allreduce n among the leaders,
+      // broadcast the result within each node.
+      const int levels = topo.ppn > 1 ? floor_log2(topo.ppn) +
+                                            (is_power_of_two(topo.ppn) ? 0 : 1)
+                                      : 0;
+      const double level = node.intra_alpha() + node.memcpy_time(n, n) +
+                           node.reduction_time(n, n) +
+                           node.per_message_overhead() * 2.0;
+      return node.memcpy_time(n, n) + levels * level +
+             analytic_cost(leaders, s.algorithm, n) +
+             analytic_cost(node, s.intra, n);
+    }
+    case Collective::kBcast:
+      return analytic_cost(leaders, s.algorithm, n) +
+             analytic_cost(node, s.intra, n);
+  }
+  throw SimError("unknown collective");
+}
+
+}  // namespace
+
+double analytic_cost(const sim::ClusterSpec& cluster, sim::Topology topo,
+                     const Selection& selection, std::uint64_t block_bytes) {
+  if (!selection_supports(selection, topo)) {
+    throw SimError("analytic_cost: " + selection.encode() +
+                   " unsupported at " + std::to_string(topo.nodes) + "x" +
+                   std::to_string(topo.ppn));
+  }
+  if (!selection.hierarchical()) {
+    const sim::NetworkModel model(cluster, topo);
+    return analytic_cost(model, selection.algorithm, block_bytes);
+  }
+  return leader_cost(cluster, topo, selection, block_bytes);
+}
+
+double measured_cost(const sim::ClusterSpec& cluster, sim::Topology topo,
+                     const Selection& selection, std::uint64_t block_bytes,
+                     int iterations, Rng& rng, double noise_sigma) {
+  if (iterations < 1) throw SimError("measured_cost: iterations must be >= 1");
+  const double base = analytic_cost(cluster, topo, selection, block_bytes);
+  double total = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    total += base * (noise_sigma > 0.0 ? rng.lognormal_jitter(noise_sigma) : 1.0);
+  }
+  return total / iterations;
+}
+
 }  // namespace pml::coll

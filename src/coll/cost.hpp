@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "coll/collective.hpp"
+#include "coll/selection.hpp"
 #include "common/rng.hpp"
 #include "sim/network.hpp"
 
@@ -36,5 +37,20 @@ double round_cost(const sim::NetworkModel& model, std::uint64_t bytes,
 double measured_cost(const sim::NetworkModel& model, Algorithm algorithm,
                      std::uint64_t block_bytes, int iterations, Rng& rng,
                      double noise_sigma);
+
+/// Analytic cost of a structured selection at `topo` on `cluster`. A flat
+/// selection costs exactly analytic_cost(NetworkModel(cluster, topo),
+/// algorithm, block_bytes); a leader selection composes three models — the
+/// world, the leader tier ({nodes, 1}), and one node ({1, ppn}) — into the
+/// gather + inter-exchange + fan-out phases of the leader schedules.
+/// Precondition: selection_supports(selection, topo).
+double analytic_cost(const sim::ClusterSpec& cluster, sim::Topology topo,
+                     const Selection& selection, std::uint64_t block_bytes);
+
+/// Noisy-average counterpart of the selection analytic cost (mirrors the
+/// algorithm-level measured_cost).
+double measured_cost(const sim::ClusterSpec& cluster, sim::Topology topo,
+                     const Selection& selection, std::uint64_t block_bytes,
+                     int iterations, Rng& rng, double noise_sigma);
 
 }  // namespace pml::coll

@@ -1,0 +1,51 @@
+// Hierarchical (leader-based) collective schedules.
+//
+// Each collective runs in up to three phases composed from the flat
+// algorithms over subgroup communicators (sim::Comm::subgroup):
+//   1. intra-node staging onto the node leader (world rank node*ppn),
+//   2. an inter-node exchange among the leaders using the selection's
+//      inter algorithm on the leader subgroup (size = nodes),
+//   3. an intra-node fan-out using the selection's intra bcast algorithm
+//      on the node subgroup (size = ppn).
+// Aggregation turns nodes*ppn NIC flows into nodes flows of bigger
+// messages, which is where leader schedules beat flat ones at high PPN.
+//
+// Semantics are identical to the flat collectives (MPI semantics with root
+// 0 / byte-wise wrapping-sum reduce), so runner verification applies
+// unchanged.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "coll/selection.hpp"
+#include "sim/comm.hpp"
+
+namespace pml::coll {
+
+/// Tag base for the staging (gather/scatter) phases; flat algorithms use
+/// small tags, so hierarchy phases are collision-free on shared rank pairs.
+inline constexpr int kHierTagBase = 32000;
+
+/// Dispatch a hierarchical selection on the *world* communicator.
+/// Precondition: s.hierarchical() and selection_supports(s, topology).
+/// For bcast, `recv` is the in-place buffer (root world rank 0), matching
+/// run_bcast; `send` is ignored.
+sim::RankTask run_hierarchical(Selection s, sim::Comm comm,
+                               std::span<const std::byte> send,
+                               std::span<std::byte> recv);
+
+/// Individual leader schedules (exposed for targeted tests).
+sim::RankTask hier_allgather(Algorithm inter, Algorithm intra, sim::Comm comm,
+                             std::span<const std::byte> send,
+                             std::span<std::byte> recv);
+sim::RankTask hier_alltoall(Algorithm inter, sim::Comm comm,
+                            std::span<const std::byte> send,
+                            std::span<std::byte> recv);
+sim::RankTask hier_allreduce(Algorithm inter, Algorithm intra, sim::Comm comm,
+                             std::span<const std::byte> send,
+                             std::span<std::byte> recv);
+sim::RankTask hier_bcast(Algorithm inter, Algorithm intra, sim::Comm comm,
+                         std::span<std::byte> buf);
+
+}  // namespace pml::coll

@@ -10,6 +10,7 @@
 #include "coll/allreduce.hpp"
 #include "coll/alltoall.hpp"
 #include "coll/bcast.hpp"
+#include "coll/hierarchical.hpp"
 #include "common/error.hpp"
 #include "obs/export.hpp"
 #include "sim/comm.hpp"
@@ -59,6 +60,13 @@ sim::RankTask dispatch(Collective coll, Algorithm algorithm, sim::Comm comm,
   throw SimError("unknown collective");
 }
 
+sim::RankTask dispatch(Collective coll, const Selection& s, sim::Comm comm,
+                       std::span<const std::byte> send,
+                       std::span<std::byte> recv) {
+  if (!s.hierarchical()) return dispatch(coll, s.algorithm, comm, send, recv);
+  return run_hierarchical(s, comm, send, recv);
+}
+
 /// Reusable per-thread simulation state for the timing-only fast path: one
 /// engine (reset between invocations, all capacities retained) plus flat
 /// send/recv arenas standing in for the per-rank payload buffers.
@@ -81,11 +89,11 @@ TimingContext& timing_context() {
 /// allocation, pattern fill, data movement, or verification. Virtual time
 /// is bit-identical to the verified path.
 RunResult run_timing_only(const sim::ClusterSpec& cluster, sim::Topology topo,
-                          Algorithm algorithm, std::uint64_t block_bytes,
+                          const Selection& selection, std::uint64_t block_bytes,
                           const sim::SimOptions& opts) {
   const int p = topo.world_size();
   const auto n = static_cast<std::size_t>(block_bytes);
-  const Collective coll = collective_of(algorithm);
+  const Collective coll = selection.collective();
   const auto shape = buffer_shape(coll, n, p);
   const std::size_t send_bytes = shape.first;
   const std::size_t recv_bytes = shape.second;
@@ -100,7 +108,7 @@ RunResult run_timing_only(const sim::ClusterSpec& cluster, sim::Topology topo,
   }
   sim::Engine& engine = *ctx.engine;
   engine.reserve(std::min<std::size_t>(
-      request_estimate(algorithm, p, block_bytes), std::size_t{1} << 20));
+      request_estimate(selection, topo, block_bytes), std::size_t{1} << 20));
 
   const auto factory = [&](int rank) {
     sim::Comm comm(engine, rank);
@@ -110,7 +118,7 @@ RunResult run_timing_only(const sim::ClusterSpec& cluster, sim::Topology topo,
     const std::span<std::byte> recv(
         ctx.recv_arena.data() + static_cast<std::size_t>(rank) * recv_bytes,
         recv_bytes);
-    return dispatch(coll, algorithm, comm, send, recv);
+    return dispatch(coll, selection, comm, send, recv);
   };
   engine.run(factory);
 
@@ -165,17 +173,24 @@ std::size_t request_estimate(Algorithm algorithm, int p,
 RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
                          Algorithm algorithm, std::uint64_t block_bytes,
                          const sim::RunOptions& run_opts) {
+  return run_selection(cluster, topo, Selection::flat(algorithm), block_bytes,
+                       run_opts);
+}
+
+RunResult run_selection(const sim::ClusterSpec& cluster, sim::Topology topo,
+                        const Selection& selection, std::uint64_t block_bytes,
+                        const sim::RunOptions& run_opts) {
   obs::ScopedCapture capture(run_opts.trace_sink);
   const sim::SimOptions opts = run_opts.sim_options();
   if (!opts.payload_enabled()) {
     obs::Span span("coll.run.timing_only");
-    return run_timing_only(cluster, topo, algorithm, block_bytes, opts);
+    return run_timing_only(cluster, topo, selection, block_bytes, opts);
   }
   obs::Span span("coll.run.verified");
 
   const int p = topo.world_size();
   const auto n = static_cast<std::size_t>(block_bytes);
-  const Collective coll = collective_of(algorithm);
+  const Collective coll = selection.collective();
   const auto [send_bytes, recv_bytes] = buffer_shape(coll, n, p);
 
   std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(p));
@@ -199,12 +214,12 @@ RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
 
   sim::Engine engine(cluster, topo, opts);
   engine.reserve(std::min<std::size_t>(
-      request_estimate(algorithm, p, block_bytes), std::size_t{1} << 20));
+      request_estimate(selection, topo, block_bytes), std::size_t{1} << 20));
   const auto factory = [&](int rank) {
     sim::Comm comm(engine, rank);
     auto& s = send[static_cast<std::size_t>(rank)];
     auto& d = recv[static_cast<std::size_t>(rank)];
-    return dispatch(coll, algorithm, comm, s, d);
+    return dispatch(coll, selection, comm, s, d);
   };
   engine.run(factory);
 
@@ -212,7 +227,7 @@ RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
   result.seconds = engine.elapsed();
 
   auto fail = [&](int rank, std::size_t offset) {
-    throw SimError("payload mismatch: " + display_name(algorithm) + " rank " +
+    throw SimError("payload mismatch: " + selection.display() + " rank " +
                    std::to_string(rank) + " offset " + std::to_string(offset));
   };
   for (int r = 0; r < p; ++r) {
@@ -251,6 +266,39 @@ RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
   }
   result.verified = true;
   return result;
+}
+
+std::size_t request_estimate(const Selection& selection, sim::Topology topo,
+                             std::uint64_t block_bytes) {
+  const int p = topo.world_size();
+  if (!selection.hierarchical()) {
+    return request_estimate(selection.algorithm, p, block_bytes);
+  }
+  const auto ppn = static_cast<std::uint64_t>(topo.ppn);
+  std::uint64_t tier_bytes = block_bytes;
+  std::uint64_t fanout_bytes = block_bytes;
+  bool has_fanout = true;
+  switch (selection.collective()) {
+    case Collective::kAllgather:
+      tier_bytes = ppn * block_bytes;
+      fanout_bytes = static_cast<std::uint64_t>(p) * block_bytes;
+      break;
+    case Collective::kAlltoall:
+      tier_bytes = ppn * ppn * block_bytes;
+      has_fanout = false;  // results scatter point-to-point
+      break;
+    case Collective::kAllreduce:
+    case Collective::kBcast:
+      break;
+  }
+  // Staging gather/scatter posts plus the inner per-tier schedules.
+  std::size_t total = 8 * static_cast<std::size_t>(p);
+  total += request_estimate(selection.algorithm, topo.nodes, tier_bytes);
+  if (has_fanout) {
+    total += static_cast<std::size_t>(topo.nodes) *
+             request_estimate(selection.intra, topo.ppn, fanout_bytes);
+  }
+  return total;
 }
 
 RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "coll/collective.hpp"
+#include "coll/selection.hpp"
 #include "sim/engine.hpp"
 
 namespace pml::coll {
@@ -37,6 +38,16 @@ RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
                          Algorithm algorithm, std::uint64_t block_bytes,
                          const sim::RunOptions& opts = {});
 
+/// Execute a structured selection. A flat selection takes exactly the same
+/// internal path as run_collective(selection.algorithm, ...), so the two
+/// produce bit-identical virtual times; a hierarchical selection dispatches
+/// the leader-based schedule (hierarchical.hpp). Verification and the
+/// timing-only 0-alloc fast path work identically for both.
+/// Throws pml::SimError when the selection does not support `topo`.
+RunResult run_selection(const sim::ClusterSpec& cluster, sim::Topology topo,
+                        const Selection& selection, std::uint64_t block_bytes,
+                        const sim::RunOptions& opts = {});
+
 /// Transitional overload for the pre-RunOptions signature; forwards to the
 /// RunOptions form (without trace capture). Removed after one release.
 [[deprecated("pass sim::RunOptions instead of sim::SimOptions")]]
@@ -49,6 +60,12 @@ RunResult run_collective(const sim::ClusterSpec& cluster, sim::Topology topo,
 /// ranks. Used to pre-size engine storage; exact for the regular schedules,
 /// conservative for the irregular ones.
 std::size_t request_estimate(Algorithm algorithm, int p,
+                             std::uint64_t block_bytes);
+
+/// Request estimate for a structured selection: equals the flat estimate
+/// for flat selections; a leader selection adds the staging posts plus the
+/// per-tier inner estimates (conservative).
+std::size_t request_estimate(const Selection& selection, sim::Topology topo,
                              std::uint64_t block_bytes);
 
 }  // namespace pml::coll

@@ -1,0 +1,124 @@
+#include "coll/selection.hpp"
+
+#include <array>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace pml::coll {
+
+std::string to_string(HierarchyKind kind) {
+  switch (kind) {
+    case HierarchyKind::kFlat: return "flat";
+    case HierarchyKind::kLeader: return "leader";
+  }
+  throw ConfigError("unknown hierarchy kind");
+}
+
+HierarchyKind hierarchy_kind_from_string(const std::string& name) {
+  if (name == "flat") return HierarchyKind::kFlat;
+  if (name == "leader") return HierarchyKind::kLeader;
+  throw ConfigError("unknown hierarchy kind: " + name);
+}
+
+std::string Selection::encode() const {
+  if (kind == HierarchyKind::kFlat) return to_string(algorithm);
+  return "leader:" + to_string(algorithm) + "+" + to_string(intra);
+}
+
+std::string Selection::display() const {
+  if (kind == HierarchyKind::kFlat) return display_name(algorithm);
+  return "Leader (" + display_name(algorithm) + " / " + display_name(intra) +
+         ")";
+}
+
+Selection Selection::decode(Collective collective, const std::string& text) {
+  constexpr std::string_view kLeaderPrefix = "leader:";
+  if (text.rfind(kLeaderPrefix, 0) != 0) {
+    // A bare algorithm name: the v1 label encoding. Qualify it so
+    // collective-ambiguous names ("ring", "rd") resolve in context.
+    return Selection::flat(
+        algorithm_from_string(to_string(collective) + ":" + text));
+  }
+  const std::string tiers = text.substr(kLeaderPrefix.size());
+  const auto plus = tiers.find('+');
+  if (plus == std::string::npos) {
+    throw ConfigError("malformed leader selection (want leader:inter+intra): " +
+                      text);
+  }
+  const Algorithm inter = algorithm_from_string(
+      to_string(collective) + ":" + tiers.substr(0, plus));
+  const Algorithm fanout =
+      algorithm_from_string("bcast:" + tiers.substr(plus + 1));
+  return Selection::leader(inter, fanout);
+}
+
+const std::vector<Algorithm>& intra_fanout_algorithms() {
+  // The fan-out tier broadcasts within one node, so any-ppn bcast
+  // algorithms only: binomial for latency, pipelined ring for bandwidth.
+  static const std::vector<Algorithm> fanouts = {
+      Algorithm::kBcBinomial,
+      Algorithm::kBcPipelinedRing,
+  };
+  return fanouts;
+}
+
+namespace {
+
+std::vector<Selection> build_selection_space(Collective c) {
+  std::vector<Selection> space;
+  // The flat prefix in enum order IS label space v1; v1 artifacts index
+  // into v2 unchanged.
+  for (const Algorithm a : algorithms_for(c)) {
+    space.push_back(Selection::flat(a));
+  }
+  for (const Algorithm inter : algorithms_for(c)) {
+    if (c == Collective::kAlltoall) {
+      // The leader alltoall scatters per-local results point-to-point, so
+      // there is no intra fan-out dimension; one entry per inter algorithm
+      // with the intra tier normalised (see Selection::intra).
+      space.push_back(Selection::leader(inter, Algorithm::kBcBinomial));
+      continue;
+    }
+    for (const Algorithm fanout : intra_fanout_algorithms()) {
+      space.push_back(Selection::leader(inter, fanout));
+    }
+  }
+  return space;
+}
+
+}  // namespace
+
+const std::vector<Selection>& selection_space(Collective c) {
+  static const std::array<std::vector<Selection>, 4> spaces = {
+      build_selection_space(Collective::kAllgather),
+      build_selection_space(Collective::kAlltoall),
+      build_selection_space(Collective::kAllreduce),
+      build_selection_space(Collective::kBcast),
+  };
+  const auto idx = static_cast<std::size_t>(c);
+  if (idx >= spaces.size()) throw ConfigError("unknown collective");
+  return spaces[idx];
+}
+
+bool selection_supports(const Selection& s, sim::Topology topo) {
+  const int world = topo.nodes * topo.ppn;
+  if (s.kind == HierarchyKind::kFlat) {
+    return algorithm_supports(s.algorithm, world);
+  }
+  // A leader schedule needs a real two-level structure: multiple nodes for
+  // the inter tier and multiple local ranks for staging/fan-out to matter.
+  return topo.nodes >= 2 && topo.ppn >= 2 &&
+         algorithm_supports(s.algorithm, topo.nodes) &&
+         algorithm_supports(s.intra, topo.ppn);
+}
+
+std::vector<Selection> valid_selections(Collective c, sim::Topology topo) {
+  std::vector<Selection> out;
+  for (const Selection& s : selection_space(c)) {
+    if (selection_supports(s, topo)) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace pml::coll

@@ -111,49 +111,65 @@ void enumerate_cells(const sim::ClusterSpec& cluster,
   }
 }
 
-/// Engine-mode measurement of one (cell, algorithm): averaged timing-only
+/// Engine-mode measurement of one (cell, candidate): averaged timing-only
 /// engine runs, one independently seeded jitter stream per iteration. The
-/// per-thread engine/arena reuse inside run_collective makes the steady
+/// per-thread engine/arena reuse inside run_selection makes the steady
 /// state allocation-free; virtual time is a pure function of the arguments.
+/// Hierarchical builds time every candidate under the cluster's intra-node
+/// tier model so flat and leader schedules compete in the same world.
 double engine_cost(const GridCell& cell, sim::Topology topo,
-                   coll::Algorithm algorithm, std::size_t algorithm_index,
+                   const coll::Selection& selection, std::size_t space_index,
                    std::uint64_t cellseed, const BuildOptions& options) {
   sim::RunOptions run;
   run.payload = sim::PayloadMode::kTimingOnly;
   run.noise_sigma = options.noise_sigma;
   run.faults = options.faults;
+  if (options.hierarchy) {
+    run.hierarchy = sim::HierarchySpec::from_cluster(*cell.cluster);
+  }
   double total = 0.0;
   for (int it = 0; it < options.iterations; ++it) {
-    run.seed = measurement_seed(cellseed, algorithm_index, it);
-    total += coll::run_collective(*cell.cluster, topo, algorithm, cell.msg, run)
+    run.seed = measurement_seed(cellseed, space_index, it);
+    total += coll::run_selection(*cell.cluster, topo, selection, cell.msg, run)
                  .seconds;
   }
   return total / options.iterations;
 }
 
-/// The engine-mode measurement plan for one cell: which algorithms the
+/// Noise-free analytic cost of one candidate: flat candidates reuse the
+/// cell's prebuilt NetworkModel (bit-identical to the v1 flat path);
+/// leader candidates go through the composed selection cost model.
+double candidate_analytic_cost(const sim::NetworkModel& model,
+                               const GridCell& cell, sim::Topology topo,
+                               const coll::Selection& selection) {
+  return selection.hierarchical()
+             ? coll::analytic_cost(*cell.cluster, topo, selection, cell.msg)
+             : coll::analytic_cost(model, selection.algorithm, cell.msg);
+}
+
+/// The engine-mode measurement plan for one cell: which candidates the
 /// pruning layer keeps. Top-k by noise-free analytic cost plus one
-/// Bernoulli(ε) draw per pruned algorithm, in enum order, from the cell's
-/// RNG — deterministic for the cell regardless of thread count.
+/// Bernoulli(ε) draw per pruned candidate, in selection-space order, from
+/// the cell's RNG — deterministic for the cell regardless of thread count.
 std::vector<bool> pruned_selection(const sim::NetworkModel& model,
-                                   std::span<const coll::Algorithm> algorithms,
+                                   std::span<const coll::Selection> candidates,
                                    const std::vector<std::size_t>& valid,
-                                   const GridCell& cell,
+                                   const GridCell& cell, sim::Topology topo,
                                    const BuildOptions& options, Rng& rng,
                                    CellStats& stats) {
-  std::vector<double> analytic(algorithms.size(),
+  std::vector<double> analytic(candidates.size(),
                                std::numeric_limits<double>::infinity());
   for (const std::size_t a : valid) {
-    analytic[a] = coll::analytic_cost(model, algorithms[a], cell.msg);
+    analytic[a] = candidate_analytic_cost(model, cell, topo, candidates[a]);
   }
   std::vector<std::size_t> order = valid;
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return analytic[a] < analytic[b];
   });
 
-  std::vector<bool> keep(algorithms.size(), false);
+  std::vector<bool> keep(candidates.size(), false);
   const auto k = static_cast<std::size_t>(options.prune_topk);
-  // The cut is tie-inclusive: every algorithm whose cost equals the k-th
+  // The cut is tie-inclusive: every candidate whose cost equals the k-th
   // ranked cost is kept. The closed forms coincide for whole algorithm
   // families (e.g. the log-step alltoalls at power-of-2 p), and breaking
   // such a tie by enum order would prune the true winner on a coin flip.
@@ -163,8 +179,8 @@ std::vector<bool> pruned_selection(const sim::NetworkModel& model,
   for (const std::size_t a : valid) {
     if (analytic[a] <= cutoff) keep[a] = true;
   }
-  // ε-draws iterate the pruned algorithms in enum order (a fixed order, so
-  // the draw an algorithm receives never depends on the analytic ranking).
+  // ε-draws iterate the pruned candidates in space order (a fixed order, so
+  // the draw a candidate receives never depends on the analytic ranking).
   for (const std::size_t a : valid) {
     if (keep[a]) continue;
     if (options.prune_epsilon > 0.0 && rng.bernoulli(options.prune_epsilon)) {
@@ -177,10 +193,12 @@ std::vector<bool> pruned_selection(const sim::NetworkModel& model,
   return keep;
 }
 
-/// Benchmark one cell: valid algorithms through the configured cost source,
+/// Benchmark one cell: valid candidates through the configured cost source,
 /// averaged noisy iterations, labelled with the argmin of the measured set.
-/// Self-contained (fresh NetworkModel, per-cell RNG), so cells can run
-/// concurrently in any order.
+/// Candidates are a prefix of coll::selection_space(collective): the flat
+/// prefix (== the v1 label space, bit-identical records) by default, the
+/// full space under BuildOptions::hierarchy. Self-contained (fresh
+/// NetworkModel, per-cell RNG), so cells can run concurrently in any order.
 TuningRecord build_cell(const GridCell& cell, coll::Collective collective,
                         const BuildOptions& options, CellStats& stats) {
   obs::Span span("dataset.cell");
@@ -192,7 +210,11 @@ TuningRecord build_cell(const GridCell& cell, coll::Collective collective,
                                            cell.msg);
   Rng rng(cellseed);
 
-  const auto& algorithms = coll::algorithms_for(collective);
+  const auto& space = coll::selection_space(collective);
+  const std::size_t width = options.hierarchy
+                                ? space.size()
+                                : coll::algorithms_for(collective).size();
+  const std::span<const coll::Selection> candidates(space.data(), width);
   TuningRecord rec;
   rec.cluster = cluster.name;
   rec.nodes = cell.nodes;
@@ -200,16 +222,16 @@ TuningRecord build_cell(const GridCell& cell, coll::Collective collective,
   rec.msg_bytes = cell.msg;
   rec.collective = collective;
   rec.features = extract_features(cluster, cell.nodes, cell.ppn, cell.msg);
-  rec.times.assign(algorithms.size(), std::numeric_limits<double>::infinity());
+  rec.times.assign(width, std::numeric_limits<double>::infinity());
 
   std::vector<std::size_t> valid;
-  for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    if (coll::algorithm_supports(algorithms[a], topo.world_size())) {
+  for (std::size_t a = 0; a < candidates.size(); ++a) {
+    if (coll::selection_supports(candidates[a], topo)) {
       valid.push_back(a);
     }
   }
   if (valid.empty()) {
-    throw TuningError("no valid algorithm at world size " +
+    throw TuningError("no valid candidate at world size " +
                       std::to_string(topo.world_size()) + " for " +
                       sweep_cell_context(cluster.name, collective, cell.nodes,
                                          cell.ppn, cell.msg));
@@ -225,22 +247,28 @@ TuningRecord build_cell(const GridCell& cell, coll::Collective collective,
                      static_cast<std::size_t>(options.prune_topk) < valid.size();
   std::vector<bool> keep;
   if (prune) {
-    keep = pruned_selection(model, algorithms, valid, cell, options, rng, stats);
+    keep = pruned_selection(model, candidates, valid, cell, topo, options, rng,
+                            stats);
   }
 
   for (const std::size_t a : valid) {
     if (prune && !options.prune_audit && !keep[a]) continue;
     rec.times[a] = engine
-                       ? engine_cost(cell, topo, algorithms[a], a, cellseed,
+                       ? engine_cost(cell, topo, candidates[a], a, cellseed,
                                      options)
-                       : coll::measured_cost(model, algorithms[a], cell.msg,
-                                             options.iterations, rng,
-                                             options.noise_sigma);
+                       : candidates[a].hierarchical()
+                             ? coll::measured_cost(cluster, topo, candidates[a],
+                                                   cell.msg, options.iterations,
+                                                   rng, options.noise_sigma)
+                             : coll::measured_cost(model,
+                                                   candidates[a].algorithm,
+                                                   cell.msg, options.iterations,
+                                                   rng, options.noise_sigma);
     ++stats.measured;
   }
   const auto best = std::min_element(rec.times.begin(), rec.times.end());
   if (!std::isfinite(*best)) {
-    throw TuningError("no measured algorithm at world size " +
+    throw TuningError("no measured candidate at world size " +
                       std::to_string(topo.world_size()) + " for " +
                       sweep_cell_context(cluster.name, collective, cell.nodes,
                                          cell.ppn, cell.msg));
@@ -332,12 +360,32 @@ std::vector<TuningRecord> build_records(
 Json records_to_json(std::span<const TuningRecord> records,
                      coll::Collective collective) {
   Json j = Json::object();
-  j["format"] = "pml-dataset-v1";
+  j["format"] = "pml-dataset-v2";
   j["collective"] = coll::to_string(collective);
+  // The label space the `times` columns index: a prefix of
+  // selection_space(collective) — the flat prefix for flat-built records,
+  // the full space for hierarchical builds. Recorded explicitly so readers
+  // never have to guess the column meaning from the width.
+  const auto& space = coll::selection_space(collective);
+  const std::size_t width =
+      records.empty() ? space.size() : records.front().times.size();
+  if (width > space.size()) {
+    throw TuningError("record label space wider than selection_space");
+  }
+  Json selections = Json::array();
+  for (std::size_t i = 0; i < width; ++i) {
+    selections.push_back(space[i].encode());
+  }
+  j["selections"] = std::move(selections);
   Json rows = Json::array();
   for (const TuningRecord& rec : records) {
     if (rec.collective != collective) {
       throw TuningError("record collective mismatch");
+    }
+    if (rec.times.size() != width) {
+      throw TuningError("records mix label-space widths (" +
+                        std::to_string(rec.times.size()) + " vs " +
+                        std::to_string(width) + ")");
     }
     Json row = Json::object();
     row["cluster"] = rec.cluster;
@@ -365,13 +413,33 @@ Json records_to_json(std::span<const TuningRecord> records,
 }
 
 std::vector<TuningRecord> records_from_json(const Json& j) {
-  if (!j.contains("format") || !j.at("format").is_string() ||
-      j.at("format").as_string() != "pml-dataset-v1") {
-    throw TuningError("not a pml-dataset-v1 document");
+  if (!j.contains("format") || !j.at("format").is_string()) {
+    throw TuningError("not a pml-dataset document");
+  }
+  const std::string format = j.at("format").as_string();
+  if (format != "pml-dataset-v2" && format != "pml-dataset-v1") {
+    throw TuningError("not a pml-dataset-v1/v2 document");
   }
   const auto collective =
       coll::collective_from_string(j.at("collective").as_string());
-  const std::size_t n_algorithms = coll::algorithms_for(collective).size();
+  const auto& space = coll::selection_space(collective);
+  // v1 documents predate the selections array and always carried the flat
+  // label space; v2 names its space, which must be a selection_space prefix.
+  std::size_t width = coll::algorithms_for(collective).size();
+  if (format == "pml-dataset-v2") {
+    const auto& sels = j.at("selections").as_array();
+    if (sels.size() > space.size()) {
+      throw TuningError("dataset label space wider than selection_space");
+    }
+    for (std::size_t i = 0; i < sels.size(); ++i) {
+      if (sels[i].as_string() != space[i].encode()) {
+        throw TuningError("dataset label space mismatch at index " +
+                          std::to_string(i) + ": '" + sels[i].as_string() +
+                          "' != '" + space[i].encode() + "'");
+      }
+    }
+    width = sels.size();
+  }
   std::vector<TuningRecord> records;
   for (const Json& row : j.at("records").as_array()) {
     TuningRecord rec;
@@ -389,8 +457,8 @@ std::vector<TuningRecord> records_from_json(const Json& j) {
                               : t.as_number());
     }
     rec.label = static_cast<int>(row.at("label").as_int());
-    if (rec.times.size() != n_algorithms || rec.label < 0 ||
-        static_cast<std::size_t>(rec.label) >= n_algorithms ||
+    if (rec.times.size() != width || rec.label < 0 ||
+        static_cast<std::size_t>(rec.label) >= width ||
         !std::isfinite(rec.times[static_cast<std::size_t>(rec.label)]) ||
         rec.features.size() != feature_count()) {
       throw TuningError("malformed dataset record for " +
@@ -407,10 +475,14 @@ ml::Dataset to_ml_dataset(std::span<const TuningRecord> records,
                           const std::vector<std::size_t>& columns) {
   if (records.empty()) throw TuningError("no records to convert");
   ml::Dataset data;
-  const auto& algorithms = coll::algorithms_for(collective);
-  data.num_classes = static_cast<int>(algorithms.size());
-  for (const coll::Algorithm a : algorithms) {
-    data.class_names.push_back(coll::to_string(a));
+  // Classes index the full selection space regardless of how wide the
+  // records' measured space was: flat-built records only ever emit flat
+  // labels, and the extra classes just stay unpopulated. One stable class
+  // layout lets flat and hierarchical bundles share the inference path.
+  const auto& space = coll::selection_space(collective);
+  data.num_classes = static_cast<int>(space.size());
+  for (const coll::Selection& sel : space) {
+    data.class_names.push_back(sel.encode());
   }
   if (columns.empty()) {
     data.feature_names = feature_names();

@@ -44,7 +44,7 @@
 
 namespace pml::core {
 
-/// One benchmark point: features, per-algorithm timings, and the label.
+/// One benchmark point: features, per-candidate timings, and the label.
 struct TuningRecord {
   std::string cluster;
   int nodes = 0;
@@ -52,11 +52,15 @@ struct TuningRecord {
   std::uint64_t msg_bytes = 0;
   coll::Collective collective = coll::Collective::kAllgather;
   std::vector<double> features;  ///< full 14-column row
-  /// Measured seconds per algorithm, indexed like algorithms_for(collective);
-  /// +inf marks algorithms invalid at this world size or skipped by the
-  /// engine-mode pruning layer (only measured entries can be the label).
+  /// Measured seconds per candidate, indexed like
+  /// coll::selection_space(collective). Flat builds (BuildOptions::
+  /// hierarchy == false) measure only the space's flat prefix — whose
+  /// indices equal the v1 algorithms_for(collective) label space — so
+  /// their vectors are prefix-length. +inf marks candidates invalid at
+  /// this topology or skipped by the engine-mode pruning layer (only
+  /// measured entries can be the label).
   std::vector<double> times;
-  int label = -1;  ///< index of the fastest measured algorithm
+  int label = -1;  ///< selection-space index of the fastest measured candidate
 };
 
 /// Engine-mode pruning is disabled below this world size: at degenerate
@@ -125,6 +129,12 @@ struct BuildOptions {
   /// measurement set would have missed the true label (BuildStats::
   /// prune_mispredictions / the dataset.prune_mispredictions counter).
   bool prune_audit = false;
+  /// Label space v2: measure the full coll::selection_space(collective) —
+  /// flat algorithms plus leader-based hierarchical schedules — instead of
+  /// the flat prefix only. Engine builds additionally run under the
+  /// cluster's intra-node tier model (sim::HierarchySpec::from_cluster),
+  /// so flat and hierarchical candidates are timed in the same world.
+  bool hierarchy = false;
 };
 
 /// Deterministic per-cell noise-stream seed: a splitmix64 sponge over
@@ -163,16 +173,21 @@ std::vector<TuningRecord> build_records(
     std::span<const sim::ClusterSpec> clusters, coll::Collective collective,
     const BuildOptions& options, BuildStats& stats);
 
-/// Serialize records to/from a "pml-dataset-v1" document (the payload of a
+/// Serialize records to/from a "pml-dataset-v2" document (the payload of a
 /// pml-artifact-v1 envelope of kind "dataset"; `pml dataset` writes these).
-/// All records must share `collective`; from_json validates shapes and
-/// throws TuningError/JsonError on mismatch.
+/// v2 carries a "selections" array naming the encoded label space the
+/// `times` columns index; v1 documents (bare flat label space) are still
+/// read for one release. All records must share `collective` and label
+/// width; from_json validates shapes and throws TuningError/JsonError on
+/// mismatch.
 Json records_to_json(std::span<const TuningRecord> records,
                      coll::Collective collective);
 std::vector<TuningRecord> records_from_json(const Json& j);
 
 /// Convert records to an ML dataset. `columns` selects feature columns
-/// (empty = all 14). Class labels index algorithms_for(collective).
+/// (empty = all 14). Class labels index coll::selection_space(collective)
+/// (whose flat prefix is the v1 algorithm label space), so flat-built and
+/// hierarchical datasets train models over one stable class layout.
 ml::Dataset to_ml_dataset(std::span<const TuningRecord> records,
                           coll::Collective collective,
                           const std::vector<std::size_t>& columns = {});

@@ -272,29 +272,37 @@ const PmlFramework::PerCollective& PmlFramework::part(
 namespace {
 
 /// Rank classes by probability (index sort, descending) and return the
-/// best algorithm valid at this world size (the model may favour e.g.
-/// power-of-two-only recursive doubling). Shared by select() and
-/// select_batch() so the two paths break probability ties identically —
-/// that is what makes batched table compiles bit-identical to scalar ones.
-coll::Algorithm pick_ranked(std::span<const double> proba,
-                            std::span<const coll::Algorithm> algorithms,
-                            std::vector<std::size_t>& order, int world_size) {
+/// best selection valid at this topology (the model may favour e.g.
+/// power-of-two-only recursive doubling, or a leader schedule on a
+/// single-node job). Classes index coll::selection_space(collective), whose
+/// flat prefix matches the v1 label space — so a v1 bundle's classes map
+/// unchanged. Shared by select() and select_batch() so the two paths break
+/// probability ties identically — that is what makes batched table compiles
+/// bit-identical to scalar ones.
+coll::Selection pick_ranked(std::span<const double> proba,
+                            std::span<const coll::Selection> space,
+                            std::vector<std::size_t>& order,
+                            sim::Topology topo) {
+  if (proba.size() > space.size()) {
+    throw TuningError("model has " + std::to_string(proba.size()) +
+                      " classes but the selection space holds " +
+                      std::to_string(space.size()));
+  }
   order.resize(proba.size());
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return proba[a] > proba[b]; });
   for (const std::size_t c : order) {
-    if (coll::algorithm_supports(algorithms[c], world_size)) {
-      return algorithms[c];
-    }
+    if (coll::selection_supports(space[c], topo)) return space[c];
   }
-  throw TuningError("no valid algorithm for world size " +
-                    std::to_string(world_size));
+  throw TuningError("no valid selection for topology " +
+                    std::to_string(topo.nodes) + "x" +
+                    std::to_string(topo.ppn));
 }
 
 }  // namespace
 
-coll::Algorithm PmlFramework::select(Collective collective,
+coll::Selection PmlFramework::select(Collective collective,
                                      const sim::ClusterSpec& cluster,
                                      sim::Topology topo,
                                      std::uint64_t msg_bytes) {
@@ -318,14 +326,13 @@ coll::Algorithm PmlFramework::select(Collective collective,
   obs::Span span("online.inference");
   proba.resize(static_cast<std::size_t>(p.forest.num_classes()));
   p.forest.predict_proba_into(row, proba);
-  return pick_ranked(proba, coll::algorithms_for(collective), order,
-                     topo.world_size());
+  return pick_ranked(proba, coll::selection_space(collective), order, topo);
 }
 
 void PmlFramework::select_batch(Collective collective,
                                 const sim::ClusterSpec& cluster,
                                 std::span<const SelectQuery> queries,
-                                std::span<coll::Algorithm> out) {
+                                std::span<coll::Selection> out) {
   if (queries.size() != out.size()) {
     throw TuningError("select_batch: " + std::to_string(queries.size()) +
                       " queries but " + std::to_string(out.size()) +
@@ -358,10 +365,9 @@ void PmlFramework::select_batch(Collective collective,
   proba.resize(queries.size(), static_cast<std::size_t>(p.forest.num_classes()));
   p.forest.predict_batch(features, proba);
 
-  const auto& algorithms = coll::algorithms_for(collective);
+  const auto& space = coll::selection_space(collective);
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    out[i] = pick_ranked(proba.row(i), algorithms, order,
-                         queries[i].topo.world_size());
+    out[i] = pick_ranked(proba.row(i), space, order, queries[i].topo);
   }
 }
 
@@ -369,7 +375,7 @@ void PmlFramework::select_many(Collective collective,
                                const sim::ClusterSpec& cluster,
                                sim::Topology topo,
                                std::span<const std::uint64_t> msg_sizes,
-                               std::span<coll::Algorithm> out) {
+                               std::span<coll::Selection> out) {
   thread_local std::vector<SelectQuery> queries;
   queries.resize(msg_sizes.size());
   for (std::size_t i = 0; i < msg_sizes.size(); ++i) {
@@ -540,13 +546,50 @@ CompileOptions resolve_compile_sweep(const sim::ClusterSpec& cluster,
 }
 
 TuningTable heuristic_table(const sim::ClusterSpec& cluster,
-                            const CompileOptions& options) {
+                            const CompileOptions& options,
+                            std::span<const coll::Collective> collectives) {
   const ResolvedSweep sweep = resolve_sweep(cluster, options);
   HeuristicSelector selector;
   const int threads = options.threads == 0 ? 1 : options.threads;
-  return TuningTable::generate(selector, cluster, sweep.node_counts,
-                               sweep.ppn_values, sweep.message_sizes,
-                               coll::all_collectives(), threads);
+  return TuningTable::generate(
+      selector, cluster, sweep.node_counts, sweep.ppn_values,
+      sweep.message_sizes,
+      collectives.empty() ? std::span<const coll::Collective>(
+                                coll::all_collectives())
+                          : collectives,
+      threads);
+}
+
+/// Partial rung of the degradation ladder: the bundle may only cover a
+/// subset of collectives (the paper ships allgather + alltoall), leaving
+/// e.g. allreduce with no jobs at all. Rather than dropping the whole
+/// table to rung 3, top up just the missing collectives with heuristic
+/// jobs so every lookup resolves — model quality where the model exists,
+/// rules of thumb where it does not.
+TuningTable top_up_missing_collectives(TuningTable table,
+                                       const sim::ClusterSpec& cluster,
+                                       const CompileOptions& options) {
+  std::vector<coll::Collective> missing;
+  for (const coll::Collective c : options.collectives) {
+    const auto& jobs = table.jobs();
+    const bool covered =
+        std::any_of(jobs.begin(), jobs.end(),
+                    [&](const JobTable& job) { return job.collective == c; });
+    if (!covered) missing.push_back(c);
+  }
+  if (missing.empty()) return table;
+  static obs::Counter partial("online.fallback.partial");
+  partial.increment();
+  std::string names;
+  for (const coll::Collective c : missing) {
+    if (!names.empty()) names += ", ";
+    names += coll::to_string(c);
+  }
+  warn_degraded("model covers no jobs for " + names +
+                "; topping up with heuristic entries for " + cluster.name);
+  const TuningTable heur = heuristic_table(cluster, options, missing);
+  for (const JobTable& job : heur.jobs()) table.add(job);
+  return table;
 }
 
 TuningTable online_table(const std::string& model_path,
@@ -554,7 +597,11 @@ TuningTable online_table(const std::string& model_path,
                          const CompileOptions& options) {
   try {
     PmlFramework fw = PmlFramework::load_file(model_path);
-    return fw.compile_or_cached(cluster, options);
+    TuningTable table = fw.compile_or_cached(cluster, options);
+    if (options.heuristic_fallback) {
+      table = top_up_missing_collectives(std::move(table), cluster, options);
+    }
+    return table;
   } catch (const Error& err) {
     if (!options.heuristic_fallback) throw;
     static obs::Counter heuristic("online.fallback.heuristic");

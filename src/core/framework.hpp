@@ -79,6 +79,13 @@ struct CompileOptions {
   /// compile_or_cached/online_table falls back to HeuristicSelector instead
   /// of throwing. Disable to surface errors in strict deployments.
   bool heuristic_fallback = true;
+  /// Collectives the online stage must be able to answer. The compiled
+  /// table covers the model's trained collectives; under heuristic_fallback
+  /// any collective listed here that the model lacks is topped up with
+  /// heuristic entries instead (partial degradation,
+  /// `online.fallback.partial`). Defaults to the paper's pair, so a model
+  /// trained with default TrainOptions round-trips verbatim.
+  std::vector<coll::Collective> collectives = coll::paper_collectives();
 
   /// Throws pml::ConfigError on non-positive node/ppn entries.
   void validate() const;
@@ -152,8 +159,12 @@ class PmlFramework final : public Selector {
       const TrainOptions& options = {});
 
   // --- Selector interface: direct single-point inference -------------------
+  // The model's classes index coll::selection_space(collective): a bundle
+  // trained on the v1 flat label space covers the space's flat prefix and
+  // keeps working unchanged; a label-space-v2 bundle ranks hierarchical
+  // selections too.
   std::string name() const override { return "PML-MPI"; }
-  coll::Algorithm select(coll::Collective collective,
+  coll::Selection select(coll::Collective collective,
                          const sim::ClusterSpec& cluster, sim::Topology topo,
                          std::uint64_t msg_bytes) override;
 
@@ -173,14 +184,14 @@ class PmlFramework final : public Selector {
   void select_batch(coll::Collective collective,
                     const sim::ClusterSpec& cluster,
                     std::span<const SelectQuery> queries,
-                    std::span<coll::Algorithm> out);
+                    std::span<coll::Selection> out);
 
   /// Selector::select_many through select_batch (fixed topology, varying
   /// message size) — the tuning-table compile hot path.
   void select_many(coll::Collective collective,
                    const sim::ClusterSpec& cluster, sim::Topology topo,
                    std::span<const std::uint64_t> msg_sizes,
-                   std::span<coll::Algorithm> out) override;
+                   std::span<coll::Selection> out) override;
 
   // --- Online stage (Fig. 4) ------------------------------------------------
 
@@ -283,9 +294,12 @@ CompileOptions resolve_compile_sweep(const sim::ClusterSpec& cluster,
 
 /// Rule-of-thumb tuning table from HeuristicSelector over the options'
 /// sweep grid — no model required; cannot fail on IO. Covers every
-/// collective in coll::all_collectives().
+/// collective in coll::all_collectives() by default; pass `collectives`
+/// to build jobs for a subset (the partial-degradation ladder uses this
+/// to top up only what the model is missing).
 TuningTable heuristic_table(const sim::ClusterSpec& cluster,
-                            const CompileOptions& options = {});
+                            const CompileOptions& options = {},
+                            std::span<const coll::Collective> collectives = {});
 
 /// One-call online stage: load the model bundle at `model_path` and run the
 /// filesystem-cached compile. Any Error along the way (unreadable or

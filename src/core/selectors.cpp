@@ -14,7 +14,7 @@ using coll::Collective;
 void Selector::select_many(Collective collective,
                            const sim::ClusterSpec& cluster, sim::Topology topo,
                            std::span<const std::uint64_t> msg_sizes,
-                           std::span<Algorithm> out) {
+                           std::span<coll::Selection> out) {
   if (msg_sizes.size() != out.size()) {
     throw TuningError("select_many: " + std::to_string(msg_sizes.size()) +
                       " sizes but " + std::to_string(out.size()) +
@@ -33,10 +33,10 @@ coll::Algorithm first_supported(
   throw TuningError("no supported algorithm in preference list");
 }
 
-Algorithm MvapichDefaultSelector::select(Collective collective,
-                                         const sim::ClusterSpec& /*cluster*/,
-                                         sim::Topology topo,
-                                         std::uint64_t msg_bytes) {
+namespace {
+
+Algorithm mvapich_rule(Collective collective, sim::Topology topo,
+                       std::uint64_t msg_bytes) {
   const int p = topo.world_size();
   // Static thresholds in the spirit of the MVAPICH2 2.3.7 generic table:
   // they encode one machine's crossovers and ignore the hardware at hand.
@@ -83,10 +83,8 @@ Algorithm MvapichDefaultSelector::select(Collective collective,
   return Algorithm::kBcPipelinedRing;
 }
 
-Algorithm OpenMpiDefaultSelector::select(Collective collective,
-                                         const sim::ClusterSpec& /*cluster*/,
-                                         sim::Topology topo,
-                                         std::uint64_t msg_bytes) {
+Algorithm openmpi_rule(Collective collective, sim::Topology topo,
+                       std::uint64_t msg_bytes) {
   const int p = topo.world_size();
   // Fixed decision rules in the spirit of Open MPI's tuned defaults, with
   // the neighbor-exchange mid-range for allgather and earlier pairwise
@@ -131,10 +129,8 @@ Algorithm OpenMpiDefaultSelector::select(Collective collective,
   return Algorithm::kBcPipelinedRing;
 }
 
-Algorithm HeuristicSelector::select(Collective collective,
-                                    const sim::ClusterSpec& /*cluster*/,
-                                    sim::Topology topo,
-                                    std::uint64_t msg_bytes) {
+Algorithm heuristic_flat_rule(Collective collective, sim::Topology topo,
+                              std::uint64_t msg_bytes) {
   const int p = topo.world_size();
   // High PPN fully subscribes the node's single NIC; prefer algorithms
   // with fewer concurrent inter-node flows when congested.
@@ -183,27 +179,92 @@ Algorithm HeuristicSelector::select(Collective collective,
   return Algorithm::kBcPipelinedRing;
 }
 
-Algorithm RandomSelector::select(Collective collective,
-                                 const sim::ClusterSpec& /*cluster*/,
-                                 sim::Topology topo,
-                                 std::uint64_t /*msg_bytes*/) {
-  const auto valid =
-      coll::valid_algorithms(collective, topo.world_size());
+}  // namespace
+
+coll::Selection MvapichDefaultSelector::select(Collective collective,
+                                               const sim::ClusterSpec&,
+                                               sim::Topology topo,
+                                               std::uint64_t msg_bytes) {
+  // Vendor default tables are flat-only: the hierarchical SMP paths of the
+  // real libraries are not in the paper's §III algorithm set.
+  return coll::Selection::flat(mvapich_rule(collective, topo, msg_bytes));
+}
+
+coll::Selection OpenMpiDefaultSelector::select(Collective collective,
+                                               const sim::ClusterSpec&,
+                                               sim::Topology topo,
+                                               std::uint64_t msg_bytes) {
+  return coll::Selection::flat(openmpi_rule(collective, topo, msg_bytes));
+}
+
+coll::Selection HeuristicSelector::select(Collective collective,
+                                          const sim::ClusterSpec&,
+                                          sim::Topology topo,
+                                          std::uint64_t msg_bytes) {
+  // Congested multi-node jobs (PPN oversubscribing the NIC) switch to a
+  // leader schedule: the inter tier re-runs the flat rules at the leader
+  // topology with the aggregated message size, the fan-out tier follows
+  // the usual small/large bcast split.
+  if (topo.nodes >= 2 && topo.ppn > 16) {
+    const auto ppn = static_cast<std::uint64_t>(topo.ppn);
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(topo.world_size()) * msg_bytes;
+    std::uint64_t tier_bytes = msg_bytes;
+    std::uint64_t fanout_bytes = msg_bytes;
+    bool hierarchical = false;
+    switch (collective) {
+      case Collective::kAllgather:
+        hierarchical = total >= 64 * 1024;
+        tier_bytes = ppn * msg_bytes;
+        fanout_bytes = total;
+        break;
+      case Collective::kAlltoall:
+        // Aggregation only pays in the latency-dominated regime.
+        hierarchical = total <= 16 * 1024;
+        tier_bytes = ppn * ppn * msg_bytes;
+        break;
+      case Collective::kAllreduce:
+        hierarchical = msg_bytes >= 4 * 1024;
+        break;
+      case Collective::kBcast:
+        hierarchical = msg_bytes >= 16 * 1024;
+        break;
+    }
+    if (hierarchical) {
+      const Algorithm inter = heuristic_flat_rule(
+          collective, sim::Topology{topo.nodes, 1}, tier_bytes);
+      const Algorithm fanout = fanout_bytes > 64 * 1024
+                                   ? Algorithm::kBcPipelinedRing
+                                   : Algorithm::kBcBinomial;
+      return coll::Selection::leader(inter, fanout);
+    }
+  }
+  return coll::Selection::flat(
+      heuristic_flat_rule(collective, topo, msg_bytes));
+}
+
+coll::Selection RandomSelector::select(Collective collective,
+                                       const sim::ClusterSpec& /*cluster*/,
+                                       sim::Topology topo,
+                                       std::uint64_t /*msg_bytes*/) {
+  const auto valid = coll::valid_selections(collective, topo);
   return valid[static_cast<std::size_t>(rng_.uniform_index(valid.size()))];
 }
 
-Algorithm OracleSelector::select(Collective collective,
-                                 const sim::ClusterSpec& cluster,
-                                 sim::Topology topo, std::uint64_t msg_bytes) {
-  const sim::NetworkModel model(cluster, topo);
-  Algorithm best = Algorithm::kAgRing;
+coll::Selection OracleSelector::select(Collective collective,
+                                       const sim::ClusterSpec& cluster,
+                                       sim::Topology topo,
+                                       std::uint64_t msg_bytes) {
+  // Exhaustive offline micro-benchmarking over the full v2 label space:
+  // flat and hierarchical candidates compete on analytic cost.
+  const auto valid = coll::valid_selections(collective, topo);
+  coll::Selection best = valid.front();
   double lo = std::numeric_limits<double>::infinity();
-  for (const Algorithm a :
-       coll::valid_algorithms(collective, topo.world_size())) {
-    const double t = coll::analytic_cost(model, a, msg_bytes);
+  for (const coll::Selection& s : valid) {
+    const double t = coll::analytic_cost(cluster, topo, s, msg_bytes);
     if (t < lo) {
       lo = t;
-      best = a;
+      best = s;
     }
   }
   return best;

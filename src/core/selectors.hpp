@@ -19,20 +19,23 @@
 #include <string>
 
 #include "coll/collective.hpp"
+#include "coll/selection.hpp"
 #include "common/rng.hpp"
 #include "sim/hardware.hpp"
 #include "sim/network.hpp"
 
 namespace pml::core {
 
-/// Strategy interface: pick an algorithm for a (collective, cluster, job,
-/// message size) point. Implementations must return an algorithm valid at
-/// the topology's world size.
+/// Strategy interface: pick a structured selection (label space v2:
+/// hierarchy strategy x per-tier algorithm) for a (collective, cluster,
+/// job, message size) point. Implementations must return a selection for
+/// which coll::selection_supports(selection, topo) holds; flat-only
+/// strategies return coll::Selection::flat(...).
 class Selector {
  public:
   virtual ~Selector() = default;
   virtual std::string name() const = 0;
-  virtual coll::Algorithm select(coll::Collective collective,
+  virtual coll::Selection select(coll::Collective collective,
                                  const sim::ClusterSpec& cluster,
                                  sim::Topology topo,
                                  std::uint64_t msg_bytes) = 0;
@@ -45,13 +48,23 @@ class Selector {
   virtual void select_many(coll::Collective collective,
                            const sim::ClusterSpec& cluster, sim::Topology topo,
                            std::span<const std::uint64_t> msg_sizes,
-                           std::span<coll::Algorithm> out);
+                           std::span<coll::Selection> out);
+
+  /// Transitional raw-label accessor for callers not yet migrated to
+  /// Selection; flattens a hierarchical choice to its inter algorithm.
+  /// Removed after one release.
+  [[deprecated("call select() and use the structured coll::Selection")]]
+  coll::Algorithm select_algorithm(coll::Collective collective,
+                                   const sim::ClusterSpec& cluster,
+                                   sim::Topology topo, std::uint64_t msg_bytes) {
+    return select(collective, cluster, topo, msg_bytes).algorithm;
+  }
 };
 
 class MvapichDefaultSelector final : public Selector {
  public:
   std::string name() const override { return "MVAPICH2-2.3.7-default"; }
-  coll::Algorithm select(coll::Collective collective,
+  coll::Selection select(coll::Collective collective,
                          const sim::ClusterSpec& cluster, sim::Topology topo,
                          std::uint64_t msg_bytes) override;
 };
@@ -59,7 +72,7 @@ class MvapichDefaultSelector final : public Selector {
 class OpenMpiDefaultSelector final : public Selector {
  public:
   std::string name() const override { return "OpenMPI-5.1.0a-default"; }
-  coll::Algorithm select(coll::Collective collective,
+  coll::Selection select(coll::Collective collective,
                          const sim::ClusterSpec& cluster, sim::Topology topo,
                          std::uint64_t msg_bytes) override;
 };
@@ -68,7 +81,7 @@ class RandomSelector final : public Selector {
  public:
   explicit RandomSelector(std::uint64_t seed = 99) : rng_(seed) {}
   std::string name() const override { return "Random"; }
-  coll::Algorithm select(coll::Collective collective,
+  coll::Selection select(coll::Collective collective,
                          const sim::ClusterSpec& cluster, sim::Topology topo,
                          std::uint64_t msg_bytes) override;
 
@@ -79,7 +92,7 @@ class RandomSelector final : public Selector {
 class OracleSelector final : public Selector {
  public:
   std::string name() const override { return "Oracle-microbenchmark"; }
-  coll::Algorithm select(coll::Collective collective,
+  coll::Selection select(coll::Collective collective,
                          const sim::ClusterSpec& cluster, sim::Topology topo,
                          std::uint64_t msg_bytes) override;
 };
@@ -87,13 +100,14 @@ class OracleSelector final : public Selector {
 /// Last rung of the online stage's degradation ladder (docs/API.md): a
 /// stateless rule-of-thumb selector used when the trained model and the
 /// compiled table are both unavailable. Rules blend the two vendor-default
-/// tables above with one hardware signal (PPN-driven NIC congestion) so a
-/// degraded deployment still gets a sane, always-valid algorithm — never
-/// an error.
+/// tables above with two hardware signals (PPN-driven NIC congestion and
+/// the node structure: congested multi-node jobs switch to leader-based
+/// hierarchical schedules) so a degraded deployment still gets a sane,
+/// always-valid selection — never an error.
 class HeuristicSelector final : public Selector {
  public:
   std::string name() const override { return "PML-heuristic-fallback"; }
-  coll::Algorithm select(coll::Collective collective,
+  coll::Selection select(coll::Collective collective,
                          const sim::ClusterSpec& cluster, sim::Topology topo,
                          std::uint64_t msg_bytes) override;
 };

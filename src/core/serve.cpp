@@ -399,7 +399,7 @@ void ServeEngine::drain_select_batches(std::unique_lock<std::mutex>& lock) {
   static obs::Gauge batch_size("serve.batch.size");
   thread_local std::vector<PendingSelect*> group;
   thread_local std::vector<PmlFramework::SelectQuery> queries;
-  thread_local std::vector<coll::Algorithm> results;
+  thread_local std::vector<coll::Selection> results;
   while (!batch_queue_.empty()) {
     // Peel the oldest request plus everything compatible with it, up to
     // the micro_batch cap, preserving arrival order.
@@ -443,7 +443,7 @@ void ServeEngine::drain_select_batches(std::unique_lock<std::mutex>& lock) {
   }
 }
 
-coll::Algorithm ServeEngine::batched_model_select(PmlFramework& framework,
+coll::Selection ServeEngine::batched_model_select(PmlFramework& framework,
                                                   const sim::ClusterSpec& cluster,
                                                   coll::Collective collective,
                                                   sim::Topology topo,
@@ -519,7 +519,7 @@ std::string ServeEngine::handle_select(const Json& request) {
   std::string cache_state = "hit";
   std::string source = "table";
   bool degraded = false;
-  coll::Algorithm algorithm{};
+  coll::Selection selection = coll::Selection::flat(coll::Algorithm::kAgRing);
 
   std::shared_ptr<const ServedTable> entry = cache_.get(key);
   if (entry != nullptr) {
@@ -540,7 +540,7 @@ std::string ServeEngine::handle_select(const Json& request) {
   }
 
   if (entry != nullptr) {
-    algorithm = entry->table.lookup(collective, nodes, ppn, msg_bytes);
+    selection = entry->table.lookup(collective, nodes, ppn, msg_bytes);
   } else if (const std::shared_ptr<PmlFramework> framework =
                  model_.framework()) {
     // Miss, not waiting, model healthy: answer by direct inference while
@@ -549,7 +549,7 @@ std::string ServeEngine::handle_select(const Json& request) {
     cache_state = "miss";
     source = "model";
     materialize();
-    algorithm = batched_model_select(*framework, *cluster, collective,
+    selection = batched_model_select(*framework, *cluster, collective,
                                      sim::Topology{nodes, ppn}, msg_bytes);
   } else {
     // Bottom rung: no table, no model. Same counter the batch online
@@ -563,7 +563,7 @@ std::string ServeEngine::handle_select(const Json& request) {
     static obs::Counter served_degraded("serve.degraded");
     served_degraded.increment();
     materialize();
-    algorithm = HeuristicSelector().select(collective, *cluster,
+    selection = HeuristicSelector().select(collective, *cluster,
                                            sim::Topology{nodes, ppn},
                                            msg_bytes);
   }
@@ -571,8 +571,17 @@ std::string ServeEngine::handle_select(const Json& request) {
   Json reply = Json::object();
   reply["ok"] = true;
   reply["op"] = std::string("select");
-  reply["algorithm"] = coll::to_string(algorithm);
-  reply["display_name"] = coll::display_name(algorithm);
+  // Protocol v2: the structured selection rides alongside the legacy
+  // `algorithm` field (which flattens a hierarchical choice to its inter
+  // algorithm) so v1 clients keep parsing replies for one release.
+  reply["algorithm"] = coll::to_string(selection.algorithm);
+  reply["display_name"] = selection.display();
+  Json sel = Json::object();
+  sel["kind"] = coll::to_string(selection.kind);
+  sel["algorithm"] = coll::to_string(selection.algorithm);
+  sel["intra"] = coll::to_string(selection.intra);
+  sel["encoded"] = selection.encode();
+  reply["selection"] = std::move(sel);
   reply["cache"] = cache_state;
   reply["source"] = source;
   reply["degraded"] = degraded;

@@ -217,7 +217,7 @@ class ServeEngine {
     std::uint64_t fingerprint = 0;
     coll::Collective collective{};
     PmlFramework::SelectQuery query;
-    coll::Algorithm result{};
+    coll::Selection result = coll::Selection::flat(coll::Algorithm::kAgRing);
     std::exception_ptr error;
     bool done = false;
   };
@@ -225,7 +225,7 @@ class ServeEngine {
   /// Leader/follower micro-batching around PmlFramework::select_batch
   /// (serve.cpp comment). Returns what framework->select(...) would, or
   /// rethrows its error.
-  coll::Algorithm batched_model_select(PmlFramework& framework,
+  coll::Selection batched_model_select(PmlFramework& framework,
                                        const sim::ClusterSpec& cluster,
                                        coll::Collective collective,
                                        sim::Topology topo,

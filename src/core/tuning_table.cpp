@@ -75,7 +75,7 @@ bool TuningTable::has(coll::Collective collective, int nodes, int ppn) const {
   return find(collective, nodes, ppn) != nullptr;
 }
 
-coll::Algorithm TuningTable::lookup(coll::Collective collective, int nodes,
+coll::Selection TuningTable::lookup(coll::Collective collective, int nodes,
                                     int ppn, std::uint64_t msg_bytes) const {
   const JobTable* job = find(collective, nodes, ppn);
   if (job == nullptr) job = nearest(collective, nodes, ppn);
@@ -84,9 +84,9 @@ coll::Algorithm TuningTable::lookup(coll::Collective collective, int nodes,
                       coll::to_string(collective));
   }
   for (const TuningEntry& e : job->entries) {
-    if (msg_bytes <= e.max_bytes) return e.algorithm;
+    if (msg_bytes <= e.max_bytes) return e.selection;
   }
-  return job->entries.back().algorithm;  // open-ended final range
+  return job->entries.back().selection;  // open-ended final range
 }
 
 void TuningTable::set_sweep(std::span<const int> node_counts,
@@ -156,17 +156,17 @@ TuningTable TuningTable::generate(Selector& selector,
     // whole message sweep with a single blocked inference; plain selectors
     // fall back to the per-size select() loop inside select_many. The
     // reused thread_local keeps the sweep allocation-free in steady state.
-    thread_local std::vector<coll::Algorithm> algs;
-    algs.resize(msg_sizes.size());
+    thread_local std::vector<coll::Selection> sels;
+    sels.resize(msg_sizes.size());
     selector.select_many(cell.collective, cluster,
-                         sim::Topology{cell.nodes, cell.ppn}, msg_sizes, algs);
+                         sim::Topology{cell.nodes, cell.ppn}, msg_sizes, sels);
     for (std::size_t m = 0; m < msg_sizes.size(); ++m) {
       const std::uint64_t msg = msg_sizes[m];
-      const coll::Algorithm a = algs[m];
-      if (!job.entries.empty() && job.entries.back().algorithm == a) {
+      const coll::Selection& sel = sels[m];
+      if (!job.entries.empty() && job.entries.back().selection == sel) {
         job.entries.back().max_bytes = msg;  // extend the range
       } else {
-        job.entries.push_back(TuningEntry{msg, a});
+        job.entries.push_back(TuningEntry{msg, sel});
       }
     }
     jobs[i] = std::move(job);
@@ -179,7 +179,7 @@ TuningTable TuningTable::generate(Selector& selector,
 Json TuningTable::to_json() const {
   obs::Span span("online.table_emission");
   Json j = Json::object();
-  j["format"] = "pml-mpi-tuning-table-v1";
+  j["format"] = "pml-mpi-tuning-table-v2";
   j["cluster"] = cluster_name_;
   if (cluster_fingerprint_ != 0) {
     // Hex string, not a number: uint64 digests overflow the double-backed
@@ -212,7 +212,7 @@ Json TuningTable::to_json() const {
     for (const TuningEntry& e : job.entries) {
       Json ej = Json::object();
       ej["max_bytes"] = e.max_bytes;
-      ej["algorithm"] = coll::to_string(e.algorithm);
+      ej["selection"] = e.selection.encode();
       entries.push_back(std::move(ej));
     }
     jj["entries"] = std::move(entries);
@@ -223,8 +223,11 @@ Json TuningTable::to_json() const {
 }
 
 TuningTable TuningTable::from_json(const Json& j) {
-  if (!j.contains("format") ||
-      j.at("format").as_string() != "pml-mpi-tuning-table-v1") {
+  // v2 is current; v1 (flat algorithm names) stays decodable one release.
+  if (!j.contains("format")) throw TuningError("not a pml-mpi tuning table");
+  const std::string format = j.at("format").as_string();
+  if (format != "pml-mpi-tuning-table-v2" &&
+      format != "pml-mpi-tuning-table-v1") {
     throw TuningError("not a pml-mpi tuning table");
   }
   TuningTable table(j.at("cluster").as_string());
@@ -252,9 +255,12 @@ TuningTable TuningTable::from_json(const Json& j) {
     for (const Json& ej : jj.at("entries").as_array()) {
       TuningEntry e;
       e.max_bytes = static_cast<std::uint64_t>(ej.at("max_bytes").as_int());
-      e.algorithm = coll::algorithm_from_string(
-          coll::to_string(job.collective) + ":" +
-          ej.at("algorithm").as_string());
+      // v2 stores an encoded selection; v1 a bare algorithm name — both are
+      // valid Selection encodings in the collective's context.
+      const std::string& key = ej.contains("selection") ? "selection"
+                                                        : "algorithm";
+      e.selection =
+          coll::Selection::decode(job.collective, ej.at(key).as_string());
       job.entries.push_back(e);
     }
     table.add(std::move(job));

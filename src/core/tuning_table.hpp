@@ -19,10 +19,12 @@
 namespace pml::core {
 
 /// One size range: applies to message sizes <= max_bytes (entries are
-/// ordered; the last entry of a job table is open-ended).
+/// ordered; the last entry of a job table is open-ended). Since table
+/// schema v2 the entry stores a structured coll::Selection; v1 artifacts
+/// (bare algorithm names) decode into flat selections.
 struct TuningEntry {
   std::uint64_t max_bytes = 0;
-  coll::Algorithm algorithm = coll::Algorithm::kAgRing;
+  coll::Selection selection = coll::Selection::flat(coll::Algorithm::kAgRing);
 };
 
 /// Entries for one (collective, nodes, ppn) job shape.
@@ -49,6 +51,10 @@ class TuningTable {
 
   bool has(coll::Collective collective, int nodes, int ppn) const;
 
+  /// Registered job tables, in registration order (exposed so the online
+  /// ladder can merge per-collective heuristic jobs into a partial table).
+  const std::vector<JobTable>& jobs() const noexcept { return jobs_; }
+
   /// Algorithm for the job shape and message size. Exact (nodes, ppn) match
   /// preferred; otherwise the geometrically nearest registered shape of the
   /// collective is used (as MPI libraries fall back to the closest tuned
@@ -56,8 +62,16 @@ class TuningTable {
   /// nodes first, then smaller ppn — so the result is independent of job
   /// registration order and lookup replies are byte-stable across runs and
   /// cache shards. Throws TuningError if the collective has no entries.
-  coll::Algorithm lookup(coll::Collective collective, int nodes, int ppn,
+  coll::Selection lookup(coll::Collective collective, int nodes, int ppn,
                          std::uint64_t msg_bytes) const;
+
+  /// Transitional raw-label lookup; flattens a hierarchical entry to its
+  /// inter algorithm. Removed after one release.
+  [[deprecated("call lookup() and use the structured coll::Selection")]]
+  coll::Algorithm lookup_algorithm(coll::Collective collective, int nodes,
+                                   int ppn, std::uint64_t msg_bytes) const {
+    return lookup(collective, nodes, ppn, msg_bytes).algorithm;
+  }
 
   /// Build a table by querying a selector over a sweep (used both for the
   /// ML path and for baking baseline heuristics into table form).

@@ -15,6 +15,7 @@
 #include <coroutine>
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -71,18 +72,63 @@ class [[nodiscard]] WaitAwaitable {
 };
 
 /// Lightweight per-rank view of the engine (copyable; references the engine).
+///
+/// A Comm can be a *subgroup* view: subgroup() restricts it to a strided
+/// subset of world ranks and renumbers them 0..count-1. rank()/size() are
+/// then group-relative and every post translates group peers to world
+/// ranks, so any flat collective schedule — which only ever speaks in
+/// rank()/size() terms — runs unchanged on a tier of the hierarchy (the
+/// node leaders, or one node's local ranks). Clocks, scratch slots, and
+/// topology queries always use the underlying world rank.
 class Comm {
  public:
-  Comm(Engine& engine, int rank) : engine_(&engine), rank_(rank) {}
+  Comm(Engine& engine, int rank)
+      : engine_(&engine),
+        world_rank_(rank),
+        rank_(rank),
+        base_(0),
+        stride_(1),
+        size_(engine.world_size()) {}
+
+  /// Strided subgroup: group rank g is world rank base + g*stride. The
+  /// calling rank must be a member. Subgroups nest off the world view only
+  /// (base/stride/count are world-rank terms).
+  Comm subgroup(int base, int stride, int count) const {
+    if (stride < 1 || count < 1 ||
+        (world_rank_ - base) % stride != 0) {
+      throw SimError("rank " + std::to_string(world_rank_) +
+                     " is not a member of subgroup(base=" +
+                     std::to_string(base) + ", stride=" +
+                     std::to_string(stride) + ", count=" +
+                     std::to_string(count) + ")");
+    }
+    const int group_rank = (world_rank_ - base) / stride;
+    if (group_rank < 0 || group_rank >= count) {
+      throw SimError("rank " + std::to_string(world_rank_) +
+                     " outside subgroup of " + std::to_string(count));
+    }
+    Comm sub(*engine_, world_rank_);
+    sub.rank_ = group_rank;
+    sub.base_ = base;
+    sub.stride_ = stride;
+    sub.size_ = count;
+    return sub;
+  }
 
   int rank() const noexcept { return rank_; }
-  int size() const noexcept { return engine_->world_size(); }
-  int node() const noexcept { return engine_->topology().node_of(rank_); }
+  int size() const noexcept { return size_; }
+  /// Underlying engine rank (== rank() for the world communicator).
+  int world_rank() const noexcept { return world_rank_; }
+  /// World rank of group rank `r`.
+  int to_world(int r) const noexcept { return base_ + r * stride_; }
+  int node() const noexcept {
+    return engine_->topology().node_of(world_rank_);
+  }
   bool same_node(int other) const noexcept {
-    return engine_->topology().same_node(rank_, other);
+    return engine_->topology().same_node(world_rank_, to_world(other));
   }
   Engine& engine() const noexcept { return *engine_; }
-  double now() const { return engine_->now(rank_); }
+  double now() const { return engine_->now(world_rank_); }
 
   /// False in timing-only mode (PayloadMode::kTimingOnly): collective
   /// implementations skip their local payload movement (the time for it is
@@ -91,19 +137,20 @@ class Comm {
     return engine_->options().payload_enabled();
   }
 
-  /// Nonblocking post; pair with wait()/wait_all().
+  /// Nonblocking post; pair with wait()/wait_all(). Peer ranks are group
+  /// ranks (== world ranks on the world communicator).
   RequestId isend(int dst, std::span<const std::byte> data, int tag = 0) {
-    return engine_->post_send(rank_, dst, data, tag);
+    return engine_->post_send(world_rank_, to_world(dst), data, tag);
   }
   RequestId irecv(int src, std::span<std::byte> data, int tag = 0) {
-    return engine_->post_recv(rank_, src, data, tag);
+    return engine_->post_recv(world_rank_, to_world(src), data, tag);
   }
 
   WaitAwaitable wait(RequestId req) {
-    return WaitAwaitable(*engine_, rank_, RequestSet(req));
+    return WaitAwaitable(*engine_, world_rank_, RequestSet(req));
   }
   WaitAwaitable wait_all(std::vector<RequestId> reqs) {
-    return WaitAwaitable(*engine_, rank_, RequestSet(std::move(reqs)));
+    return WaitAwaitable(*engine_, world_rank_, RequestSet(std::move(reqs)));
   }
 
   /// Blocking send/recv: co_await comm.send(...).
@@ -120,26 +167,31 @@ class Comm {
                          int tag = 0) {
     RequestSet reqs(isend(dst, send_data, tag));
     reqs.push_back(irecv(src, recv_data, tag));
-    return WaitAwaitable(*engine_, rank_, std::move(reqs));
+    return WaitAwaitable(*engine_, world_rank_, std::move(reqs));
   }
 
   /// Per-rank reusable staging buffer (see Engine::scratch); steady-state
-  /// use across engine reset() cycles is allocation-free.
+  /// use across engine reset() cycles is allocation-free. Keyed by world
+  /// rank, so two tiers of one rank's schedule share the same slots.
   std::span<std::byte> scratch(std::size_t bytes, std::size_t slot = 0) {
-    return engine_->scratch(rank_, slot, bytes);
+    return engine_->scratch(world_rank_, slot, bytes);
   }
 
   /// Charge local computation time to this rank.
-  void compute(double seconds) { engine_->local_compute(rank_, seconds); }
+  void compute(double seconds) { engine_->local_compute(world_rank_, seconds); }
 
   /// Charge a local buffer copy (L3-aware) to this rank.
   void copy(std::uint64_t bytes, std::uint64_t working_set) {
-    engine_->local_copy(rank_, bytes, working_set);
+    engine_->local_copy(world_rank_, bytes, working_set);
   }
 
  private:
   Engine* engine_;
-  int rank_;
+  int world_rank_;  ///< rank in the engine's world communicator
+  int rank_;        ///< rank within this (sub)group
+  int base_;        ///< world rank of group rank 0
+  int stride_;      ///< world-rank stride between group members
+  int size_;        ///< group size
 };
 
 }  // namespace pml::sim

@@ -80,7 +80,7 @@ void frame_free(void* p) noexcept {
 Engine::Engine(const ClusterSpec& cluster, Topology topo, SimOptions opts)
     : cluster_(cluster),
       topo_(topo),
-      model_(cluster, topo),
+      model_(cluster, topo, opts.hierarchy),
       opts_(opts),
       rng_(opts.seed),
       now_(static_cast<std::size_t>(topo.world_size()), 0.0),
@@ -98,7 +98,7 @@ void Engine::reset(const ClusterSpec& cluster, Topology topo, SimOptions opts) {
   // with same-shaped inputs perform no heap allocations.
   cluster_ = cluster;
   topo_ = topo;
-  model_ = NetworkModel(cluster, topo);
+  model_ = NetworkModel(cluster, topo, opts.hierarchy);
   opts_ = opts;
   rng_ = Rng(opts.seed);
   now_.assign(static_cast<std::size_t>(topo.world_size()), 0.0);
@@ -123,6 +123,7 @@ void Engine::reset(const ClusterSpec& cluster, Topology topo, SimOptions opts) {
   stat_probes_ = 0;
   stat_resizes_ = 0;
   completed_ranks_ = 0;
+  pending_exception_ = nullptr;
   tasks_.clear();
   ran_ = false;
   resolve_faults();
@@ -438,10 +439,9 @@ void Engine::complete_transfer(int src, int dst, const PendingOp& send,
     send_finish = start + occupancy;
     recv_finish = start + occupancy + latency;
   } else {
-    const double duration =
-        (model_.intra_alpha() +
-         static_cast<double>(send.bytes) / model_.copy_bandwidth(send.bytes)) *
-        jitter;
+    // intra_time reproduces the flat expression bit-identically when the
+    // hierarchy is disabled, and the socket/NUMA-aware levels otherwise.
+    const double duration = model_.intra_time(send.bytes, src, dst) * jitter;
     send_finish = start + duration;
     recv_finish = start + duration;
   }
@@ -550,7 +550,21 @@ void Engine::run(RankFactoryRef factory) {
   tasks_.reserve(static_cast<std::size_t>(p));
   for (int rank = 0; rank < p; ++rank) {
     tasks_.push_back(factory(rank));
-    schedule(0.0, rank, 0.0, tasks_.back().handle());
+    // Top-level completion is observed through the promise hook rather than
+    // by inspecting resumed handles: with composed (nested) RankTasks the
+    // handle an event resumes is not necessarily the rank's root frame, and
+    // a root may complete via symmetric transfer from a child.
+    auto handle = tasks_.back().handle();
+    auto& promise = handle.promise();
+    promise.on_complete_arg = this;
+    promise.on_complete = [](void* arg, RankTask::promise_type& done) {
+      auto* self = static_cast<Engine*>(arg);
+      ++self->completed_ranks_;
+      if (done.exception && !self->pending_exception_) {
+        self->pending_exception_ = done.exception;
+      }
+    };
+    schedule(0.0, rank, 0.0, handle);
   }
 
   while (!events_.empty()) {
@@ -561,13 +575,9 @@ void Engine::run(RankFactoryRef factory) {
     auto& clock = now_[static_cast<std::size_t>(ev.rank)];
     clock = std::max(clock, ev.clock);
     ev.handle.resume();
-    if (ev.handle.done()) {
-      ++completed_ranks_;
-      auto typed = std::coroutine_handle<RankTask::promise_type>::from_address(
-          ev.handle.address());
-      if (typed.promise().exception) {
-        std::rethrow_exception(typed.promise().exception);
-      }
+    if (pending_exception_) {
+      std::rethrow_exception(
+          std::exchange(pending_exception_, std::exception_ptr{}));
     }
   }
 

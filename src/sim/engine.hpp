@@ -59,6 +59,14 @@ void warm_frame_pool();
 }  // namespace detail
 
 /// Coroutine type returned by every rank program.
+///
+/// RankTasks compose: a schedule may `co_await` another RankTask (the
+/// hierarchical collectives run a flat schedule per tier this way). The
+/// child starts on the awaiting rank's execution thread via symmetric
+/// transfer, suspends into the engine like any rank program, and resumes
+/// its parent — again by symmetric transfer — when it completes. Child
+/// frames come from the same pooled allocator as top-level frames, so the
+/// timing-only steady state stays allocation-free.
 class [[nodiscard]] RankTask {
  public:
   struct promise_type {
@@ -66,7 +74,23 @@ class [[nodiscard]] RankTask {
       return RankTask(std::coroutine_handle<promise_type>::from_promise(*this));
     }
     std::suspend_always initial_suspend() noexcept { return {}; }
-    std::suspend_always final_suspend() noexcept { return {}; }
+
+    /// Completion transfers control to the awaiting parent frame when there
+    /// is one; a top-level frame instead fires the engine's completion hook
+    /// (rank accounting + exception capture). Always suspends, so the frame
+    /// stays alive for the owning RankTask to destroy.
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        promise_type& p = h.promise();
+        if (p.continuation) return p.continuation;
+        if (p.on_complete) p.on_complete(p.on_complete_arg, p);
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
     void unhandled_exception() noexcept { exception = std::current_exception(); }
 
@@ -76,6 +100,9 @@ class [[nodiscard]] RankTask {
     static void operator delete(void* p) noexcept { detail::frame_free(p); }
 
     std::exception_ptr exception;
+    std::coroutine_handle<> continuation;  ///< awaiting parent frame, if any
+    void (*on_complete)(void*, promise_type&) = nullptr;  ///< top-level hook
+    void* on_complete_arg = nullptr;
   };
 
   RankTask() = default;
@@ -96,6 +123,29 @@ class [[nodiscard]] RankTask {
   ~RankTask() { destroy(); }
 
   std::coroutine_handle<promise_type> handle() const noexcept { return handle_; }
+
+  /// Awaiting a RankTask runs it as a child of the current coroutine: the
+  /// child is started immediately (symmetric transfer), the parent resumes
+  /// when it co_returns, and a child exception rethrows at the co_await.
+  /// The awaited RankTask must outlive the co_await expression — awaiting
+  /// the temporary returned by a schedule factory satisfies this, since the
+  /// temporary lives to the end of the full-expression.
+  struct Awaiter {
+    std::coroutine_handle<promise_type> handle;
+
+    bool await_ready() const noexcept { return !handle || handle.done(); }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> parent) noexcept {
+      handle.promise().continuation = parent;
+      return handle;
+    }
+    void await_resume() const {
+      if (handle && handle.promise().exception) {
+        std::rethrow_exception(handle.promise().exception);
+      }
+    }
+  };
+  Awaiter operator co_await() const noexcept { return Awaiter{handle_}; }
 
  private:
   void destroy() noexcept {
@@ -134,6 +184,9 @@ struct SimOptions {
   /// default) is bit-identical to the pre-fault engine and costs one
   /// predictable branch on the hot paths.
   FaultPlan faults{};
+  /// Intra-node shared-memory hierarchy (sim/network.hpp). The disabled
+  /// default is bit-identical to the flat engine.
+  HierarchySpec hierarchy{};
 
   bool payload_enabled() const noexcept {
     return payload == PayloadMode::kVerify;
@@ -150,9 +203,11 @@ struct RunOptions {
   std::uint64_t eager_threshold = 16 * 1024;
   obs::Sink trace_sink{};     ///< empty = no trace capture/export
   FaultPlan faults{};         ///< deterministic fault injection; empty = none
+  HierarchySpec hierarchy{};  ///< intra-node hierarchy; disabled = flat
 
   SimOptions sim_options() const {
-    return SimOptions{noise_sigma, seed, payload, eager_threshold, faults};
+    return SimOptions{noise_sigma, seed,   payload,
+                      eager_threshold, faults, hierarchy};
   }
 };
 
@@ -403,6 +458,9 @@ class Engine {
   std::uint64_t stat_fault_stalls_ = 0;
   std::uint64_t stat_fault_corrupted_ = 0;
   int completed_ranks_ = 0;
+  /// First exception captured by a completed top-level task (set by the
+  /// FinalAwaiter completion hook, rethrown by the run() event loop).
+  std::exception_ptr pending_exception_;
   std::vector<RankTask> tasks_;
   bool ran_ = false;
 };

@@ -7,8 +7,9 @@
 
 namespace pml::sim {
 
-NetworkModel::NetworkModel(const ClusterSpec& cluster, Topology topo)
-    : topo_(topo) {
+NetworkModel::NetworkModel(const ClusterSpec& cluster, Topology topo,
+                           HierarchySpec hierarchy)
+    : topo_(topo), hierarchy_(hierarchy) {
   if (topo.nodes < 1 || topo.ppn < 1) {
     throw SimError("topology must have >= 1 node and >= 1 ppn");
   }
@@ -45,6 +46,41 @@ NetworkModel::NetworkModel(const ClusterSpec& cluster, Topology topo)
     numa_penalty_ = 1.0 + 0.08 * hw.sockets +
                     0.02 * std::max(0, hw.numa_nodes - hw.sockets);
   }
+  sockets_ = std::max(1, hw.sockets);
+  numa_nodes_ = std::max(sockets_, hw.numa_nodes);
+}
+
+double NetworkModel::intra_time(std::uint64_t bytes, int src,
+                                int dst) const noexcept {
+  // The hierarchy-disabled expression must stay bit-identical to the flat
+  // engine's intra-node branch, so it is evaluated verbatim up front.
+  const double flat =
+      intra_alpha_ + static_cast<double>(bytes) / copy_bandwidth(bytes);
+  if (!hierarchy_.enabled) return flat;
+
+  // Block assignment of local ranks to sockets and NUMA domains: local rank
+  // lr occupies socket lr*sockets/ppn (and likewise for NUMA domains), the
+  // layout MPI process managers use with core binding.
+  const int lr_src = src % topo_.ppn;
+  const int lr_dst = dst % topo_.ppn;
+  const auto domain_of = [&](int lr, int domains) {
+    return static_cast<int>(static_cast<std::int64_t>(lr) * domains /
+                            topo_.ppn);
+  };
+  if (domain_of(lr_src, sockets_) != domain_of(lr_dst, sockets_)) {
+    // Cross-socket: one UPI/xGMI hop of extra latency, reduced bandwidth.
+    return intra_alpha_ * hierarchy_.socket_alpha_scale +
+           static_cast<double>(bytes) /
+               (copy_bandwidth(bytes) / hierarchy_.socket_bw_penalty);
+  }
+  if (domain_of(lr_src, numa_nodes_) == domain_of(lr_dst, numa_nodes_)) {
+    // Same NUMA domain: shared L3 slice, no NUMA interconnect tax (which
+    // copy_bandwidth bakes in as numa_penalty).
+    return intra_alpha_ * hierarchy_.numa_alpha_scale +
+           static_cast<double>(bytes) / (copy_bandwidth(bytes) * numa_penalty_);
+  }
+  // Same socket, different NUMA domain: the flat cost.
+  return flat;
 }
 
 double NetworkModel::copy_bandwidth(std::uint64_t bytes) const noexcept {

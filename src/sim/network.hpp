@@ -31,10 +31,44 @@ struct Topology {
   bool same_node(int a, int b) const noexcept { return node_of(a) == node_of(b); }
 };
 
+/// Intra-node shared-memory hierarchy configuration.
+///
+/// Disabled (the default) every intra-node transfer costs
+/// intra_alpha + bytes / copy_bandwidth regardless of which cores the
+/// endpoints occupy — bit-identical to the flat (pre-hierarchy) engine.
+/// Enabled, local ranks are block-assigned to the cluster's sockets and
+/// NUMA domains (local rank lr maps to socket lr*sockets/ppn) and an
+/// intra-node transfer pays a level-dependent cost:
+///   - same NUMA domain: reduced latency, no NUMA interconnect tax,
+///   - same socket, different NUMA domain: the flat cost,
+///   - cross-socket: extra latency and a UPI/xGMI bandwidth penalty.
+/// A plain parameter struct: carrying it through SimOptions costs no
+/// allocation, so the timing-only hot path stays 0-alloc either way.
+struct HierarchySpec {
+  bool enabled = false;
+  /// Latency scale for same-NUMA-domain transfers (shared L3 slice).
+  double numa_alpha_scale = 0.6;
+  /// Latency scale for cross-socket transfers (one interconnect hop).
+  double socket_alpha_scale = 1.5;
+  /// Bandwidth divisor for cross-socket transfers, on top of the model's
+  /// baked-in NUMA penalty.
+  double socket_bw_penalty = 1.25;
+
+  /// Enabled spec with the default level scales; the per-cluster
+  /// parameterisation comes from the hardware features (sockets, NUMA
+  /// domains, cache) already inside NetworkModel.
+  static HierarchySpec from_cluster(const ClusterSpec& /*cluster*/) {
+    return HierarchySpec{.enabled = true};
+  }
+
+  bool operator==(const HierarchySpec&) const = default;
+};
+
 /// Cost model for one (cluster, topology) pair.
 class NetworkModel {
  public:
-  NetworkModel(const ClusterSpec& cluster, Topology topo);
+  NetworkModel(const ClusterSpec& cluster, Topology topo,
+               HierarchySpec hierarchy = {});
 
   const Topology& topology() const noexcept { return topo_; }
 
@@ -91,8 +125,22 @@ class NetworkModel {
     return !topo_.same_node(src, dst);
   }
 
+  /// True when this model was built with an enabled HierarchySpec.
+  bool hierarchy_enabled() const noexcept { return hierarchy_.enabled; }
+  const HierarchySpec& hierarchy() const noexcept { return hierarchy_; }
+
+  /// Duration of one intra-node transfer of `bytes` between world ranks
+  /// `src` and `dst` (same node; excludes jitter). With the hierarchy
+  /// disabled this is exactly intra_alpha + bytes / copy_bandwidth(bytes) —
+  /// the flat engine's expression, bit for bit. Enabled, the endpoints'
+  /// socket/NUMA placement scales latency and bandwidth per HierarchySpec.
+  double intra_time(std::uint64_t bytes, int src, int dst) const noexcept;
+
  private:
   Topology topo_;
+  HierarchySpec hierarchy_{};
+  int sockets_ = 1;
+  int numa_nodes_ = 1;
   double inter_alpha_ = 0.0;
   double inter_bw_ = 0.0;
   double intra_alpha_ = 0.0;

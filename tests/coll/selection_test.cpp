@@ -1,0 +1,138 @@
+// Tests for the structured Selection API (label space v2): encoding
+// stability, v1-prefix layout of the selection space, topology support
+// rules, and v1 label decoding.
+#include <gtest/gtest.h>
+
+#include "coll/selection.hpp"
+#include "common/error.hpp"
+
+namespace pml::coll {
+namespace {
+
+TEST(Selection, FlatEncodesAsV1Name) {
+  for (const Collective c : all_collectives()) {
+    for (const Algorithm a : algorithms_for(c)) {
+      const Selection s = Selection::flat(a);
+      EXPECT_EQ(s.encode(), to_string(a));
+      EXPECT_EQ(s.display(), display_name(a));
+      EXPECT_EQ(s.collective(), c);
+      EXPECT_FALSE(s.hierarchical());
+    }
+  }
+}
+
+TEST(Selection, LeaderEncoding) {
+  const Selection s =
+      Selection::leader(Algorithm::kAgRing, Algorithm::kBcBinomial);
+  EXPECT_EQ(s.encode(), "leader:ring+binomial");
+  EXPECT_EQ(s.display(), "Leader (Ring / Binomial Tree)");
+  EXPECT_TRUE(s.hierarchical());
+  EXPECT_EQ(s.collective(), Collective::kAllgather);
+}
+
+TEST(Selection, EncodeDecodeRoundTripsOverEverySpace) {
+  for (const Collective c : all_collectives()) {
+    for (const Selection& s : selection_space(c)) {
+      EXPECT_EQ(Selection::decode(c, s.encode()), s) << s.encode();
+    }
+  }
+}
+
+TEST(Selection, DecodesBareV1Labels) {
+  // The collective context resolves names that are ambiguous across
+  // collectives, exactly like v1 tuning tables stored them.
+  EXPECT_EQ(Selection::decode(Collective::kAllgather, "ring"),
+            Selection::flat(Algorithm::kAgRing));
+  EXPECT_EQ(Selection::decode(Collective::kAllreduce, "ring"),
+            Selection::flat(Algorithm::kArRing));
+  EXPECT_EQ(Selection::decode(Collective::kAlltoall, "bruck"),
+            Selection::flat(Algorithm::kAaBruck));
+}
+
+TEST(Selection, DecodeRejectsMalformedInput) {
+  EXPECT_THROW(Selection::decode(Collective::kAllgather, "nope"), ConfigError);
+  EXPECT_THROW(Selection::decode(Collective::kAllgather, "leader:ring"),
+               ConfigError);
+  EXPECT_THROW(
+      Selection::decode(Collective::kAllgather, "leader:pairwise+binomial"),
+      ConfigError);  // alltoall algorithm in allgather context
+  EXPECT_THROW(Selection::decode(Collective::kAllgather, "leader:ring+ring"),
+               ConfigError);  // intra tier must be a bcast algorithm
+}
+
+TEST(SelectionSpace, FlatPrefixMatchesV1LabelSpace) {
+  for (const Collective c : all_collectives()) {
+    const auto& space = selection_space(c);
+    const auto& flat = algorithms_for(c);
+    ASSERT_GE(space.size(), flat.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      EXPECT_EQ(space[i], Selection::flat(flat[i]));
+      EXPECT_TRUE(space[i] == flat[i]);  // Algorithm comparison convenience
+    }
+    for (std::size_t i = flat.size(); i < space.size(); ++i) {
+      EXPECT_TRUE(space[i].hierarchical());
+      EXPECT_EQ(space[i].collective(), c);
+    }
+  }
+}
+
+TEST(SelectionSpace, Sizes) {
+  // flat + inter x fan-out (alltoall has no fan-out dimension).
+  EXPECT_EQ(selection_space(Collective::kAllgather).size(), 4u + 4u * 2u);
+  EXPECT_EQ(selection_space(Collective::kAlltoall).size(), 5u + 5u);
+  EXPECT_EQ(selection_space(Collective::kAllreduce).size(), 3u + 3u * 2u);
+  EXPECT_EQ(selection_space(Collective::kBcast).size(), 3u + 3u * 2u);
+}
+
+TEST(SelectionSupports, FlatMatchesAlgorithmSupport) {
+  for (const Collective c : all_collectives()) {
+    for (const Algorithm a : algorithms_for(c)) {
+      for (const sim::Topology topo :
+           {sim::Topology{1, 6}, sim::Topology{2, 4}, sim::Topology{3, 5}}) {
+        EXPECT_EQ(selection_supports(Selection::flat(a), topo),
+                  algorithm_supports(a, topo.world_size()));
+      }
+    }
+  }
+}
+
+TEST(SelectionSupports, LeaderNeedsTwoTiers) {
+  const Selection s =
+      Selection::leader(Algorithm::kAgRing, Algorithm::kBcBinomial);
+  EXPECT_FALSE(selection_supports(s, sim::Topology{1, 8}));   // single node
+  EXPECT_FALSE(selection_supports(s, sim::Topology{8, 1}));   // single rank/node
+  EXPECT_TRUE(selection_supports(s, sim::Topology{2, 2}));
+  // The inter algorithm must support the *node count*, not the world size.
+  const Selection rd = Selection::leader(Algorithm::kArRecursiveDoubling,
+                                         Algorithm::kBcBinomial);
+  EXPECT_TRUE(selection_supports(rd, sim::Topology{4, 3}));   // pow2 nodes
+  EXPECT_FALSE(selection_supports(rd, sim::Topology{3, 4}));  // 3 leaders
+}
+
+TEST(SelectionSupports, ValidSelectionsNeverEmpty) {
+  for (const Collective c : all_collectives()) {
+    for (const sim::Topology topo :
+         {sim::Topology{1, 1}, sim::Topology{1, 7}, sim::Topology{3, 5},
+          sim::Topology{4, 8}}) {
+      const auto valid = valid_selections(c, topo);
+      EXPECT_FALSE(valid.empty());
+      for (const Selection& s : valid) {
+        EXPECT_TRUE(selection_supports(s, topo));
+      }
+      if (topo.nodes >= 2 && topo.ppn >= 2) {
+        EXPECT_GT(valid.size(), valid_algorithms(c, topo.world_size()).size());
+      }
+    }
+  }
+}
+
+TEST(HierarchyKind, RoundTrip) {
+  EXPECT_EQ(hierarchy_kind_from_string(to_string(HierarchyKind::kFlat)),
+            HierarchyKind::kFlat);
+  EXPECT_EQ(hierarchy_kind_from_string(to_string(HierarchyKind::kLeader)),
+            HierarchyKind::kLeader);
+  EXPECT_THROW(hierarchy_kind_from_string("tree"), ConfigError);
+}
+
+}  // namespace
+}  // namespace pml::coll

@@ -139,7 +139,7 @@ TEST_F(CacheRobustnessTest, PoisonedLegacyCacheIsNotServed) {
   job.ppn = 16;
   job.entries.push_back(
       TuningEntry{std::numeric_limits<std::uint64_t>::max(),
-                  coll::Algorithm::kAgRing});
+                  coll::Selection::flat(coll::Algorithm::kAgRing)});
   poisoned.add(std::move(job));
   write_file(cache_file().string(), poisoned.to_json().dump(2) + "\n");
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <set>
 
+#include "coll/selection.hpp"
+
 namespace pml::core {
 namespace {
 
@@ -83,8 +85,12 @@ TEST(DatasetBuilder, ToMlDatasetShapes) {
   const auto data = to_ml_dataset(records, coll::Collective::kAllgather);
   EXPECT_EQ(data.size(), records.size());
   EXPECT_EQ(data.x.cols(), feature_count());
-  EXPECT_EQ(data.num_classes, 4);
-  EXPECT_EQ(data.class_names.size(), 4u);
+  // Classes index the full label-space-v2 selection space; flat builds
+  // simply leave the hierarchical suffix unpopulated.
+  const std::size_t space =
+      coll::selection_space(coll::Collective::kAllgather).size();
+  EXPECT_EQ(static_cast<std::size_t>(data.num_classes), space);
+  EXPECT_EQ(data.class_names.size(), space);
   EXPECT_NO_THROW(data.validate());
 }
 

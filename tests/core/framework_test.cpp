@@ -43,9 +43,9 @@ TEST(Framework, SelectsValidAlgorithmsOnUnseenCluster) {
     for (const int ppn : {7, 16, 28}) {  // includes non-pow2 worlds
       const sim::Topology topo{3, ppn};
       for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 3) {
-        const coll::Algorithm a = fw.select(collective, mri, topo, msg);
-        EXPECT_TRUE(coll::algorithm_supports(a, topo.world_size()));
-        EXPECT_EQ(coll::collective_of(a), collective);
+        const coll::Selection sel = fw.select(collective, mri, topo, msg);
+        EXPECT_TRUE(coll::selection_supports(sel, topo));
+        EXPECT_EQ(sel.collective(), collective);
       }
     }
   }
@@ -66,7 +66,7 @@ TEST(Framework, SelectManyAndSelectBatchMatchScalarSelect) {
        {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
     for (const int ppn : {7, 16, 28}) {
       const sim::Topology topo{3, ppn};
-      std::vector<coll::Algorithm> batched(sizes.size());
+      std::vector<coll::Selection> batched(sizes.size());
       fw.select_many(collective, mri, topo, sizes, batched);
       for (std::size_t i = 0; i < sizes.size(); ++i) {
         EXPECT_EQ(batched[i], fw.select(collective, mri, topo, sizes[i]))
@@ -86,7 +86,7 @@ TEST(Framework, SelectManyAndSelectBatchMatchScalarSelect) {
       }
     }
   }
-  std::vector<coll::Algorithm> out(queries.size());
+  std::vector<coll::Selection> out(queries.size());
   fw.select_batch(coll::Collective::kAlltoall, mri, queries, out);
   for (std::size_t i = 0; i < queries.size(); ++i) {
     EXPECT_EQ(out[i], fw.select(coll::Collective::kAlltoall, mri,
@@ -95,7 +95,7 @@ TEST(Framework, SelectManyAndSelectBatchMatchScalarSelect) {
   }
 
   // Shape mismatches fail loudly.
-  std::vector<coll::Algorithm> wrong(queries.size() + 1);
+  std::vector<coll::Selection> wrong(queries.size() + 1);
   EXPECT_THROW(
       fw.select_batch(coll::Collective::kAlltoall, mri, queries, wrong),
       TuningError);
@@ -106,18 +106,17 @@ TEST(Framework, BeatsRandomSelectionOnUnseenCluster) {
   RandomSelector random_sel(3);
   const auto& mri = sim::cluster_by_name("MRI");
   const sim::Topology topo{4, 64};
-  const sim::NetworkModel model(mri, topo);
   double log_ratio = 0.0;
   int n = 0;
   for (const auto collective :
        {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
     for (std::uint64_t msg = 1; msg <= (1u << 15); msg <<= 1) {
       const double t_fw = coll::analytic_cost(
-          model, fw.select(collective, mri, topo, msg), msg);
+          mri, topo, fw.select(collective, mri, topo, msg), msg);
       double t_rand = 0.0;
       for (int i = 0; i < 8; ++i) {
         t_rand += coll::analytic_cost(
-            model, random_sel.select(collective, mri, topo, msg), msg);
+            mri, topo, random_sel.select(collective, mri, topo, msg), msg);
       }
       t_rand /= 8.0;
       log_ratio += std::log(t_rand / t_fw);
@@ -132,14 +131,14 @@ TEST(Framework, NearOracleOnTrainingCluster) {
   OracleSelector oracle;
   const auto& rome = sim::cluster_by_name("Rome");  // in the training set
   const sim::Topology topo{4, 32};
-  const sim::NetworkModel model(rome, topo);
   double log_ratio = 0.0;
   int n = 0;
   for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 1) {
     const double t_fw = coll::analytic_cost(
-        model, fw.select(coll::Collective::kAlltoall, rome, topo, msg), msg);
+        rome, topo, fw.select(coll::Collective::kAlltoall, rome, topo, msg),
+        msg);
     const double t_orc = coll::analytic_cost(
-        model, oracle.select(coll::Collective::kAlltoall, rome, topo, msg),
+        rome, topo, oracle.select(coll::Collective::kAlltoall, rome, topo, msg),
         msg);
     log_ratio += std::log(t_fw / t_orc);
     ++n;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <tuple>
 
 #include "coll/cost.hpp"
 #include "common/error.hpp"
@@ -12,33 +14,40 @@ namespace {
 
 const sim::ClusterSpec& frontera() { return sim::cluster_by_name("Frontera"); }
 
-/// Every selector must return a valid algorithm across a broad sweep.
-class SelectorContract : public ::testing::TestWithParam<int> {};
+/// Every selector must return a valid selection across a broad sweep —
+/// single-node worlds (flat only) and multi-node grids (where leader
+/// schedules are also in play).
+class SelectorContract
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
-TEST_P(SelectorContract, AlwaysReturnsSupportedAlgorithm) {
-  const int world = GetParam();
+TEST_P(SelectorContract, AlwaysReturnsSupportedSelection) {
+  const auto [nodes, ppn] = GetParam();
   MvapichDefaultSelector mvapich;
   OpenMpiDefaultSelector ompi;
   RandomSelector random_sel(1);
   OracleSelector oracle;
-  Selector* selectors[] = {&mvapich, &ompi, &random_sel, &oracle};
-  const sim::Topology topo{1, world};
+  HeuristicSelector heuristic;
+  Selector* selectors[] = {&mvapich, &ompi, &random_sel, &oracle, &heuristic};
+  const sim::Topology topo{nodes, ppn};
   for (Selector* s : selectors) {
     for (const auto collective :
          {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
       for (std::uint64_t msg = 1; msg <= (1u << 20); msg <<= 4) {
-        const coll::Algorithm a =
+        const coll::Selection sel =
             s->select(collective, frontera(), topo, msg);
-        EXPECT_TRUE(coll::algorithm_supports(a, world))
-            << s->name() << " " << coll::display_name(a) << " p=" << world;
-        EXPECT_EQ(coll::collective_of(a), collective) << s->name();
+        EXPECT_TRUE(coll::selection_supports(sel, topo))
+            << s->name() << " " << sel.encode() << " topo=" << nodes << "x"
+            << ppn;
+        EXPECT_EQ(sel.collective(), collective) << s->name();
       }
     }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Worlds, SelectorContract,
-                         ::testing::Values(1, 2, 3, 7, 8, 12, 16, 28, 56));
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, SelectorContract,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 3, 8, 28, 56)));
 
 TEST(FirstSupported, PrefersEarlierEntries) {
   EXPECT_EQ(first_supported({coll::Algorithm::kAaRecursiveDoubling,
@@ -99,28 +108,28 @@ TEST(OpenMpiDefault, DiffersFromMvapichSomewhere) {
   EXPECT_TRUE(differ);
 }
 
-TEST(RandomSelectorTest, CoversAllValidAlgorithms) {
+TEST(RandomSelectorTest, CoversAllValidSelections) {
   RandomSelector s(5);
   const sim::Topology topo{2, 8};
-  std::set<coll::Algorithm> seen;
-  for (int i = 0; i < 200; ++i) {
-    seen.insert(s.select(coll::Collective::kAlltoall, frontera(), topo, 64));
+  std::set<std::string> seen;
+  for (int i = 0; i < 400; ++i) {
+    seen.insert(
+        s.select(coll::Collective::kAlltoall, frontera(), topo, 64).encode());
   }
   EXPECT_EQ(seen.size(),
-            coll::valid_algorithms(coll::Collective::kAlltoall, 16).size());
+            coll::valid_selections(coll::Collective::kAlltoall, topo).size());
 }
 
 TEST(OracleSelectorTest, MatchesExhaustiveArgmin) {
   OracleSelector s;
   const sim::Topology topo{2, 8};
-  const sim::NetworkModel model(frontera(), topo);
   for (std::uint64_t msg = 1; msg <= (1u << 18); msg <<= 3) {
     const auto choice =
         s.select(coll::Collective::kAllgather, frontera(), topo, msg);
-    const double chosen = coll::analytic_cost(model, choice, msg);
-    for (const auto a :
-         coll::valid_algorithms(coll::Collective::kAllgather, 16)) {
-      EXPECT_LE(chosen, coll::analytic_cost(model, a, msg) + 1e-15);
+    const double chosen = coll::analytic_cost(frontera(), topo, choice, msg);
+    for (const auto& sel :
+         coll::valid_selections(coll::Collective::kAllgather, topo)) {
+      EXPECT_LE(chosen, coll::analytic_cost(frontera(), topo, sel, msg) + 1e-15);
     }
   }
 }

@@ -9,6 +9,7 @@ namespace {
 
 using coll::Algorithm;
 using coll::Collective;
+using coll::Selection;
 
 JobTable simple_job(Collective c, int nodes, int ppn) {
   JobTable job;
@@ -16,9 +17,9 @@ JobTable simple_job(Collective c, int nodes, int ppn) {
   job.nodes = nodes;
   job.ppn = ppn;
   job.entries = {
-      TuningEntry{1024, Algorithm::kAgBruck},
-      TuningEntry{65536, Algorithm::kAgRecursiveDoubling},
-      TuningEntry{1 << 20, Algorithm::kAgRing},
+      TuningEntry{1024, Selection::flat(Algorithm::kAgBruck)},
+      TuningEntry{65536, Selection::flat(Algorithm::kAgRecursiveDoubling)},
+      TuningEntry{1 << 20, Selection::flat(Algorithm::kAgRing)},
   };
   return job;
 }
@@ -41,7 +42,7 @@ TEST(TuningTable, NearestJobShapeFallback) {
   TuningTable t("X");
   t.add(simple_job(Collective::kAllgather, 4, 8));
   JobTable big = simple_job(Collective::kAllgather, 16, 32);
-  big.entries = {TuningEntry{1 << 20, Algorithm::kAgRing}};
+  big.entries = {TuningEntry{1 << 20, Selection::flat(Algorithm::kAgRing)}};
   t.add(std::move(big));
   // (8, 16) is geometrically nearer to (4,8) than (16,32)? log-distance:
   // (1,1) vs (1,1) — tie broken by first match; just verify no throw and a
@@ -57,9 +58,9 @@ TEST(TuningTable, NearestTieBreakIsDeterministicAcrossRegistrationOrder) {
   // which job was added first — serve replies depend on lookup being
   // byte-stable for any job ordering.
   JobTable low = simple_job(Collective::kAllgather, 2, 8);
-  low.entries = {TuningEntry{1 << 20, Algorithm::kAgBruck}};
+  low.entries = {TuningEntry{1 << 20, Selection::flat(Algorithm::kAgBruck)}};
   JobTable high = simple_job(Collective::kAllgather, 8, 8);
-  high.entries = {TuningEntry{1 << 20, Algorithm::kAgRing}};
+  high.entries = {TuningEntry{1 << 20, Selection::flat(Algorithm::kAgRing)}};
 
   TuningTable low_first("X");
   low_first.add(low);
@@ -75,9 +76,9 @@ TEST(TuningTable, NearestTieBreakIsDeterministicAcrossRegistrationOrder) {
 
   // Same story on the ppn axis: (4,4) ties between (4,2) and (4,8).
   JobTable narrow = simple_job(Collective::kAlltoall, 4, 2);
-  narrow.entries = {TuningEntry{1 << 20, Algorithm::kAaBruck}};
+  narrow.entries = {TuningEntry{1 << 20, Selection::flat(Algorithm::kAaBruck)}};
   JobTable wide = simple_job(Collective::kAlltoall, 4, 8);
-  wide.entries = {TuningEntry{1 << 20, Algorithm::kAaPairwise}};
+  wide.entries = {TuningEntry{1 << 20, Selection::flat(Algorithm::kAaPairwise)}};
   TuningTable wide_first("X");
   wide_first.add(wide);
   wide_first.add(narrow);
@@ -122,8 +123,8 @@ TEST(TuningTable, JsonRoundTrip) {
   aa.collective = Collective::kAlltoall;
   aa.nodes = 2;
   aa.ppn = 16;
-  aa.entries = {TuningEntry{512, Algorithm::kAaBruck},
-                TuningEntry{1 << 20, Algorithm::kAaPairwise}};
+  aa.entries = {TuningEntry{512, Selection::flat(Algorithm::kAaBruck)},
+                TuningEntry{1 << 20, Selection::flat(Algorithm::kAaPairwise)}};
   t.add(std::move(aa));
 
   const TuningTable restored =
@@ -150,12 +151,14 @@ TEST(TuningTable, GenerateCompressesRanges) {
   class TwoRange final : public Selector {
    public:
     std::string name() const override { return "two-range"; }
-    coll::Algorithm select(Collective c, const sim::ClusterSpec&,
+    coll::Selection select(Collective c, const sim::ClusterSpec&,
                            sim::Topology, std::uint64_t msg) override {
       if (c == Collective::kAllgather) {
-        return msg <= 4096 ? Algorithm::kAgBruck : Algorithm::kAgRing;
+        return Selection::flat(msg <= 4096 ? Algorithm::kAgBruck
+                                           : Algorithm::kAgRing);
       }
-      return msg <= 4096 ? Algorithm::kAaBruck : Algorithm::kAaPairwise;
+      return Selection::flat(msg <= 4096 ? Algorithm::kAaBruck
+                                         : Algorithm::kAaPairwise);
     }
   };
   TwoRange selector;

@@ -52,9 +52,9 @@ void expect_covers_grid(const core::TuningTable& table) {
     for (const int nodes : kNodes) {
       for (const int ppn : kPpn) {
         for (const std::uint64_t bytes : kSizes) {
-          const coll::Algorithm a =
+          const coll::Selection s =
               table.lookup(collective, nodes, ppn, bytes);
-          EXPECT_TRUE(coll::algorithm_supports(a, nodes * ppn))
+          EXPECT_TRUE(coll::selection_supports(s, sim::Topology{nodes, ppn}))
               << coll::to_string(collective) << " " << nodes << "x" << ppn
               << " @" << bytes;
         }

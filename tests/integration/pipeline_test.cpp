@@ -55,11 +55,11 @@ TEST(Pipeline, TrainShipCompileRunOnUnseenCluster) {
        {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
     for (const std::uint64_t msg : {16ull, 2048ull}) {
       const sim::Topology topo{2, 8};
-      const coll::Algorithm choice =
+      const coll::Selection choice =
           table.lookup(collective, topo.nodes, topo.ppn, msg);
-      const auto result = coll::run_collective(mri, topo, choice, msg);
+      const auto result = coll::run_selection(mri, topo, choice, msg);
       EXPECT_TRUE(result.verified)
-          << coll::to_string(collective) << " " << coll::display_name(choice);
+          << coll::to_string(collective) << " " << choice.display();
       EXPECT_GT(result.seconds, 0.0);
     }
   }
@@ -78,10 +78,10 @@ TEST(Pipeline, TableChoicesNearOptimalOnEventEngine) {
   for (const auto collective :
        {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
     for (const std::uint64_t msg : {8ull, 256ull, 8192ull, 131072ull}) {
-      const coll::Algorithm choice =
+      const coll::Selection choice =
           fw.select(collective, frontera, topo, msg);
       const double t_choice =
-          coll::run_collective(frontera, topo, choice, msg).seconds;
+          coll::run_selection(frontera, topo, choice, msg).seconds;
       double t_best = t_choice;
       for (const auto a :
            coll::valid_algorithms(collective, topo.world_size())) {
@@ -108,14 +108,13 @@ TEST(Pipeline, LeaveClusterOutBeatsStaticDefaultOnAverage) {
   int n = 0;
   for (const int ppn : {64, 128}) {
     const sim::Topology topo{4, ppn};
-    const sim::NetworkModel model(mri, topo);
     for (const auto collective :
          {coll::Collective::kAllgather, coll::Collective::kAlltoall}) {
       for (std::uint64_t msg = 1; msg <= (1u << 15); msg <<= 1) {
         const double t_fw = coll::analytic_cost(
-            model, fw.select(collective, mri, topo, msg), msg);
+            mri, topo, fw.select(collective, mri, topo, msg), msg);
         const double t_def = coll::analytic_cost(
-            model, mvapich.select(collective, mri, topo, msg), msg);
+            mri, topo, mvapich.select(collective, mri, topo, msg), msg);
         log_ratio += std::log(t_def / t_fw);
         ++n;
       }

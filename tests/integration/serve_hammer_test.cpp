@@ -232,10 +232,13 @@ TEST_F(ServeHammerTest, CoalescedSelectsMatchDirectInference) {
           mismatches.fetch_add(1);
           continue;
         }
-        const coll::Algorithm expected = trained().select(
+        const coll::Selection expected = trained().select(
             q.collective, sim::cluster_by_name("Frontera"),
             sim::Topology{q.nodes, q.ppn}, q.msg_bytes);
-        if (reply.at("algorithm").as_string() != coll::to_string(expected)) {
+        if (reply.at("algorithm").as_string() !=
+                coll::to_string(expected.algorithm) ||
+            reply.at("selection").at("encoded").as_string() !=
+                expected.encode()) {
           mismatches.fetch_add(1);
         }
       }

@@ -3,20 +3,21 @@
 //   pml train   --out model.json [--exclude Frontera,MRI] [--trees N]
 //               [--top-features K] [--collectives allgather,alltoall,...]
 //               [--threads N] [--cost-source analytic|engine]
-//               [--prune-topk K] [--prune-epsilon P]
+//               [--prune-topk K] [--prune-epsilon P] [--hierarchy]
 //       Offline stage: build the tuning dataset from the built-in Table-I
 //       clusters (minus exclusions) and write the pre-trained bundle.
 //       --threads caps training parallelism (0 = all hardware threads,
 //       1 = serial); the bundle is bit-identical at any thread count.
 //       --cost-source engine measures cells on the event engine with
 //       analytic top-k pruning (--prune-topk, --prune-epsilon; see
-//       `pml dataset`).
+//       `pml dataset`). --hierarchy trains over label space v2: flat
+//       algorithms plus leader-based hierarchical schedules.
 //
 //   pml dataset --out dataset.json --collective alltoall
 //               [--clusters A,B | --exclude A,B] [--cost-source ...]
 //               [--prune-topk K] [--prune-epsilon P] [--audit]
 //               [--fault-plan plan.json] [--iterations N] [--seed S]
-//               [--threads N]
+//               [--threads N] [--hierarchy]
 //       Build (and persist) one collective's tuning dataset without
 //       training: a "dataset"-kind artifact holding every record. The
 //       engine cost source accepts a fault plan (which disables pruning —
@@ -32,7 +33,8 @@
 //
 //   pml query   --table table.json --collective alltoall --nodes 16
 //               --ppn 56 --bytes 4096
-//       Runtime lookup: print the selected algorithm.
+//       Runtime lookup: print the selected schedule (display name plus
+//       the stable label-space-v2 encoding, e.g. "leader:ring+binomial").
 //
 //   pml inspect --model model.json
 //       Show per-collective model shape and feature importances.
@@ -202,12 +204,36 @@ sim::ClusterSpec load_cluster(const std::string& name_or_path) {
   return sim::cluster_by_name(name_or_path);
 }
 
-int cmd_train(const std::map<std::string, std::string>& args) {
+/// `pml train`: offline stage. Parses argv directly (like dataset)
+/// because --hierarchy is a boolean flag; installs its own trace/metrics
+/// capture so the global options keep working.
+int cmd_train(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  bool hierarchy = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--hierarchy") {
+      hierarchy = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      usage(("train: unexpected argument: " + arg).c_str());
+    }
+    if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+    args[arg.substr(2)] = argv[++i];
+  }
+
+  obs::Sink sink;
+  if (args.contains("trace")) sink.chrome_trace = args.at("trace");
+  if (args.contains("metrics")) sink.metrics = args.at("metrics");
+  obs::ScopedCapture capture(std::move(sink));
+
   const std::string out = require(args, "out");
   const std::vector<sim::ClusterSpec> training = select_clusters(args);
 
   core::TrainOptions options;
   apply_sweep_args(args, options.build);
+  options.build.hierarchy = hierarchy;
   if (args.contains("trees")) {
     options.forest.n_trees = parse_int(args.at("trees"), "--trees");
   }
@@ -236,10 +262,15 @@ int cmd_train(const std::map<std::string, std::string>& args) {
 int cmd_dataset(int argc, char** argv) {
   std::map<std::string, std::string> args;
   bool audit = false;
+  bool hierarchy = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--audit") {
       audit = true;
+      continue;
+    }
+    if (arg == "--hierarchy") {
+      hierarchy = true;
       continue;
     }
     if (arg.rfind("--", 0) != 0) {
@@ -262,6 +293,7 @@ int cmd_dataset(int argc, char** argv) {
   core::BuildOptions options;
   apply_sweep_args(args, options);
   options.prune_audit = audit;
+  options.hierarchy = hierarchy;
   if (args.contains("iterations")) {
     options.iterations = parse_int(args.at("iterations"), "--iterations");
   }
@@ -330,8 +362,8 @@ int cmd_query(const std::map<std::string, std::string>& args) {
   const int nodes = parse_int(require(args, "nodes"), "--nodes");
   const int ppn = parse_int(require(args, "ppn"), "--ppn");
   const auto bytes = parse_u64(require(args, "bytes"), "--bytes");
-  const coll::Algorithm a = table.lookup(collective, nodes, ppn, bytes);
-  std::printf("%s\n", coll::display_name(a).c_str());
+  const coll::Selection s = table.lookup(collective, nodes, ppn, bytes);
+  std::printf("%s [%s]\n", s.display().c_str(), s.encode().c_str());
   return 0;
 }
 
@@ -577,11 +609,12 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
-    // doctor, serve, and dataset take boolean flags, so they parse argv
-    // themselves.
+    // doctor, serve, dataset, and train take boolean flags, so they
+    // parse argv themselves.
     if (command == "doctor") return cmd_doctor(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
     if (command == "dataset") return cmd_dataset(argc, argv);
+    if (command == "train") return cmd_train(argc, argv);
     const auto args = parse_args(argc, argv, 2);
     if (command == "stats") return cmd_stats(args);
 
@@ -592,7 +625,6 @@ int main(int argc, char** argv) {
     if (args.contains("metrics")) sink.metrics = args.at("metrics");
     obs::ScopedCapture capture(std::move(sink));
 
-    if (command == "train") return cmd_train(args);
     if (command == "compile") return cmd_compile(args);
     if (command == "query") return cmd_query(args);
     if (command == "inspect") return cmd_inspect(args);
