@@ -28,6 +28,22 @@
 #include "common/artifact.hpp"
 #include "core/serve.hpp"
 
+// Under a sanitizer the absolute throughput targets are meaningless
+// (TSan alone is a 10-20x slowdown), so the gate downgrades to
+// informational: the numbers still print, but only a native build can
+// fail on them. Sanitized CI jobs run this smoke for the race/UB
+// coverage of the hot path, not for wall-clock.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PML_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PML_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef PML_BENCH_SANITIZED
+#define PML_BENCH_SANITIZED 0
+#endif
+
 namespace {
 
 using namespace pml;
@@ -172,6 +188,10 @@ int verify_cached_hot_path() {
   std::printf("serve_throughput gate: %.0f cached selections/sec/core, "
               "p99 = %.4f ms (targets: >= 100k/sec, < 1 ms)\n",
               per_second, p99_ms);
+  if (PML_BENCH_SANITIZED) {
+    std::printf("sanitized build: gate informational, not enforced\n");
+    return 0;
+  }
   if (per_second < 100000.0) {
     std::fprintf(stderr,
                  "FAIL: cached select throughput %.0f/sec below 100k/sec\n",

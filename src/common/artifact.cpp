@@ -253,4 +253,82 @@ void retry_sleep(const RetryPolicy& policy, double seconds) {
 
 }  // namespace detail
 
+// --- CircuitBreaker ----------------------------------------------------------
+
+const char* to_string(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: break;
+  }
+  return "half-open";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerPolicy policy)
+    : policy_(std::move(policy)) {
+  if (policy_.failure_threshold < 1) policy_.failure_threshold = 1;
+}
+
+double CircuitBreaker::clock() const {
+  if (policy_.now) return policy_.now();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+CircuitBreaker::Decision CircuitBreaker::try_acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Decision::kAllow;
+    case BreakerState::kOpen:
+      if (clock() < open_until_) return Decision::kReject;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return Decision::kProbe;
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return Decision::kReject;
+      probe_in_flight_ = true;
+      return Decision::kProbe;
+  }
+  return Decision::kReject;  // unreachable
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = BreakerState::kClosed;
+  failures_ = 0;
+  open_count_ = 0;
+  probe_in_flight_ = false;
+}
+
+bool CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failures_;
+  const bool opens = state_ == BreakerState::kHalfOpen ||
+                     (state_ == BreakerState::kClosed &&
+                      failures_ >= policy_.failure_threshold);
+  if (!opens) return false;
+  probe_in_flight_ = false;
+  state_ = BreakerState::kOpen;
+  ++open_count_;
+  double window = policy_.open_seconds;
+  for (int i = 1; i < open_count_ && window < policy_.max_open_seconds; ++i) {
+    window *= policy_.backoff_multiplier;
+  }
+  if (window > policy_.max_open_seconds) window = policy_.max_open_seconds;
+  open_until_ = clock() + window;
+  return true;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
 }  // namespace pml

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -148,5 +149,77 @@ auto with_retry(const RetryPolicy& policy, F&& attempt) -> decltype(attempt()) {
     }
   }
 }
+
+// --- Circuit breaker ---------------------------------------------------------
+//
+// with_retry handles a transiently failing operation *within* one call;
+// the breaker handles an operation that keeps failing *across* calls
+// (e.g. serve-side model recompiles against a broken artifact). After a
+// threshold of consecutive failures the breaker opens for a bounded-
+// exponential backoff window — callers skip the doomed operation and
+// take their fallback immediately — then lets exactly one half-open
+// probe through; the probe's outcome closes or re-opens it.
+
+/// Breaker tuning. The backoff shape mirrors RetryPolicy (base window,
+/// multiplicative growth), with an injectable clock instead of an
+/// injectable sleep: the breaker never sleeps, it timestamps.
+struct BreakerPolicy {
+  int failure_threshold = 3;       ///< consecutive failures that open it
+  double open_seconds = 5.0;       ///< first open window
+  double backoff_multiplier = 2.0; ///< window growth per re-open
+  double max_open_seconds = 60.0;  ///< window cap
+  /// Injectable monotonic clock (seconds) for tests; a steady_clock
+  /// read when unset.
+  std::function<double()> now;
+};
+
+enum class BreakerState {
+  kClosed,    ///< failures below threshold: all calls allowed
+  kOpen,      ///< backoff window running: all calls rejected
+  kHalfOpen,  ///< window expired: one probe in flight, others rejected
+};
+
+/// Stable state name ("closed", "open", "half-open").
+const char* to_string(BreakerState state) noexcept;
+
+/// Thread-safe circuit breaker. Callers bracket the guarded operation
+/// with try_acquire() / record_success() / record_failure(); a rejected
+/// caller takes its degradation path without touching the operation.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerPolicy policy = {});
+
+  enum class Decision {
+    kAllow,   ///< closed: run the operation
+    kProbe,   ///< half-open: run it as the recovery probe
+    kReject,  ///< open (or a probe is already in flight): take the fallback
+  };
+
+  /// Ask to attempt the operation. kProbe is handed to exactly one
+  /// caller per expired window; that caller must report the outcome via
+  /// record_success()/record_failure() or the breaker stays half-open.
+  Decision try_acquire();
+
+  /// The operation succeeded: close, reset failure count and backoff.
+  void record_success();
+
+  /// The operation failed. Returns true when *this* failure opened (or
+  /// re-opened) the breaker — callers use it to count open transitions.
+  bool record_failure();
+
+  BreakerState state() const;
+  int consecutive_failures() const;
+
+ private:
+  double clock() const;
+
+  mutable std::mutex mutex_;
+  BreakerPolicy policy_;
+  BreakerState state_ = BreakerState::kClosed;
+  int failures_ = 0;        ///< consecutive failures since last success
+  int open_count_ = 0;      ///< consecutive open windows (backoff exponent)
+  double open_until_ = 0.0; ///< clock() time the current window expires
+  bool probe_in_flight_ = false;
+};
 
 }  // namespace pml

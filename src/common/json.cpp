@@ -29,6 +29,16 @@ bool JsonObject::contains(const std::string& key) const noexcept {
   return false;
 }
 
+std::int64_t Json::as_int() const {
+  const double d = as_number();
+  // 2^63 is exactly representable as a double; the valid range is
+  // [-2^63, 2^63) because the cast truncates toward zero.
+  if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+    throw JsonError("number out of integer range");
+  }
+  return static_cast<std::int64_t>(d);
+}
+
 namespace {
 
 void dump_string(const std::string& s, std::string& out) {
@@ -169,7 +179,14 @@ class Parser {
     return false;
   }
 
+  /// The parser recurses once per nesting level, so adversarial input
+  /// ("[[[[..." from a network peer) must hit a JsonError long before it
+  /// can exhaust the thread's stack. 192 levels is far beyond any
+  /// artifact or protocol document this library exchanges.
+  static constexpr int kMaxDepth = 192;
+
   Json parse_value() {
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 192 levels");
     skip_ws();
     const char c = peek();
     switch (c) {
@@ -190,11 +207,13 @@ class Parser {
   }
 
   Json parse_object() {
+    ++depth_;
     expect('{');
     JsonObject obj;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return Json(std::move(obj));
     }
     while (true) {
@@ -209,15 +228,18 @@ class Parser {
       if (c == '}') break;
       if (c != ',') fail("expected ',' or '}' in object");
     }
+    --depth_;
     return Json(std::move(obj));
   }
 
   Json parse_array() {
+    ++depth_;
     expect('[');
     Json::Array arr;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return Json(std::move(arr));
     }
     while (true) {
@@ -228,6 +250,7 @@ class Parser {
       if (c == ']') break;
       if (c != ',') fail("expected ',' or ']' in array");
     }
+    --depth_;
     return Json(std::move(arr));
   }
 
@@ -306,6 +329,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -73,7 +73,10 @@ class Json {
 
   bool as_bool() const { return get<bool>("bool"); }
   double as_number() const { return get<double>("number"); }
-  std::int64_t as_int() const { return static_cast<std::int64_t>(as_number()); }
+  /// Integral view of a number. Throws JsonError when the value does not
+  /// fit in int64 (NaN, ±inf, |x| >= 2^63): casting such doubles is UB,
+  /// and every legitimate artifact field is far below the limit.
+  std::int64_t as_int() const;
   const std::string& as_string() const { return get<std::string>("string"); }
   const Array& as_array() const { return get<Array>("array"); }
   Array& as_array() { return get<Array>("array"); }

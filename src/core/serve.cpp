@@ -3,16 +3,21 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
 #include <optional>
 
 #include "common/artifact.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
+#include "common/version.hpp"
 #include "core/selectors.hpp"
 #include "sim/hardware.hpp"
 
@@ -43,10 +48,27 @@ const Json& require_field(const Json& request, const char* key) {
 
 int require_positive_int(const Json& request, const char* key) {
   const std::int64_t v = require_field(request, key).as_int();
-  if (v < 1) {
-    throw ConfigError(std::string("serve: \"") + key + "\" must be >= 1");
+  if (v < 1 || v > std::numeric_limits<int>::max()) {
+    throw ConfigError(std::string("serve: \"") + key +
+                      "\" must be a positive 32-bit integer");
   }
   return static_cast<int>(v);
+}
+
+std::uint64_t require_nonneg_u64(const Json& request, const char* key) {
+  const std::int64_t v = require_field(request, key).as_int();
+  if (v < 0) {
+    throw ConfigError(std::string("serve: \"") + key + "\" must be >= 0");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Optional "deadline_ms" on waited requests; -1 = wait forever.
+std::int64_t deadline_ms_of(const Json& request) {
+  if (!request.contains("deadline_ms")) return -1;
+  const std::int64_t v = request.at("deadline_ms").as_int();
+  if (v < 0) throw ConfigError("serve: \"deadline_ms\" must be >= 0");
+  return v;
 }
 
 bool truthy_flag(const Json& request, const char* key) {
@@ -97,6 +119,10 @@ std::string error_reply(const std::string& what, ErrorCode code) {
 
 }  // namespace
 
+std::string serve_error_line(const std::string& what, ErrorCode code) {
+  return error_reply(what, code);
+}
+
 // --- ServeOptions -----------------------------------------------------------
 
 void ServeOptions::validate() const {
@@ -105,6 +131,16 @@ void ServeOptions::validate() const {
     throw ConfigError("serve: shard_capacity must be >= 1");
   }
   if (micro_batch < 1) throw ConfigError("serve: micro_batch must be >= 1");
+  if (max_line_bytes < 64) {
+    throw ConfigError("serve: max_line_bytes must be >= 64");
+  }
+  if (max_connections < 1) {
+    throw ConfigError("serve: max_connections must be >= 1");
+  }
+  if (read_timeout_ms < 0) {
+    throw ConfigError("serve: read_timeout_ms must be >= 0");
+  }
+  if (queue_limit < 1) throw ConfigError("serve: queue_limit must be >= 1");
   compile.validate();
 }
 
@@ -250,7 +286,8 @@ void ServeEngine::LatencyRecorder::record(std::uint64_t ns) {
 ServeEngine::ServeEngine(ServeOptions options)
     : options_(std::move(options)),
       model_(options_.model_path),
-      cache_(options_.shards, options_.shard_capacity) {
+      cache_(options_.shards, options_.shard_capacity),
+      breaker_(options_.breaker) {
   options_.validate();
 }
 
@@ -261,6 +298,42 @@ void ServeEngine::drain() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ServeEngine::begin_drain() {
+  if (!draining_.exchange(true)) {
+    static obs::Counter draining("serve.drain.begin");
+    draining.increment();
+  }
+}
+
+int ServeEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  return in_flight_;
+}
+
+void ServeEngine::add_connection(int delta) {
+  const int now = connections_.fetch_add(delta) + delta;
+  static obs::Gauge gauge("serve.connections");
+  gauge.set(now);
+}
+
+void ServeEngine::note_evicted() {
+  evicted_.fetch_add(1);
+  static obs::Counter evicted("serve.evicted");
+  evicted.increment();
+}
+
+void ServeEngine::note_overloaded() {
+  overloaded_.fetch_add(1);
+  static obs::Counter overloaded("serve.overloaded");
+  overloaded.increment();
+}
+
+void ServeEngine::note_overlong() {
+  overlong_.fetch_add(1);
+  static obs::Counter overlong("serve.overlong_line");
+  overlong.increment();
+}
+
 ServeEngine::Stats ServeEngine::stats() const {
   Stats s;
   s.requests = requests_.load();
@@ -269,6 +342,12 @@ ServeEngine::Stats ServeEngine::stats() const {
   s.compiles = compiles_.load();
   s.degraded = degraded_.load();
   s.errors = errors_.load();
+  s.shed = shed_.load();
+  s.deadline_expired = deadline_expired_.load();
+  s.compile_failures = compile_failures_.load();
+  s.evicted = evicted_.load();
+  s.overloaded = overloaded_.load();
+  s.overlong = overlong_.load();
   return s;
 }
 
@@ -294,36 +373,57 @@ std::string ServeEngine::cache_key(const std::string& checksum,
          hex16(fnv1a64(sweep));
 }
 
-std::shared_ptr<ServeEngine::CompileJob> ServeEngine::ensure_compile(
+ServeEngine::AdmitResult ServeEngine::admit_compile(
     const std::string& key, const sim::ClusterSpec& cluster,
     const CompileOptions& resolved) {
+  static obs::Gauge queue_gauge("serve.queue.depth");
   std::shared_ptr<CompileJob> job;
-  bool created = false;
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     const auto it = jobs_.find(key);
     if (it != jobs_.end()) {
-      job = it->second;
-    } else {
-      job = std::make_shared<CompileJob>();
-      jobs_.emplace(key, job);
-      ++in_flight_;
-      created = true;
+      // Joining an existing job adds no queue pressure and must not be
+      // shed: the work is already paid for.
+      return {it->second, Admission::kAdmitted};
     }
-  }
-  if (created) {
-    // Captures by value: the transport thread that triggered the miss
-    // may be gone (client hung up) before the compile runs.
-    auto run = [this, job, key, cluster, resolved] {
-      run_compile(job, key, cluster, resolved);
-    };
-    if (options_.async_compile) {
-      ThreadPool::shared().post(std::move(run));
-    } else {
-      run();
+    if (in_flight_ >= options_.queue_limit) {
+      shed_.fetch_add(1);
+      static obs::Counter shed("serve.shed");
+      shed.increment();
+      return {nullptr, Admission::kShed};
     }
+    // Breaker checked after the queue-limit gate so a request that would
+    // be shed anyway never consumes the half-open probe token.
+    switch (breaker_.try_acquire()) {
+      case CircuitBreaker::Decision::kReject: {
+        static obs::Counter rejected("serve.breaker.rejected");
+        rejected.increment();
+        return {nullptr, Admission::kBreakerOpen};
+      }
+      case CircuitBreaker::Decision::kProbe: {
+        static obs::Counter probe("serve.breaker.probe");
+        probe.increment();
+        break;
+      }
+      case CircuitBreaker::Decision::kAllow:
+        break;
+    }
+    job = std::make_shared<CompileJob>();
+    jobs_.emplace(key, job);
+    ++in_flight_;
+    queue_gauge.set(in_flight_);
   }
-  return job;
+  // Captures by value: the transport thread that triggered the miss
+  // may be gone (client hung up) before the compile runs.
+  auto run = [this, job, key, cluster, resolved] {
+    run_compile(job, key, cluster, resolved);
+  };
+  if (options_.async_compile) {
+    ThreadPool::shared().post(std::move(run));
+  } else {
+    run();
+  }
+  return {job, Admission::kAdmitted};
 }
 
 void ServeEngine::run_compile(const std::shared_ptr<CompileJob>& job,
@@ -331,8 +431,10 @@ void ServeEngine::run_compile(const std::shared_ptr<CompileJob>& job,
                               const sim::ClusterSpec& cluster,
                               const CompileOptions& resolved) noexcept {
   std::shared_ptr<const ServedTable> result;
+  bool failed = false;
   try {
     obs::Span span("serve.compile");
+    if (options_.compile_fault) options_.compile_fault();
     // Re-read the artifact first: this is both how a redeployed model is
     // picked up and how a corrupted one drops the ladder to heuristics.
     model_.revalidate();
@@ -350,10 +452,26 @@ void ServeEngine::run_compile(const std::shared_ptr<CompileJob>& job,
       result = std::move(entry);
     }
   } catch (const std::exception& err) {
-    static obs::Counter failed("serve.compile_failed");
-    failed.increment();
+    failed = true;
+    compile_failures_.fetch_add(1);
+    static obs::Counter failed_counter("serve.compile_failed");
+    failed_counter.increment();
     warn("serve: recompile failed (" + std::string(err.what()) +
          "); waiters fall back to heuristics");
+  }
+  if (failed) {
+    if (breaker_.record_failure()) {
+      static obs::Counter opened("serve.breaker.open");
+      opened.increment();
+      warn(
+          "serve: compile circuit breaker opened after repeated failures; "
+          "misses answer from the heuristic rung until a probe succeeds");
+    }
+  } else {
+    // "Nothing to compile" (no model) resolves the breaker too: a probe
+    // must always be accounted for or the breaker would stay half-open
+    // rejecting forever, and a model-less compile pass costs nothing.
+    breaker_.record_success();
   }
   {
     std::lock_guard<std::mutex> lock(job->mutex);
@@ -367,16 +485,33 @@ void ServeEngine::run_compile(const std::shared_ptr<CompileJob>& job,
     // and sees the freshly cached entry — never neither. Notify while
     // still holding the lock: once it drops with in_flight_ == 0 the
     // destructor's drain() may return and destroy the condition variable.
+    static obs::Gauge queue_gauge("serve.queue.depth");
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     jobs_.erase(requested_key);
     --in_flight_;
+    queue_gauge.set(in_flight_);
     idle_cv_.notify_all();
   }
 }
 
-std::shared_ptr<const ServedTable> ServeEngine::wait_for(CompileJob& job) {
+std::shared_ptr<const ServedTable> ServeEngine::wait_for(
+    CompileJob& job, std::int64_t deadline_ms, bool& timed_out) {
+  timed_out = false;
   std::unique_lock<std::mutex> lock(job.mutex);
-  job.cv.wait(lock, [&job] { return job.done; });
+  if (deadline_ms < 0) {
+    job.cv.wait(lock, [&job] { return job.done; });
+    return job.result;
+  }
+  if (!job.cv.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                       [&job] { return job.done; })) {
+    // Deadline lapsed: the compile keeps running (the next request will
+    // hit its cached result); this reply degrades to the current rung.
+    timed_out = true;
+    deadline_expired_.fetch_add(1);
+    static obs::Counter expired("serve.deadline.expired");
+    expired.increment();
+    return nullptr;
+  }
   return job.result;
 }
 
@@ -482,8 +617,7 @@ std::string ServeEngine::handle_select(const Json& request) {
       require_field(request, "collective").as_string());
   const int nodes = require_positive_int(request, "nodes");
   const int ppn = require_positive_int(request, "ppn");
-  const std::uint64_t msg_bytes = static_cast<std::uint64_t>(
-      require_field(request, "msg_bytes").as_int());
+  const std::uint64_t msg_bytes = require_nonneg_u64(request, "msg_bytes");
   const std::string checksum = model_.checksum();
 
   // A cached select must not pay for what only a miss needs: for a named
@@ -519,6 +653,8 @@ std::string ServeEngine::handle_select(const Json& request) {
   std::string cache_state = "hit";
   std::string source = "table";
   bool degraded = false;
+  bool timed_out = false;
+  Admission admission = Admission::kAdmitted;
   coll::Selection selection = coll::Selection::flat(coll::Algorithm::kAgRing);
 
   std::shared_ptr<const ServedTable> entry = cache_.get(key);
@@ -531,16 +667,31 @@ std::string ServeEngine::handle_select(const Json& request) {
     static obs::Counter misses("serve.cache.miss");
     misses.increment();
     materialize();
-    const std::shared_ptr<CompileJob> job =
-        ensure_compile(key, *cluster, *resolved);
-    if (truthy_flag(request, "wait")) {
-      entry = wait_for(*job);
+    const AdmitResult admitted = admit_compile(key, *cluster, *resolved);
+    admission = admitted.admission;
+    if (admitted.job != nullptr && truthy_flag(request, "wait")) {
+      entry = wait_for(*admitted.job, deadline_ms_of(request), timed_out);
       if (entry != nullptr) cache_state = "compiled";
     }
   }
 
   if (entry != nullptr) {
     selection = entry->table.lookup(collective, nodes, ppn, msg_bytes);
+  } else if (admission != Admission::kAdmitted) {
+    // Shed (queue full) and breaker-open misses skip even direct model
+    // inference — the point of both is to spend nothing extra on this
+    // request. The reply is still a valid selection, one rung down.
+    cache_state = "miss";
+    source = admission == Admission::kShed ? "shed" : "heuristic";
+    degraded = true;
+    degraded_.fetch_add(1);
+    static obs::Counter fallback("online.fallback.heuristic");
+    fallback.increment();
+    static obs::Counter served_degraded("serve.degraded");
+    served_degraded.increment();
+    selection = HeuristicSelector().select(collective, *cluster,
+                                           sim::Topology{nodes, ppn},
+                                           msg_bytes);
   } else if (const std::shared_ptr<PmlFramework> framework =
                  model_.framework()) {
     // Miss, not waiting, model healthy: answer by direct inference while
@@ -585,6 +736,10 @@ std::string ServeEngine::handle_select(const Json& request) {
   reply["cache"] = cache_state;
   reply["source"] = source;
   reply["degraded"] = degraded;
+  if (timed_out) reply["deadline"] = std::string("expired");
+  if (admission == Admission::kBreakerOpen) {
+    reply["breaker"] = std::string("open");
+  }
   return reply.dump();
 }
 
@@ -596,6 +751,8 @@ std::string ServeEngine::handle_table(const Json& request) {
   const std::string key = cache_key(model_.checksum(), cluster, resolved);
 
   std::string cache_state = "hit";
+  bool timed_out = false;
+  Admission admission = Admission::kAdmitted;
   std::shared_ptr<const ServedTable> entry = cache_.get(key);
   if (entry != nullptr) {
     cache_hits_.fetch_add(1);
@@ -605,10 +762,10 @@ std::string ServeEngine::handle_table(const Json& request) {
     cache_misses_.fetch_add(1);
     static obs::Counter misses("serve.cache.miss");
     misses.increment();
-    const std::shared_ptr<CompileJob> job =
-        ensure_compile(key, cluster, resolved);
-    if (truthy_flag(request, "wait")) {
-      entry = wait_for(*job);
+    const AdmitResult admitted = admit_compile(key, cluster, resolved);
+    admission = admitted.admission;
+    if (admitted.job != nullptr && truthy_flag(request, "wait")) {
+      entry = wait_for(*admitted.job, deadline_ms_of(request), timed_out);
       if (entry != nullptr) cache_state = "compiled";
     }
   }
@@ -626,15 +783,21 @@ std::string ServeEngine::handle_table(const Json& request) {
 
   // Heuristic rung: answer now, never cache (a later compile supersedes
   // this, and the ladder contract is that heuristic output is transient).
+  // Shed misses carry source:"shed" so clients can tell overload apart
+  // from an absent model.
   degraded_.fetch_add(1);
   static obs::Counter fallback("online.fallback.heuristic");
   fallback.increment();
   static obs::Counter served_degraded("serve.degraded");
   served_degraded.increment();
   const TuningTable table = heuristic_table(cluster, resolved);
-  std::string reply =
-      "{\"ok\":true,\"op\":\"table\",\"cache\":\"miss\","
-      "\"source\":\"heuristic\",\"degraded\":true,\"table\":";
+  std::string reply = "{\"ok\":true,\"op\":\"table\",\"cache\":\"miss\","
+                      "\"source\":\"";
+  reply += admission == Admission::kShed ? "shed" : "heuristic";
+  reply += "\",\"degraded\":true,";
+  if (timed_out) reply += "\"deadline\":\"expired\",";
+  if (admission == Admission::kBreakerOpen) reply += "\"breaker\":\"open\",";
+  reply += "\"table\":";
   reply += table.to_json().dump();
   reply += "}";
   return reply;
@@ -645,16 +808,53 @@ std::string ServeEngine::handle_stats() {
   Json reply = Json::object();
   reply["ok"] = true;
   reply["op"] = std::string("stats");
+  reply["version"] = std::string(kPmlVersion);
   reply["requests"] = static_cast<std::int64_t>(s.requests);
   reply["cache_hits"] = static_cast<std::int64_t>(s.cache_hits);
   reply["cache_misses"] = static_cast<std::int64_t>(s.cache_misses);
   reply["compiles"] = static_cast<std::int64_t>(s.compiles);
   reply["degraded"] = static_cast<std::int64_t>(s.degraded);
   reply["errors"] = static_cast<std::int64_t>(s.errors);
+  reply["shed"] = static_cast<std::int64_t>(s.shed);
+  reply["deadline_expired"] = static_cast<std::int64_t>(s.deadline_expired);
+  reply["compile_failures"] = static_cast<std::int64_t>(s.compile_failures);
+  reply["evicted"] = static_cast<std::int64_t>(s.evicted);
+  reply["overloaded"] = static_cast<std::int64_t>(s.overloaded);
+  reply["overlong"] = static_cast<std::int64_t>(s.overlong);
+  reply["queue_depth"] = queue_depth();
+  reply["connections"] = connections();
+  reply["breaker"] = std::string(to_string(breaker_state()));
+  reply["draining"] = draining();
   reply["tables_cached"] = static_cast<std::int64_t>(cache_.size());
   reply["model_loaded"] = model_loaded();
   const std::string checksum = model_.checksum();
   if (!checksum.empty()) reply["model_checksum"] = checksum;
+  return reply.dump();
+}
+
+std::string ServeEngine::handle_health() {
+  Json reply = Json::object();
+  reply["ok"] = true;
+  reply["op"] = std::string("health");
+  reply["version"] = std::string(kPmlVersion);
+  reply["artifacts"] = version_json().at("artifacts");
+  reply["breaker"] = std::string(to_string(breaker_state()));
+  reply["queue_depth"] = queue_depth();
+  reply["queue_limit"] = options_.queue_limit;
+  reply["connections"] = connections();
+  reply["max_connections"] = options_.max_connections;
+  reply["draining"] = draining();
+  reply["tables_cached"] = static_cast<std::int64_t>(cache_.size());
+  reply["model_loaded"] = model_loaded();
+  const std::string checksum = model_.checksum();
+  if (!checksum.empty()) reply["model_checksum"] = checksum;
+  // Which degradation-ladder rungs can answer right now. "heuristic" is
+  // definitionally always available — that is the ladder's floor.
+  Json rungs = Json::object();
+  rungs["table"] = cache_.size() > 0;
+  rungs["model"] = model_loaded();
+  rungs["heuristic"] = true;
+  reply["rungs"] = std::move(rungs);
   return reply.dump();
 }
 
@@ -668,16 +868,34 @@ std::string ServeEngine::handle_line(const std::string& line) {
   try {
     const Json request = Json::parse(line);
     const std::string op = require_field(request, "op").as_string();
-    if (op == "select") {
-      reply = handle_select(request);
-    } else if (op == "table") {
-      reply = handle_table(request);
+    if (op == "select" || op == "table") {
+      if (draining()) {
+        // Reject new work with an identifiable error; ping/stats/health
+        // below keep answering so ops can watch the drain complete.
+        errors_.fetch_add(1);
+        static obs::Counter rejected("serve.rejected.draining");
+        rejected.increment();
+        Json j = Json::object();
+        j["ok"] = false;
+        j["error"] = std::string("serve: draining; not accepting new work");
+        j["code"] = std::string(to_string(ErrorCode::kConfig));
+        j["status"] = exit_status(ErrorCode::kConfig);
+        j["draining"] = true;
+        reply = j.dump();
+      } else if (op == "select") {
+        reply = handle_select(request);
+      } else {
+        reply = handle_table(request);
+      }
     } else if (op == "stats") {
       reply = handle_stats();
+    } else if (op == "health") {
+      reply = handle_health();
     } else if (op == "ping") {
       Json pong = Json::object();
       pong["ok"] = true;
       pong["op"] = std::string("ping");
+      pong["version"] = std::string(kPmlVersion);
       pong["model_loaded"] = model_loaded();
       reply = pong.dump();
     } else {
@@ -744,6 +962,21 @@ int TcpServer::start(int port) {
   return port_;
 }
 
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
 void TcpServer::accept_loop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -755,58 +988,173 @@ void TcpServer::accept_loop() {
       ::close(fd);
       return;
     }
+    reap_finished();
+    const ServeOptions& options = engine_.options();
+    if (engine_.connections() >= options.max_connections) {
+      // Over the cap: one structured line, then close. Best effort — a
+      // peer that already hung up just loses the courtesy reply.
+      engine_.note_overloaded();
+      std::string line = serve_error_line("overloaded", ErrorCode::kConfig);
+      line.push_back('\n');
+      send_all(fd, line);
+      ::shutdown(fd, SHUT_WR);
+      // Discard whatever request bytes already arrived: closing with
+      // unread data pending makes the kernel RST the connection, which
+      // can destroy the reject line before the peer reads it.
+      char sink[256];
+      while (::recv(fd, sink, sizeof sink, MSG_DONTWAIT) > 0) {
+      }
+      ::close(fd);
+      continue;
+    }
+    if (options.read_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options.read_timeout_ms / 1000;
+      tv.tv_usec = static_cast<decltype(tv.tv_usec)>(
+          (options.read_timeout_ms % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
+    auto client = std::make_unique<Client>();
+    client->fd = fd;
+    Client* raw = client.get();
+    // Counted before the thread starts so the cap check never overshoots.
+    engine_.add_connection(1);
     std::lock_guard<std::mutex> lock(mutex_);
-    client_fds_.push_back(fd);
-    client_threads_.emplace_back([this, fd] { client_loop(fd); });
+    clients_.push_back(std::move(client));
+    raw->thread = std::thread([this, raw] { client_loop(raw); });
   }
 }
 
-void TcpServer::client_loop(int fd) {
+void TcpServer::client_loop(Client* client) {
+  const ServeOptions& options = engine_.options();
+  const int fd = client->fd;
   std::string buffer;
   char chunk[4096];
+  // Structured error to send before disconnecting, when the connection
+  // itself (not a request) breaks a limit.
+  std::string close_reason;
+  auto line_deadline = std::chrono::steady_clock::time_point{};
   for (;;) {
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) break;
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO fired: nothing at all for read_timeout_ms.
+        engine_.note_evicted();
+        close_reason = serve_error_line(
+            "serve: read deadline exceeded; closing connection",
+            ErrorCode::kIo);
+      }
+      break;
+    }
+    if (buffer.empty()) {
+      line_deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(options.read_timeout_ms);
+    }
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t pos;
+    bool completed_line = false;
+    bool peer_gone = false;
     while ((pos = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, pos);
       buffer.erase(0, pos + 1);
+      completed_line = true;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       std::string reply = engine_.handle_line(line);
       reply.push_back('\n');
-      std::size_t sent = 0;
-      while (sent < reply.size()) {
-        const ssize_t w = ::send(fd, reply.data() + sent, reply.size() - sent,
-                                 MSG_NOSIGNAL);
-        if (w <= 0) return;  // fd closed below, via stop() or dtor
-        sent += static_cast<std::size_t>(w);
+      if (!send_all(fd, reply)) {
+        peer_gone = true;
+        break;
+      }
+    }
+    if (peer_gone) break;
+    if (!buffer.empty()) {
+      if (buffer.size() > options.max_line_bytes) {
+        engine_.note_overlong();
+        close_reason = serve_error_line(
+            "serve: request line exceeds max_line_bytes (" +
+                std::to_string(options.max_line_bytes) +
+                "); closing connection",
+            ErrorCode::kConfig);
+        break;
+      }
+      if (completed_line) {
+        // Progress was made this round; restart the partial line's clock.
+        line_deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options.read_timeout_ms);
+      } else if (options.read_timeout_ms > 0 &&
+                 std::chrono::steady_clock::now() > line_deadline) {
+        // Slow loris: bytes keep trickling in but no line ever completes,
+        // so SO_RCVTIMEO alone would never fire.
+        engine_.note_evicted();
+        close_reason = serve_error_line(
+            "serve: read deadline exceeded; closing connection",
+            ErrorCode::kIo);
+        break;
       }
     }
   }
+  if (!close_reason.empty()) {
+    close_reason.push_back('\n');
+    send_all(fd, close_reason);
+  }
+  // Only shut down here; the fd is closed by whoever reaps this client
+  // (accept loop or stop), after joining the thread — so a close can
+  // never race the recv/send above.
+  ::shutdown(fd, SHUT_RDWR);
+  engine_.add_connection(-1);
+  client->done.store(true);
 }
 
-void TcpServer::stop() {
+void TcpServer::reap_finished() {
+  std::vector<std::unique_ptr<Client>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = clients_.begin();
+    while (it != clients_.end()) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = clients_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::unique_ptr<Client>& client : finished) {
+    if (client->thread.joinable()) client->thread.join();
+    ::close(client->fd);
+  }
+}
+
+void TcpServer::stop(bool drain) {
   if (stopping_.exchange(true)) {
     // Second caller (e.g. dtor after explicit stop): nothing to do.
     return;
   }
+  if (drain) engine_.begin_drain();
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
   }
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<int> fds;
-  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<Client>> clients;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    fds.swap(client_fds_);
-    threads.swap(client_threads_);
+    clients.swap(clients_);
   }
-  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
-  for (std::thread& t : threads) t.join();
-  for (const int fd : fds) ::close(fd);
+  // Hard stop cuts both directions; drain cuts only the read side, so
+  // each connection's already-buffered requests finish and their replies
+  // still send before the recv loop sees EOF.
+  for (const std::unique_ptr<Client>& c : clients) {
+    ::shutdown(c->fd, drain ? SHUT_RD : SHUT_RDWR);
+  }
+  for (const std::unique_ptr<Client>& c : clients) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+  for (const std::unique_ptr<Client>& c : clients) ::close(c->fd);
+  if (drain) engine_.drain();  // let in-flight recompiles land too
   listen_fd_ = -1;
 }
 

@@ -8,12 +8,12 @@
 //   {"op":"select", "cluster":..., "collective":"allgather",
 //    "nodes":8, "ppn":4, "msg_bytes":65536}                 -> one algorithm
 //
-// plus "ping" and "stats" for health checks. One engine instance serves
-// any number of transport threads (stdio pipe, TCP connections): all
-// shared state is behind a sharded LRU cache of compiled tuning tables
-// keyed by (model artifact checksum, cluster hardware fingerprint,
-// resolved sweep grids), so a redeployed model or a respec'd cluster can
-// never be answered from a stale table.
+// plus "ping", "stats", and "health" for health checks. One engine
+// instance serves any number of transport threads (stdio pipe, TCP
+// connections): all shared state is behind a sharded LRU cache of
+// compiled tuning tables keyed by (model artifact checksum, cluster
+// hardware fingerprint, resolved sweep grids), so a redeployed model or
+// a respec'd cluster can never be answered from a stale table.
 //
 // Cache misses never block the reply (unless the client asks to "wait"):
 // a recompile is posted to ThreadPool::shared() — whose workers also
@@ -23,12 +23,24 @@
 // "table". Heuristic answers are marked "degraded" and are never cached,
 // and each one bumps the same online.fallback.* counters as the batch
 // online stage.
+//
+// The stack is overload-safe by construction (docs/API.md, "Serve
+// protocol > Limits"): the engine sheds misses past a bounded pending-
+// compile queue straight to the heuristic rung (source:"shed"), runs a
+// circuit breaker around model recompiles so a persistently broken
+// artifact stops burning compile threads, honors per-request
+// "deadline_ms" on waited recompiles, and can drain gracefully. The TCP
+// transport bounds per-connection line buffers, caps concurrent
+// connections, and evicts slow-loris/idle peers on a read deadline —
+// every rejection is a structured one-line error, never a silent drop.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -38,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/artifact.hpp"
 #include "core/framework.hpp"
 #include "obs/obs.hpp"
 
@@ -72,8 +85,42 @@ struct ServeOptions {
   /// bit-identical to per-request select().
   int micro_batch = 16;
 
-  /// Throws pml::ConfigError on non-positive shards/capacity or an
-  /// invalid compile sweep.
+  // --- Transport limits (TcpServer) ---
+
+  /// Longest request line (bytes, newline excluded) a connection may
+  /// send. A connection whose unterminated buffer grows past this gets
+  /// a structured error reply and is closed, so a never-newline byte
+  /// flood cannot grow server memory.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Hard cap on concurrent TCP connections. Excess accepts receive a
+  /// single {"ok":false,"error":"overloaded",...} line and are closed.
+  int max_connections = 256;
+  /// Socket read deadline (SO_RCVTIMEO) and per-line completion
+  /// deadline in one: a connection that sends nothing for this long, or
+  /// drip-feeds bytes without ever completing a line (slow loris), is
+  /// sent a structured error and evicted. 0 disables both deadlines.
+  int read_timeout_ms = 30'000;
+
+  // --- Engine admission control ---
+
+  /// Max concurrently pending recompiles (>= 1). A miss that would push
+  /// the pending-compile count past this is shed: answered immediately
+  /// from the heuristic rung (source:"shed", degraded:true) instead of
+  /// queueing without bound. Joining an already-pending compile for the
+  /// same key adds no queue pressure and is never shed.
+  int queue_limit = 32;
+  /// Circuit breaker over model recompiles: `failure_threshold`
+  /// consecutive compile failures stop compile attempts for a bounded-
+  /// exponential backoff window (misses answer from the heuristic rung
+  /// immediately), then a single half-open probe restores service.
+  BreakerPolicy breaker;
+  /// Chaos/test hook: when set, invoked at the top of every compile
+  /// attempt (before model revalidation). Tests make it throw or block
+  /// to script compile failures and slow compiles deterministically.
+  std::function<void()> compile_fault;
+
+  /// Throws pml::ConfigError on non-positive shards/capacity/limits or
+  /// an invalid compile sweep.
   void validate() const;
 };
 
@@ -186,11 +233,42 @@ class ServeEngine {
     std::uint64_t compiles = 0;
     std::uint64_t degraded = 0;
     std::uint64_t errors = 0;
+    std::uint64_t shed = 0;              ///< misses answered via admission shedding
+    std::uint64_t deadline_expired = 0;  ///< waited recompiles that hit deadline_ms
+    std::uint64_t compile_failures = 0;  ///< recompile attempts that threw
+    std::uint64_t evicted = 0;     ///< transport: read-deadline evictions
+    std::uint64_t overloaded = 0;  ///< transport: accepts rejected at the cap
+    std::uint64_t overlong = 0;    ///< transport: lines over max_line_bytes
   };
   Stats stats() const;
 
   std::size_t cached_tables() const { return cache_.size(); }
   bool model_loaded() const { return model_.framework() != nullptr; }
+
+  const ServeOptions& options() const noexcept { return options_; }
+
+  /// Stop admitting select/table work: those requests get a structured
+  /// "draining" error reply while ping/stats/health keep answering (so
+  /// ops can watch the drain finish). One-way; there is no undrain.
+  void begin_drain();
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  BreakerState breaker_state() const { return breaker_.state(); }
+  /// Pending recompile jobs right now (admitted, not yet finished).
+  int queue_depth() const;
+  int connections() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Transport hooks: connection counts and rejection tallies live on
+  /// the engine so stats/health replies report one truth regardless of
+  /// which transport produced them.
+  void add_connection(int delta);
+  void note_evicted();
+  void note_overloaded();
+  void note_overlong();
 
   /// Block until no async recompiles are in flight (tests).
   void drain();
@@ -206,6 +284,7 @@ class ServeEngine {
   std::string handle_select(const Json& request);
   std::string handle_table(const Json& request);
   std::string handle_stats();
+  std::string handle_health();
 
   /// One uncached select waiting for a model micro-batch. Stack-owned by
   /// its blocked request thread (so the cluster pointer stays valid);
@@ -235,16 +314,34 @@ class ServeEngine {
   /// Pre: `lock` holds batch_mutex_ and this thread is the leader.
   void drain_select_batches(std::unique_lock<std::mutex>& lock);
 
-  /// Find-or-start the compile job for `key`. At most one job per key is
-  /// in flight; duplicates wait on the same job.
-  std::shared_ptr<CompileJob> ensure_compile(const std::string& key,
-                                             const sim::ClusterSpec& cluster,
-                                             const CompileOptions& resolved);
+  /// How admit_compile disposed of a cache miss.
+  enum class Admission {
+    kAdmitted,     ///< a compile job exists (joined or freshly started)
+    kShed,         ///< pending-compile queue full: answer heuristic now
+    kBreakerOpen,  ///< compile breaker open: answer heuristic now
+  };
+  struct AdmitResult {
+    std::shared_ptr<CompileJob> job;  ///< null unless kAdmitted
+    Admission admission = Admission::kAdmitted;
+  };
+
+  /// Find-or-start the compile job for `key`, subject to admission
+  /// control. Joining an existing job always succeeds (no new queue
+  /// pressure); starting a fresh one is shed when the pending-compile
+  /// count is at queue_limit and rejected while the breaker is open. At
+  /// most one job per key is in flight; duplicates wait on the same job.
+  AdmitResult admit_compile(const std::string& key,
+                            const sim::ClusterSpec& cluster,
+                            const CompileOptions& resolved);
   void run_compile(const std::shared_ptr<CompileJob>& job,
                    const std::string& requested_key,
                    const sim::ClusterSpec& cluster,
                    const CompileOptions& resolved) noexcept;
-  std::shared_ptr<const ServedTable> wait_for(CompileJob& job);
+  /// Wait for `job`, or for `deadline_ms` milliseconds when >= 0
+  /// (sets `timed_out` and returns nullptr on expiry).
+  std::shared_ptr<const ServedTable> wait_for(CompileJob& job,
+                                              std::int64_t deadline_ms,
+                                              bool& timed_out);
 
   /// "<checksum>/<fingerprint hex>/<sweep hash hex>".
   std::string cache_key(const std::string& checksum,
@@ -284,7 +381,7 @@ class ServeEngine {
   ServeCache cache_;
   LatencyRecorder latency_;
 
-  std::mutex jobs_mutex_;
+  mutable std::mutex jobs_mutex_;
   std::condition_variable idle_cv_;
   std::unordered_map<std::string, std::shared_ptr<CompileJob>> jobs_;
   int in_flight_ = 0;
@@ -295,13 +392,28 @@ class ServeEngine {
   std::vector<PendingSelect*> batch_queue_;
   bool batch_leader_active_ = false;
 
+  CircuitBreaker breaker_;
+  std::atomic<bool> draining_{false};
+  std::atomic<int> connections_{0};
+
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> compiles_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> compile_failures_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::uint64_t> overlong_{0};
 };
+
+/// One structured {"ok":false,...} error line (no trailing newline) in
+/// the engine's reply format, for transports that must reject before a
+/// request ever reaches handle_line (overload, oversize, eviction).
+std::string serve_error_line(const std::string& what, ErrorCode code);
 
 /// Serve newline-delimited requests from `in` to `out` until EOF (the
 /// `pml serve --stdio` transport; also what the protocol round-trip
@@ -310,7 +422,12 @@ void serve_stdio(ServeEngine& engine, std::FILE* in, std::FILE* out);
 
 /// Minimal TCP transport: accepts loopback connections and runs one
 /// thread per connection, each feeding lines to the shared engine.
-/// POSIX sockets only — no new dependencies.
+/// POSIX sockets only — no new dependencies. Enforces the engine's
+/// ServeOptions transport limits: connection cap (excess accepts get
+/// one {"error":"overloaded"} line), bounded line buffers, and read/
+/// slow-loris deadlines via SO_RCVTIMEO. Finished connection threads
+/// are reaped continuously (each accept sweeps them), not only at
+/// stop(), so long-lived daemons don't accumulate dead threads or fds.
 class TcpServer {
  public:
   explicit TcpServer(ServeEngine& engine) : engine_(engine) {}
@@ -323,9 +440,12 @@ class TcpServer {
   /// return the bound port. Throws pml::IoError on socket failure.
   int start(int port);
 
-  /// Close the listener and all live connections; join every thread.
-  /// Idempotent.
-  void stop();
+  /// Close the listener and terminate; join every thread. Idempotent.
+  /// drain=false hard-closes live connections. drain=true is a graceful
+  /// drain: the engine stops admitting select/table work, each live
+  /// connection's read side is shut down so its buffered requests finish
+  /// and their replies still send, then threads are joined.
+  void stop(bool drain = false);
 
   /// Block until stop() is called from another thread (or the accept
   /// loop dies). The CLI foreground mode parks on this.
@@ -334,8 +454,21 @@ class TcpServer {
   int port() const noexcept { return port_; }
 
  private:
+  /// One connection. The client thread only shuts the socket down and
+  /// marks `done`; the fd is closed (and the thread joined) by whoever
+  /// reaps it — the accept loop or stop() — so close() races with
+  /// in-flight recv/send cannot happen.
+  struct Client {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void accept_loop();
-  void client_loop(int fd);
+  void client_loop(Client* client);
+  /// Join and close every finished client; called from the accept loop
+  /// on each accept and from stop().
+  void reap_finished();
 
   ServeEngine& engine_;
   int listen_fd_ = -1;
@@ -343,8 +476,7 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::mutex mutex_;
-  std::vector<int> client_fds_;          ///< live connection sockets
-  std::vector<std::thread> client_threads_;
+  std::vector<std::unique_ptr<Client>> clients_;  ///< live + unreaped
 };
 
 }  // namespace pml::core

@@ -1,0 +1,121 @@
+// CircuitBreaker state machine under an injected clock: threshold
+// opens, windows back off exponentially up to the cap, exactly one
+// half-open probe is handed out per expired window, and the probe's
+// outcome closes or re-opens the breaker.
+#include <gtest/gtest.h>
+
+#include "common/artifact.hpp"
+
+namespace pml {
+namespace {
+
+BreakerPolicy policy_at(double* clock_now) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_seconds = 5.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_open_seconds = 15.0;
+  policy.now = [clock_now] { return *clock_now; };
+  return policy;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  double now = 0.0;
+  CircuitBreaker breaker(policy_at(&now));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_FALSE(breaker.record_failure());
+  EXPECT_FALSE(breaker.record_failure());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2);
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kAllow);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureCount) {
+  double now = 0.0;
+  CircuitBreaker breaker(policy_at(&now));
+  breaker.record_failure();
+  breaker.record_failure();
+  breaker.record_success();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  // Two more failures after the reset still don't reach the threshold.
+  breaker.record_failure();
+  EXPECT_FALSE(breaker.record_failure());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, ThresholdOpensAndRejectsUntilWindowExpires) {
+  double now = 100.0;
+  CircuitBreaker breaker(policy_at(&now));
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_TRUE(breaker.record_failure());  // third failure opens it
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kReject);
+  now += 4.9;  // still inside the 5 s window
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kReject);
+  now += 0.2;  // window expired
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, OnlyOneProbePerWindow) {
+  double now = 0.0;
+  CircuitBreaker breaker(policy_at(&now));
+  for (int i = 0; i < 3; ++i) breaker.record_failure();
+  now += 6.0;
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kProbe);
+  // While the probe is in flight everyone else is rejected.
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kReject);
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kReject);
+}
+
+TEST(CircuitBreakerTest, SuccessfulProbeCloses) {
+  double now = 0.0;
+  CircuitBreaker breaker(policy_at(&now));
+  for (int i = 0; i < 3; ++i) breaker.record_failure();
+  now += 6.0;
+  ASSERT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kProbe);
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kAllow);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithBackoff) {
+  double now = 0.0;
+  CircuitBreaker breaker(policy_at(&now));
+  for (int i = 0; i < 3; ++i) breaker.record_failure();  // window 1: 5 s
+  now += 6.0;
+  ASSERT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kProbe);
+  EXPECT_TRUE(breaker.record_failure());  // failed probe re-opens immediately
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // Second window is 5 * 2 = 10 s.
+  now += 9.9;
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kReject);
+  now += 0.2;
+  ASSERT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kProbe);
+  EXPECT_TRUE(breaker.record_failure());
+  // Third window would be 20 s but caps at max_open_seconds = 15.
+  now += 14.9;
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kReject);
+  now += 0.2;
+  EXPECT_EQ(breaker.try_acquire(), CircuitBreaker::Decision::kProbe);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_STREQ(to_string(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(to_string(BreakerState::kOpen), "open");
+  EXPECT_STREQ(to_string(BreakerState::kHalfOpen), "half-open");
+}
+
+TEST(CircuitBreakerTest, ThresholdOfOneOpensOnFirstFailure) {
+  double now = 0.0;
+  BreakerPolicy policy = policy_at(&now);
+  policy.failure_threshold = 1;
+  CircuitBreaker breaker(policy);
+  EXPECT_TRUE(breaker.record_failure());
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+}  // namespace
+}  // namespace pml

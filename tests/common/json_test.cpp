@@ -103,6 +103,33 @@ TEST(Json, ParseErrors) {
   EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
 }
 
+TEST(Json, DeepNestingIsBoundedNotStackOverflow) {
+  // 100k unclosed brackets used to recurse once per level; the parser
+  // now fails structurally at its depth bound instead of crashing.
+  EXPECT_THROW(Json::parse(std::string(100'000, '[')), JsonError);
+  EXPECT_THROW(Json::parse(std::string(100'000, '{')), JsonError);
+  std::string alternating;
+  for (int i = 0; i < 50'000; ++i) alternating += "[{\"k\":";
+  EXPECT_THROW(Json::parse(alternating), JsonError);
+
+  // Nesting under the bound still parses.
+  std::string shallow(64, '[');
+  shallow += "1";
+  shallow.append(64, ']');
+  EXPECT_EQ(Json::parse(shallow).as_array().size(), 1u);
+}
+
+TEST(Json, AsIntRejectsValuesOutsideInt64) {
+  EXPECT_THROW(Json::parse("1e300").as_int(), JsonError);
+  EXPECT_THROW(Json::parse("-1e300").as_int(), JsonError);
+  EXPECT_THROW(Json::parse("9223372036854775808").as_int(), JsonError);
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(Json::parse("4611686018427387904").as_int(),
+            std::int64_t{1} << 62);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+}
+
 TEST(Json, RoundTripComplexDocument) {
   Json doc = Json::object();
   doc["name"] = "cluster";

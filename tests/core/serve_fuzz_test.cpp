@@ -1,0 +1,168 @@
+// Adversarial-input matrix for ServeEngine::handle_line: random bytes,
+// deeply nested and truncated JSON, huge numbers, invalid UTF-8,
+// shuffled/garbled real requests. The contract under test is absolute —
+// every input line yields exactly one parseable {"ok":...} reply line,
+// and nothing ever throws or crashes the engine. Seeded with splitmix64
+// so a failure reproduces from the printed case index.
+#include "core/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pml::core {
+namespace {
+
+/// Model-less engine: the heuristic floor answers everything, so the
+/// fuzz loop exercises parsing/validation without paying for compiles.
+ServeOptions fuzz_options() {
+  ServeOptions o;
+  o.async_compile = false;
+  o.compile = CompileOptions::sweep({2}, {16}, {1024});
+  return o;
+}
+
+/// The one invariant: a structured reply, never an exception. Replies to
+/// broken input must be ok:false with the error taxonomy attached.
+void expect_structured_reply(ServeEngine& engine, const std::string& line,
+                             const std::string& label) {
+  std::string reply;
+  ASSERT_NO_THROW(reply = engine.handle_line(line)) << label;
+  ASSERT_FALSE(reply.empty()) << label;
+  Json parsed;
+  ASSERT_NO_THROW(parsed = Json::parse(reply)) << label << ": " << reply;
+  ASSERT_TRUE(parsed.contains("ok")) << label << ": " << reply;
+  if (!parsed.at("ok").as_bool()) {
+    EXPECT_TRUE(parsed.contains("error")) << label << ": " << reply;
+    EXPECT_TRUE(parsed.contains("code")) << label << ": " << reply;
+    EXPECT_TRUE(parsed.contains("status")) << label << ": " << reply;
+  }
+}
+
+TEST(ServeFuzz, RandomByteLinesAlwaysGetStructuredErrors) {
+  ServeEngine engine(fuzz_options());
+  std::uint64_t state = 0x5eedf00d2024ULL;
+  for (int i = 0; i < 512; ++i) {
+    const std::size_t len = splitmix64(state) % 256;
+    std::string line;
+    line.reserve(len);
+    for (std::size_t b = 0; b < len; ++b) {
+      char c = static_cast<char>(splitmix64(state) & 0xff);
+      if (c == '\n') c = ' ';  // transports never hand the engine a newline
+      line.push_back(c);
+    }
+    expect_structured_reply(engine, line, "random bytes case " +
+                                              std::to_string(i));
+  }
+}
+
+TEST(ServeFuzz, DeeplyNestedAndTruncatedJson) {
+  ServeEngine engine(fuzz_options());
+  // Nesting past the parser's depth bound, in every bracket flavor.
+  expect_structured_reply(engine, std::string(100'000, '['), "deep arrays");
+  expect_structured_reply(engine, std::string(100'000, '{'), "deep objects");
+  std::string mixed;
+  for (int i = 0; i < 50'000; ++i) mixed += "{\"op\":[";
+  expect_structured_reply(engine, mixed, "deep mixed");
+
+  // Every prefix of a valid request is itself an input the engine must
+  // survive (mid-request disconnects surface exactly these).
+  const std::string valid =
+      R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+      R"("nodes":2,"ppn":16,"msg_bytes":1024,"wait":true})";
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    expect_structured_reply(engine, valid.substr(0, cut),
+                            "truncation at " + std::to_string(cut));
+  }
+}
+
+TEST(ServeFuzz, HugeAndPathologicalNumbers) {
+  ServeEngine engine(fuzz_options());
+  for (const char* number :
+       {"1e308", "1e309", "-1e308", "9223372036854775808",
+        "18446744073709551616", "-9223372036854775809", "1e-300", "0.5",
+        "-1", "-0", "1e999999", "123456789012345678901234567890"}) {
+    for (const char* field : {"nodes", "ppn", "msg_bytes", "deadline_ms"}) {
+      std::string line =
+          R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+          R"("nodes":2,"ppn":16,"msg_bytes":1024,"wait":false)";
+      line += ",\"";
+      line += field;
+      line += "\":";
+      line += number;
+      line += "}";
+      // Duplicate keys are fine (last wins in most parsers, first here —
+      // either way the reply must be structured).
+      expect_structured_reply(
+          engine, line, std::string(field) + " = " + number);
+    }
+  }
+}
+
+TEST(ServeFuzz, InvalidUtf8AndControlBytesInStrings) {
+  ServeEngine engine(fuzz_options());
+  const std::vector<std::string> payloads = {
+      std::string("\xff\xfe\xfd"),            // not UTF-8 at all
+      std::string("\xc3"),                    // truncated 2-byte sequence
+      std::string("\xe2\x82"),                // truncated 3-byte sequence
+      std::string("\xf0\x9f\x92"),            // truncated 4-byte sequence
+      std::string("a\x00vb", 4),              // embedded NUL
+      std::string("\x01\x02\x03\x1f"),        // raw control characters
+      std::string("\xed\xa0\x80"),            // UTF-16 surrogate half
+  };
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    std::string line = R"({"op":"select","cluster":")";
+    line += payloads[i];
+    line += R"(","collective":"allgather","nodes":2,"ppn":16,)"
+            R"("msg_bytes":1024})";
+    expect_structured_reply(engine, line,
+                            "utf8 payload " + std::to_string(i));
+    // The raw bytes as the whole line, too.
+    expect_structured_reply(engine, payloads[i],
+                            "raw payload " + std::to_string(i));
+  }
+}
+
+TEST(ServeFuzz, GarbledRealRequestsNeverCrash) {
+  ServeEngine engine(fuzz_options());
+  const std::vector<std::string> seeds = {
+      R"({"op":"select","cluster":"MRI","collective":"allgather","nodes":2,"ppn":16,"msg_bytes":1024})",
+      R"({"op":"table","cluster":"RI","wait":true})",
+      R"({"op":"stats"})",
+      R"({"op":"health"})",
+      R"({"op":"ping"})",
+  };
+  std::uint64_t state = 0xfacadeULL;
+  for (int i = 0; i < 512; ++i) {
+    std::string line = seeds[splitmix64(state) % seeds.size()];
+    // 1-4 random single-byte mutations: flip, insert, or delete.
+    const int edits = 1 + static_cast<int>(splitmix64(state) % 4);
+    for (int e = 0; e < edits && !line.empty(); ++e) {
+      const std::size_t at = splitmix64(state) % line.size();
+      switch (splitmix64(state) % 3) {
+        case 0:
+          line[at] = static_cast<char>(splitmix64(state) & 0xff);
+          break;
+        case 1:
+          line.insert(at, 1, static_cast<char>(splitmix64(state) & 0xff));
+          break;
+        default:
+          line.erase(at, 1);
+          break;
+      }
+    }
+    std::erase(line, '\n');
+    expect_structured_reply(engine, line, "garble case " + std::to_string(i));
+  }
+  // The engine survived; it must still answer real requests afterwards.
+  const Json pong = Json::parse(engine.handle_line(R"({"op":"ping"})"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+}
+
+}  // namespace
+}  // namespace pml::core

@@ -11,14 +11,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/artifact.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "common/version.hpp"
 #include "core/framework.hpp"
 
 namespace pml::core {
@@ -72,6 +76,23 @@ TEST(ServeOptions, ValidateRejectsBadShapes) {
   options.shard_capacity = 1;
   options.micro_batch = 0;
   EXPECT_THROW(options.validate(), ConfigError);
+}
+
+TEST(ServeOptions, ValidateRejectsBadLimits) {
+  ServeOptions options;
+  options.max_line_bytes = 8;
+  EXPECT_THROW(options.validate(), ConfigError);
+  options.max_line_bytes = 1 << 20;
+  options.max_connections = 0;
+  EXPECT_THROW(options.validate(), ConfigError);
+  options.max_connections = 1;
+  options.read_timeout_ms = -1;
+  EXPECT_THROW(options.validate(), ConfigError);
+  options.read_timeout_ms = 0;  // 0 = deadlines disabled, valid
+  options.queue_limit = 0;
+  EXPECT_THROW(options.validate(), ConfigError);
+  options.queue_limit = 1;
+  EXPECT_NO_THROW(options.validate());
 }
 
 class ServeTest : public ::testing::Test {
@@ -265,6 +286,205 @@ TEST_F(ServeTest, InlineClusterSpecsAreKeyedByHardwareFingerprint) {
   EXPECT_EQ(engine.cached_tables(), 2u);
   const Json stats = reply_of(engine, R"({"op":"stats"})");
   EXPECT_EQ(stats.at("compiles").as_int(), 2);
+}
+
+TEST_F(ServeTest, HealthReportsBreakerQueueRungsAndVersion) {
+  ServeEngine engine(options());
+  const Json health = reply_of(engine, R"({"op":"health"})");
+  ASSERT_TRUE(health.at("ok").as_bool());
+  EXPECT_EQ(health.at("version").as_string(), kPmlVersion);
+  EXPECT_EQ(health.at("breaker").as_string(), "closed");
+  EXPECT_EQ(health.at("queue_depth").as_int(), 0);
+  EXPECT_EQ(health.at("connections").as_int(), 0);
+  EXPECT_FALSE(health.at("draining").as_bool());
+  // Degradation-ladder rungs: no table compiled yet, model loaded,
+  // heuristic always on the menu.
+  EXPECT_FALSE(health.at("rungs").at("table").as_bool());
+  EXPECT_TRUE(health.at("rungs").at("model").as_bool());
+  EXPECT_TRUE(health.at("rungs").at("heuristic").as_bool());
+  // The artifact schema matrix rides along so ops can line the daemon up
+  // against `pml doctor` verdicts.
+  EXPECT_EQ(health.at("artifacts").at("model").at("writes").as_string(),
+            "pml-mpi-model-v1");
+  EXPECT_EQ(
+      health.at("artifacts").at("tuning-table").at("reads").as_array().size(),
+      2u);
+
+  // ping and stats carry the release string too.
+  EXPECT_EQ(reply_of(engine, R"({"op":"ping"})").at("version").as_string(),
+            kPmlVersion);
+  EXPECT_EQ(reply_of(engine, R"({"op":"stats"})").at("version").as_string(),
+            kPmlVersion);
+}
+
+TEST_F(ServeTest, QueueFullMissesAreShedToHeuristic) {
+  ServeOptions o = options();
+  o.async_compile = true;
+  o.queue_limit = 1;
+  std::atomic<bool> release{false};
+  o.compile_fault = [&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  {
+    ServeEngine engine(o);
+    // First miss occupies the whole pending-compile queue (its compile is
+    // parked on compile_fault) and answers from the model rung meanwhile.
+    const Json first = reply_of(
+        engine,
+        R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+        R"("nodes":2,"ppn":16,"msg_bytes":1024})");
+    ASSERT_TRUE(first.at("ok").as_bool());
+    EXPECT_EQ(first.at("source").as_string(), "model");
+
+    // A second miss for a different key would need a second job: shed.
+    const Json shed = reply_of(
+        engine,
+        R"({"op":"select","cluster":"RI","collective":"allgather",)"
+        R"("nodes":2,"ppn":16,"msg_bytes":1024})");
+    ASSERT_TRUE(shed.at("ok").as_bool());
+    EXPECT_EQ(shed.at("cache").as_string(), "miss");
+    EXPECT_EQ(shed.at("source").as_string(), "shed");
+    EXPECT_TRUE(shed.at("degraded").as_bool());
+
+    // Same key as the parked compile: joins the existing job, not shed.
+    const Json joined = reply_of(
+        engine,
+        R"({"op":"select","cluster":"MRI","collective":"alltoall",)"
+        R"("nodes":2,"ppn":16,"msg_bytes":1024})");
+    ASSERT_TRUE(joined.at("ok").as_bool());
+    EXPECT_EQ(joined.at("source").as_string(), "model");
+
+    // Shed table misses carry the same source tag.
+    const Json shed_table =
+        reply_of(engine, R"({"op":"table","cluster":"Rome"})");
+    ASSERT_TRUE(shed_table.at("ok").as_bool());
+    EXPECT_EQ(shed_table.at("source").as_string(), "shed");
+    EXPECT_TRUE(shed_table.at("degraded").as_bool());
+
+    const Json stats = reply_of(engine, R"({"op":"stats"})");
+    EXPECT_EQ(stats.at("shed").as_int(), 2);
+    EXPECT_EQ(stats.at("queue_depth").as_int(), 1);
+    release.store(true);
+    engine.drain();
+  }
+}
+
+TEST_F(ServeTest, WaitDeadlineExpiresToTheCurrentRung) {
+  ServeOptions o = options();
+  o.async_compile = true;
+  std::atomic<bool> release{false};
+  o.compile_fault = [&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  {
+    ServeEngine engine(o);
+    const std::string request =
+        R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+        R"("nodes":2,"ppn":16,"msg_bytes":1024)";
+    const Json expired =
+        reply_of(engine, request + R"(,"wait":true,"deadline_ms":25})");
+    ASSERT_TRUE(expired.at("ok").as_bool());
+    EXPECT_EQ(expired.at("deadline").as_string(), "expired");
+    EXPECT_EQ(expired.at("cache").as_string(), "miss");
+    // Model rung answers once the wait lapses — still a full-quality reply.
+    EXPECT_EQ(expired.at("source").as_string(), "model");
+    EXPECT_FALSE(expired.at("degraded").as_bool());
+
+    const Json stats = reply_of(engine, R"({"op":"stats"})");
+    EXPECT_EQ(stats.at("deadline_expired").as_int(), 1);
+
+    // The compile it stopped waiting for still lands.
+    release.store(true);
+    engine.drain();
+    const Json after = reply_of(engine, request + "}");
+    EXPECT_EQ(after.at("cache").as_string(), "hit");
+  }
+}
+
+TEST_F(ServeTest, NegativeDeadlineIsAConfigError) {
+  ServeEngine engine(options());
+  const Json reply = reply_of(
+      engine,
+      R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+      R"("nodes":2,"ppn":16,"msg_bytes":1024,"wait":true,"deadline_ms":-5})");
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("code").as_string(), "config");
+}
+
+TEST_F(ServeTest, CompileBreakerOpensServesHeuristicAndProbesBack) {
+  ServeOptions o = options();
+  o.async_compile = false;
+  o.breaker.failure_threshold = 2;
+  o.breaker.open_seconds = 10.0;
+  double now = 0.0;
+  o.breaker.now = [&now] { return now; };
+  std::atomic<bool> fail{true};
+  std::atomic<int> attempts{0};
+  o.compile_fault = [&fail, &attempts] {
+    attempts.fetch_add(1);
+    if (fail.load()) throw MlError("injected compile fault");
+  };
+  ServeEngine engine(o);
+  const auto select = [](const char* cluster, const char* extra = "") {
+    return std::string(R"({"op":"select","cluster":")") + cluster +
+           R"(","collective":"allgather","nodes":2,"ppn":16,)"
+           R"("msg_bytes":1024)" + extra + "}";
+  };
+
+  // Two consecutive compile failures (distinct keys => distinct jobs)
+  // reach the threshold and open the breaker. Both replies still answer
+  // from the model rung: a failed *compile* does not degrade *inference*.
+  const Json first = reply_of(engine, select("MRI", R"(,"wait":true)"));
+  ASSERT_TRUE(first.at("ok").as_bool());
+  EXPECT_EQ(first.at("source").as_string(), "model");
+  reply_of(engine, select("RI", R"(,"wait":true)"));
+  EXPECT_EQ(engine.breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(attempts.load(), 2);
+
+  // While open, a fresh miss doesn't even attempt the compile: admission
+  // rejects it and the reply degrades with an explicit breaker marker.
+  const Json rejected = reply_of(engine, select("Rome"));
+  ASSERT_TRUE(rejected.at("ok").as_bool());
+  EXPECT_EQ(rejected.at("breaker").as_string(), "open");
+  EXPECT_EQ(rejected.at("source").as_string(), "heuristic");
+  EXPECT_TRUE(rejected.at("degraded").as_bool());
+  EXPECT_EQ(attempts.load(), 2);
+  const Json stats = reply_of(engine, R"({"op":"stats"})");
+  EXPECT_EQ(stats.at("compile_failures").as_int(), 2);
+  EXPECT_EQ(stats.at("breaker").as_string(), "open");
+
+  // Window expires, the fault clears: the next miss is the half-open
+  // probe, its success closes the breaker and serves the compiled table.
+  fail.store(false);
+  now = 11.0;
+  const Json probed = reply_of(engine, select("Rome", R"(,"wait":true)"));
+  ASSERT_TRUE(probed.at("ok").as_bool());
+  EXPECT_EQ(probed.at("cache").as_string(), "compiled");
+  EXPECT_EQ(engine.breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(attempts.load(), 3);
+}
+
+TEST_F(ServeTest, DrainingRejectsNewWorkButKeepsHealthOps) {
+  ServeEngine engine(options());
+  engine.begin_drain();
+  const Json select = reply_of(
+      engine,
+      R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+      R"("nodes":2,"ppn":16,"msg_bytes":1024})");
+  EXPECT_FALSE(select.at("ok").as_bool());
+  EXPECT_TRUE(select.at("draining").as_bool());
+  EXPECT_EQ(select.at("code").as_string(), "config");
+  const Json table = reply_of(engine, R"({"op":"table","cluster":"MRI"})");
+  EXPECT_FALSE(table.at("ok").as_bool());
+
+  EXPECT_TRUE(reply_of(engine, R"({"op":"ping"})").at("ok").as_bool());
+  const Json health = reply_of(engine, R"({"op":"health"})");
+  EXPECT_TRUE(health.at("ok").as_bool());
+  EXPECT_TRUE(health.at("draining").as_bool());
 }
 
 TEST_F(ServeTest, StdioTransportRoundTrips) {

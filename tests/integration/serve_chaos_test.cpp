@@ -1,0 +1,345 @@
+// Socket-level chaos harness for the hardened serve transport (ctest -L
+// serve -L chaos; build with PML_SANITIZE=thread or address for the
+// sanitizer witnesses). Adversarial peers attack a live TcpServer over
+// real loopback sockets: slow-loris writers that drip bytes without ever
+// completing a line, never-newline byte floods, mid-request disconnects,
+// seeded malformed frames, and a saturation wave at 4x the connection
+// cap. The invariants are the serve hardening contract (docs/API.md,
+// "Serve protocol > Limits"): bounded memory, deadline evictions, every
+// accepted request answered with a valid (possibly degraded) reply,
+// every rejection structured and counted, and a clean graceful drain.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "core/serve.hpp"
+
+namespace pml::core {
+namespace {
+
+/// Model-less engine: the heuristic floor answers everything, so the
+/// harness measures transport behavior, not compile throughput.
+ServeOptions chaos_options(int read_timeout_ms) {
+  ServeOptions o;
+  o.async_compile = false;
+  o.compile = CompileOptions::sweep({2}, {16}, {1024});
+  o.max_connections = 8;
+  o.max_line_bytes = 2048;
+  o.read_timeout_ms = read_timeout_ms;
+  o.queue_limit = 2;
+  return o;
+}
+
+/// Minimal raw-socket peer. Reads are capped by a client-side
+/// SO_RCVTIMEO so a misbehaving server fails the test instead of
+/// hanging it.
+class RawClient {
+ public:
+  explicit RawClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ =
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0;
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  ~RawClient() { close(); }
+
+  RawClient(const RawClient&) = delete;
+  RawClient& operator=(const RawClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  bool send_raw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+  /// Up to the next '\n' (consumed, not returned); whatever arrived
+  /// before EOF/reset/timeout otherwise.
+  std::string read_line() {
+    std::string line;
+    char c;
+    while (::recv(fd_, &c, 1, 0) == 1) {
+      if (c == '\n') break;
+      line.push_back(c);
+    }
+    return line;
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+std::string ping_line() { return "{\"op\":\"ping\"}\n"; }
+
+std::string select_line() {
+  return R"({"op":"select","cluster":"MRI","collective":"allgather",)"
+         R"("nodes":2,"ppn":16,"msg_bytes":1024})" "\n";
+}
+
+/// The liveness probe every scenario ends with: whatever the attack was,
+/// a well-behaved client connecting afterwards gets a normal reply. A
+/// transient `overloaded` reject is allowed — dead peers can still be
+/// queued in the listen backlog ahead of the probe, briefly holding the
+/// connection count at the cap — so the probe retries on ok:false.
+void expect_server_alive(int port) {
+  std::string reply;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    RawClient probe(port);
+    ASSERT_TRUE(probe.connected());
+    ASSERT_TRUE(probe.send_raw(ping_line()));
+    reply = probe.read_line();
+    ASSERT_FALSE(reply.empty());
+    if (Json::parse(reply).at("ok").as_bool()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "server never recovered: " << reply;
+}
+
+TEST(ServeChaos, SlowLorisWritersAreEvictedOnTheLineDeadline) {
+  ServeEngine engine(chaos_options(/*read_timeout_ms=*/200));
+  TcpServer server(engine);
+  const int port = server.start(0);
+
+  constexpr int kLoris = 4;
+  std::vector<std::thread> peers;
+  for (int p = 0; p < kLoris; ++p) {
+    peers.emplace_back([port] {
+      RawClient c(port);
+      if (!c.connected()) return;
+      // Drip one byte every 30 ms, never a newline: faster than the
+      // socket idle timeout, so only the per-line deadline can fire.
+      for (int i = 0; i < 40; ++i) {
+        if (!c.send_raw("x")) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      }
+    });
+  }
+  for (std::thread& p : peers) p.join();
+
+  // Every loris was evicted server-side, and none of them ever became a
+  // request.
+  for (int spin = 0; spin < 200 && engine.stats().evicted <
+                                       static_cast<std::uint64_t>(kLoris);
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(engine.stats().evicted, static_cast<std::uint64_t>(kLoris));
+  EXPECT_EQ(engine.stats().requests, 0u);
+  expect_server_alive(port);
+  server.stop();
+}
+
+TEST(ServeChaos, NeverNewlineFloodIsBoundedAndClosed) {
+  ServeEngine engine(chaos_options(/*read_timeout_ms=*/5000));
+  TcpServer server(engine);
+  const int port = server.start(0);
+
+  constexpr int kFlooders = 3;
+  std::vector<std::thread> peers;
+  std::atomic<int> saw_reject{0};
+  for (int p = 0; p < kFlooders; ++p) {
+    peers.emplace_back([port, &saw_reject] {
+      RawClient c(port);
+      if (!c.connected()) return;
+      // 64 KiB of newline-free bytes against a 2 KiB line bound: the
+      // server must cut the connection long before the flood ends
+      // instead of buffering it.
+      const std::string blob(4096, 'A');
+      for (int i = 0; i < 16; ++i) {
+        if (!c.send_raw(blob)) break;
+      }
+      const std::string line = c.read_line();
+      // The structured reject is best-effort (a reset can outrun it);
+      // count the ones that did arrive.
+      if (line.find("max_line_bytes") != std::string::npos) {
+        saw_reject.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& p : peers) p.join();
+
+  for (int spin = 0; spin < 200 && engine.stats().overlong <
+                                       static_cast<std::uint64_t>(kFlooders);
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(engine.stats().overlong, static_cast<std::uint64_t>(kFlooders));
+  EXPECT_EQ(engine.stats().requests, 0u);
+  EXPECT_GE(saw_reject.load(), 0);  // informational; the counter is the gate
+  expect_server_alive(port);
+  server.stop();
+}
+
+TEST(ServeChaos, MidRequestDisconnectsLeaveNoTrace) {
+  ServeEngine engine(chaos_options(/*read_timeout_ms=*/5000));
+  TcpServer server(engine);
+  const int port = server.start(0);
+
+  const std::string request = select_line();
+  // Hang up at every truncation point of a real request, including after
+  // zero bytes; none of these ever completes a line, so none may reach
+  // the engine or leave a connection behind.
+  for (std::size_t cut = 0; cut + 1 < request.size(); cut += 3) {
+    RawClient c(port);
+    ASSERT_TRUE(c.connected());
+    c.send_raw(request.substr(0, cut));
+    c.close();
+  }
+  // And the rudest variant: send a full request, vanish before the reply.
+  for (int i = 0; i < 4; ++i) {
+    RawClient c(port);
+    ASSERT_TRUE(c.connected());
+    c.send_raw(request);
+    c.close();
+  }
+
+  // The full-request peers were answered into the void (or the send
+  // failed harmlessly); the truncated ones never became requests.
+  for (int spin = 0; spin < 200 && engine.connections() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(engine.connections(), 0);
+  EXPECT_LE(engine.stats().requests, 4u);
+  EXPECT_EQ(engine.stats().errors, 0u);
+  expect_server_alive(port);
+  server.stop();
+}
+
+TEST(ServeChaos, SeededMalformedFramesAlwaysGetOneStructuredReply) {
+  ServeEngine engine(chaos_options(/*read_timeout_ms=*/5000));
+  TcpServer server(engine);
+  const int port = server.start(0);
+
+  std::uint64_t state = 0xc4a05f00dULL;
+  RawClient c(port);
+  ASSERT_TRUE(c.connected());
+  constexpr int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    const std::size_t len = 1 + splitmix64(state) % 160;
+    std::string frame;
+    frame.reserve(len + 1);
+    for (std::size_t b = 0; b < len; ++b) {
+      char ch = static_cast<char>(splitmix64(state) & 0xff);
+      if (ch == '\n') ch = ' ';
+      frame.push_back(ch);
+    }
+    frame.push_back('\n');
+    ASSERT_TRUE(c.send_raw(frame)) << "frame " << i;
+    const std::string reply = c.read_line();
+    ASSERT_FALSE(reply.empty()) << "frame " << i;
+    Json parsed;
+    ASSERT_NO_THROW(parsed = Json::parse(reply)) << "frame " << i << ": "
+                                                 << reply;
+    ASSERT_TRUE(parsed.contains("ok")) << "frame " << i;
+  }
+  // One reply per frame, all on a single healthy connection.
+  EXPECT_EQ(engine.stats().requests, static_cast<std::uint64_t>(kFrames));
+  c.close();
+  expect_server_alive(port);
+  server.stop();
+}
+
+TEST(ServeChaos, SaturationAtFourTimesTheCapAccountsForEveryPeer) {
+  ServeEngine engine(chaos_options(/*read_timeout_ms=*/5000));
+  TcpServer server(engine);
+  const int port = server.start(0);
+  const int cap = engine.options().max_connections;
+
+  const int kClients = 4 * cap;
+  std::atomic<int> served{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> lost{0};
+  std::vector<std::thread> peers;
+  for (int p = 0; p < kClients; ++p) {
+    peers.emplace_back([port, &served, &rejected, &lost] {
+      RawClient c(port);
+      if (!c.connected()) {
+        lost.fetch_add(1);
+        return;
+      }
+      c.send_raw(select_line());
+      const std::string line = c.read_line();
+      Json reply;
+      try {
+        reply = Json::parse(line);
+      } catch (const Error&) {
+        // Reset outran the reject line: counted server-side below.
+        lost.fetch_add(1);
+        return;
+      }
+      if (reply.at("ok").as_bool()) {
+        // Served: full-quality or degraded (shed), but always a usable
+        // selection.
+        served.fetch_add(1);
+      } else {
+        EXPECT_NE(reply.at("error").as_string().find("overloaded"),
+                  std::string::npos)
+            << line;
+        rejected.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& p : peers) p.join();
+
+  // Conservation: every peer was either served exactly one valid reply
+  // or rejected at the cap — and the server-side tallies agree with the
+  // client-side ones even for peers whose reject line was reset away.
+  const ServeEngine::Stats stats = engine.stats();
+  EXPECT_EQ(served.load() + rejected.load() + lost.load(), kClients);
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(served.load()));
+  EXPECT_EQ(stats.overloaded,
+            static_cast<std::uint64_t>(kClients - served.load()));
+  EXPECT_GE(served.load(), 1);
+  EXPECT_EQ(stats.errors, 0u);
+
+  // Graceful drain: in-flight work finishes, the queue empties, and the
+  // engine then refuses new work while still answering health probes.
+  server.stop(/*drain=*/true);
+  EXPECT_TRUE(engine.draining());
+  EXPECT_EQ(engine.queue_depth(), 0);
+  EXPECT_EQ(engine.connections(), 0);
+  const Json health = Json::parse(engine.handle_line(R"({"op":"health"})"));
+  EXPECT_TRUE(health.at("ok").as_bool());
+  EXPECT_TRUE(health.at("draining").as_bool());
+  const Json refused = Json::parse(engine.handle_line(select_line()));
+  EXPECT_FALSE(refused.at("ok").as_bool());
+  EXPECT_TRUE(refused.at("draining").as_bool());
+}
+
+}  // namespace
+}  // namespace pml::core

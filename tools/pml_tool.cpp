@@ -57,12 +57,21 @@
 //
 //   pml serve   [--model model.json] [--port N | --stdio] [--shards N]
 //               [--capacity N] [--threads N] [--micro-batch N]
+//               [--max-connections N] [--max-line-bytes N]
+//               [--read-timeout-ms N] [--queue-limit N]
 //       Selector-as-a-service: answer newline-delimited JSON requests
-//       (ops: select, table, ping, stats — see docs/API.md, "Serve
-//       protocol") over TCP on 127.0.0.1:N (0 = ephemeral, printed on
-//       stdout) or over stdin/stdout with --stdio. Without --model, or
-//       when the artifact is corrupt, serves heuristic answers marked
-//       "degraded" and keeps re-checking the artifact on cache misses.
+//       (ops: select, table, ping, stats, health — see docs/API.md,
+//       "Serve protocol") over TCP on 127.0.0.1:N (0 = ephemeral,
+//       printed on stdout) or over stdin/stdout with --stdio. Without
+//       --model, or when the artifact is corrupt, serves heuristic
+//       answers marked "degraded" and keeps re-checking the artifact on
+//       cache misses. The --max-*/--read-timeout-ms/--queue-limit flags
+//       set the overload limits (connection cap, line-buffer bound, read
+//       deadline, pending-recompile queue bound before shedding).
+//
+//   pml --version (or `pml version`)
+//       Print the release version plus the artifact schema matrix this
+//       build writes and reads.
 //
 // Global options (any command): --trace out.json writes a chrome://tracing
 // file for the run; --metrics out.json writes the flat span/counter summary.
@@ -80,6 +89,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/version.hpp"
 #include "core/framework.hpp"
 #include "core/serve.hpp"
 #include "obs/export.hpp"
@@ -574,6 +584,15 @@ int cmd_serve(int argc, char** argv) {
       options.compile.threads = parse_int(value(), "--threads");
     } else if (arg == "--micro-batch") {
       options.micro_batch = parse_int(value(), "--micro-batch");
+    } else if (arg == "--max-connections") {
+      options.max_connections = parse_int(value(), "--max-connections");
+    } else if (arg == "--max-line-bytes") {
+      options.max_line_bytes =
+          static_cast<std::size_t>(parse_int(value(), "--max-line-bytes"));
+    } else if (arg == "--read-timeout-ms") {
+      options.read_timeout_ms = parse_int(value(), "--read-timeout-ms");
+    } else if (arg == "--queue-limit") {
+      options.queue_limit = parse_int(value(), "--queue-limit");
     } else if (arg == "--trace") {
       sink.chrome_trace = value();
     } else if (arg == "--metrics") {
@@ -608,6 +627,11 @@ int cmd_serve(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    const std::string text = version_text();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
   try {
     // doctor, serve, dataset, and train take boolean flags, so they
     // parse argv themselves.
